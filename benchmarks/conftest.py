@@ -1,0 +1,30 @@
+"""Benchmark harness support.
+
+Each ``benchmarks/test_*.py`` regenerates one paper table or figure: it
+runs the experiment once under pytest-benchmark (timing the full
+pipeline) and prints the regenerated rows next to the paper's values.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run an experiment once, print its rendered output, return it."""
+
+    def _run(experiment, *args, **kwargs):
+        result = benchmark.pedantic(
+            experiment, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,59 @@
+"""Regenerate the beyond-paper extension studies."""
+
+import pytest
+
+from repro.experiments import (
+    ext_cdc,
+    ext_multitenant,
+    ext_pipeline_des,
+    ext_read_offload,
+)
+
+
+def test_ext_read_offload(regenerate):
+    result = regenerate(ext_read_offload.run)
+    throughputs = result.data["throughputs"]
+    assert (
+        throughputs["FIDR + NVMe read offload"] > throughputs["FIDR (paper)"]
+    )
+
+
+def test_ext_multitenant(regenerate):
+    result = regenerate(ext_multitenant.run)
+    assert (
+        result.data["prioritized"]["mail"] > result.data["plain"]["mail"]
+    )
+
+
+def test_ext_cdc(regenerate):
+    result = regenerate(ext_cdc.run)
+    assert result.data["cdc"]["dedup"] > result.data["fixed"]["dedup"]
+
+
+def test_ext_pipeline_des(regenerate):
+    result = regenerate(ext_pipeline_des.run)
+    for values in result.data.values():
+        assert values["saturated"] == pytest.approx(values["solver"], rel=0.06)
+
+
+def test_ext_gc(regenerate):
+    from repro.experiments import ext_gc
+
+    result = regenerate(ext_gc.run)
+    series = result.data["series"]
+    assert series[0.3]["dead_fraction"] < series[1.0]["dead_fraction"]
+
+
+def test_ablations(regenerate):
+    from repro.experiments import ablations
+
+    result = regenerate(ablations.run)
+    assert len(result.tables) == 4
+
+
+def test_ext_sensitivity(regenerate):
+    from repro.experiments import ext_sensitivity
+
+    result = regenerate(ext_sensitivity.run)
+    speedups = result.data["speedups"]
+    assert all(value > 2.0 for value in speedups.values())

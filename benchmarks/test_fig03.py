@@ -1,0 +1,10 @@
+"""Regenerate Figure 3: IO amplification of large chunking."""
+
+from repro.experiments import fig03_large_chunking
+
+
+def test_fig03_large_chunking(regenerate):
+    result = regenerate(fig03_large_chunking.run)
+    mail = result.data["mail"]
+    assert mail[32768] > 10.0  # the paper's headline RMW penalty
+    assert mail[4096] == 1.0

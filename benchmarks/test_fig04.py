@@ -1,0 +1,10 @@
+"""Regenerate Figure 4: baseline DRAM bandwidth wall."""
+
+from repro.experiments import fig04_membw
+
+
+def test_fig04_membw(regenerate):
+    result = regenerate(fig04_membw.run)
+    projections = result.data["projections"]
+    assert projections["Write-only"] > 170e9  # exceeds the socket
+    assert projections["Write-only"] > projections["Mixed read/write"]

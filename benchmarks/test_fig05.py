@@ -1,0 +1,10 @@
+"""Regenerate Figure 5: baseline CPU wall and composition."""
+
+from repro.experiments import fig05_cpu
+
+
+def test_fig05_cpu(regenerate):
+    result = regenerate(fig05_cpu.run)
+    write = result.data["Write-only"]
+    assert write["cores"] > 22  # more than a 22-core socket
+    assert write["mgmt"] > 0.8  # memory/IO management dominates

@@ -1,0 +1,10 @@
+"""Regenerate Figure 11: FIDR's host-memory-bandwidth reduction."""
+
+from repro.experiments import fig11_membw
+
+
+def test_fig11_membw(regenerate):
+    result = regenerate(fig11_membw.run)
+    reductions = result.data["reductions"]
+    assert max(reductions.values()) > 0.6
+    assert reductions["read-mixed"] > 0.8

@@ -1,0 +1,10 @@
+"""Regenerate Figure 12: FIDR's CPU-utilization reduction."""
+
+from repro.experiments import fig12_cpu
+
+
+def test_fig12_cpu(regenerate):
+    result = regenerate(fig12_cpu.run)
+    reductions = result.data["reductions"]
+    assert all(value > 0.3 for value in reductions.values())
+    assert reductions["read-mixed"] == min(reductions.values())

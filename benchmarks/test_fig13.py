@@ -1,0 +1,9 @@
+"""Regenerate Figure 13: Cache HW-Engine throughput scaling."""
+
+from repro.experiments import fig13_tree
+
+
+def test_fig13_tree(regenerate):
+    result = regenerate(fig13_tree.run)
+    write_m = result.data["write-m"]["series"]
+    assert write_m[4] > 1.5 * write_m[1]  # multi-update speedup

@@ -1,0 +1,13 @@
+"""Regenerate Figure 14: overall per-socket throughput by technique."""
+
+from repro.experiments import fig14_throughput
+
+
+def test_fig14_throughput(regenerate):
+    result = regenerate(fig14_throughput.run)
+    speedups = result.data["speedups"]
+    best_write = max(
+        speedups[key]["+multi-update tree"]
+        for key in ("write-h", "write-m", "write-l")
+    )
+    assert best_write > 2.5  # the paper's up-to-3.3x claim

@@ -1,0 +1,9 @@
+"""Regenerate Figure 15: cost scalability."""
+
+from repro.experiments import fig15_cost_scaling
+
+
+def test_fig15_cost_scaling(regenerate):
+    result = regenerate(fig15_cost_scaling.run)
+    savings = result.data["savings"]
+    assert savings[(500e12, 25e9)] > savings[(500e12, 75e9)] > 0.4

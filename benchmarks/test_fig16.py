@@ -1,0 +1,9 @@
+"""Regenerate Figure 16: cost breakdown at 75 GB/s, 500 TB."""
+
+from repro.experiments import fig16_cost_breakdown
+
+
+def test_fig16_cost_breakdown(regenerate):
+    result = regenerate(fig16_cost_breakdown.run)
+    totals = result.data["totals"]
+    assert totals["FIDR"] < totals["baseline (partial)"]

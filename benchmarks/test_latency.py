@@ -1,0 +1,8 @@
+"""Regenerate §7.6: read and write-commit latency."""
+
+from repro.experiments import latency
+
+
+def test_latency(regenerate):
+    result = regenerate(latency.run)
+    assert result.data["fidr_us"] < result.data["baseline_us"]

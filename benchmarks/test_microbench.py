@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the core data structures.
+
+Not paper figures — these track the Python implementation's own
+performance (ops/s of the dedup write path, tree indexes, table cache),
+useful for spotting regressions while extending the library.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.btree import BPlusTree
+from repro.cache.hwtree import SpeculativeTreeEngine, TreeOp
+from repro.cache.table_cache import TableCache
+from repro.datared.compression import ModeledCompressor
+from repro.datared.dedup import DedupEngine
+from repro.datared.hash_pbn import HashPbnTable, InMemoryBucketStore
+from repro.datared.hashing import fingerprint
+
+
+@pytest.fixture
+def rng():
+    return random.Random(11)
+
+
+def test_dedup_write_path(benchmark, rng):
+    """Chunks through the full write flow (hash, table, pack, map)."""
+    engine = DedupEngine(num_buckets=1 << 12, compressor=ModeledCompressor(0.5))
+    pool = [rng.randbytes(4096) for _ in range(64)]
+
+    def write_block(state={"lba": 0}):
+        lba = state["lba"]
+        state["lba"] += 8
+        engine.write(lba, pool[lba % len(pool)])
+
+    benchmark(write_block)
+
+
+def test_btree_search(benchmark, rng):
+    tree = BPlusTree(order=16)
+    keys = rng.sample(range(1_000_000), 20_000)
+    for key in keys:
+        tree.insert(key, key)
+    probe = iter(keys * 100)
+    benchmark(lambda: tree.search(next(probe)))
+
+
+def test_speculative_tree_batch(benchmark, rng):
+    engine = SpeculativeTreeEngine(window=4)
+    counter = iter(range(100_000_000))
+
+    def batch():
+        engine.execute(
+            [TreeOp("insert", next(counter) * 7919 % 1_000_003, 1)
+             for _ in range(64)]
+        )
+
+    benchmark(batch)
+
+
+def test_table_cache_access(benchmark, rng):
+    cache = TableCache(InMemoryBucketStore(), capacity_lines=256)
+    table = HashPbnTable(1 << 12, store=cache)
+    digests = [fingerprint(str(i).encode()) for i in range(4096)]
+    probe = iter(digests * 1000)
+    benchmark(lambda: table.lookup(next(probe)))
+
+
+def test_sha256_fingerprint(benchmark, rng):
+    data = rng.randbytes(4096)
+    benchmark(lambda: fingerprint(data))

@@ -1,0 +1,9 @@
+"""Regenerate Table 1: memory-bandwidth breakdown by data path."""
+
+from repro.experiments import tab01_membw_breakdown
+
+
+def test_tab01_membw_breakdown(regenerate):
+    result = regenerate(tab01_membw_breakdown.run)
+    write = result.data["write"]
+    assert sum(write.values()) > 0.99  # shares cover all traffic

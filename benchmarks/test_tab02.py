@@ -1,0 +1,12 @@
+"""Regenerate Table 2: CPU composition of table-cache management."""
+
+from repro.experiments import tab02_cpu_breakdown
+
+
+def test_tab02_cpu_breakdown(regenerate):
+    result = regenerate(tab02_cpu_breakdown.run)
+    breakdown = result.data["breakdown"]
+    assert (
+        breakdown["table cache tree indexing"]
+        > breakdown["table cache content access"]
+    )

@@ -1,0 +1,10 @@
+"""Regenerate Table 3: workload construction (targets vs realized)."""
+
+from repro.experiments import tab03_workloads
+
+
+def test_tab03_workloads(regenerate):
+    result = regenerate(tab03_workloads.run)
+    for comparison in result.comparisons:
+        if "dedup" in comparison.label:
+            assert abs(comparison.relative_error) < 0.05

@@ -1,0 +1,8 @@
+"""Regenerate Table 4: FIDR NIC FPGA resource utilization."""
+
+from repro.experiments import tab04_nic_resources
+
+
+def test_tab04_nic_resources(regenerate):
+    result = regenerate(tab04_nic_resources.run)
+    assert result.data["mixed"].luts < result.data["write-only"].luts

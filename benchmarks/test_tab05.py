@@ -1,0 +1,9 @@
+"""Regenerate Table 5: Cache HW-Engine resources and throughput."""
+
+from repro.experiments import tab05_cache_engine
+
+
+def test_tab05_cache_engine(regenerate):
+    result = regenerate(tab05_cache_engine.run)
+    large = result.data["Except SSD, large tree"]
+    assert large["geometry"].on_chip_levels == 13

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scenario: a durable storage server surviving a metadata crash.
+
+Combines three pieces a downstream adopter would compose:
+
+* the §6.2 storage protocol (clients speak framed write/read requests),
+* the FIDR reduction stack behind it,
+* the metadata journal — after a "crash" that destroys every in-memory
+  table, the journal and the surviving containers rebuild the engine and
+  clients keep reading their data.
+
+Run:  python examples/durable_protocol_server.py
+"""
+
+import random
+
+from repro.datared import MetadataJournal, ModeledCompressor, recover_engine
+from repro.net import ProtocolClient, ProtocolServer
+from repro.systems import FidrSystem
+from repro.systems.server import StorageServer
+
+CHUNK = 4096
+
+
+def build_journaled_server():
+    """A FIDR server whose engine journals every metadata mutation."""
+    journal = MetadataJournal()
+    system = FidrSystem(
+        num_buckets=4096, cache_lines=256, compressor=ModeledCompressor(0.5)
+    )
+    system.engine.observer = journal
+    return StorageServer(system), journal, system
+
+
+def main() -> None:
+    rng = random.Random(11)
+    storage, journal, system = build_journaled_server()
+    endpoint = ProtocolServer(storage)
+    client = ProtocolClient(endpoint.handle_bytes)
+
+    # Clients write through the wire protocol; acks are immediate.
+    dataset = {}
+    pool = [rng.randbytes(CHUNK) for _ in range(24)]
+    for _ in range(500):
+        lba = rng.randrange(600)
+        data = pool[rng.randrange(len(pool))] if rng.random() < 0.6 else (
+            rng.randbytes(CHUNK)
+        )
+        client.write(lba, data)
+        dataset[lba] = data
+    storage.flush()
+    print(f"served {endpoint.requests_served} requests; journal holds "
+          f"{journal.records_written:,} records "
+          f"({journal.size_bytes / 1024:.1f} KiB)")
+
+    # --- crash: all metadata evaporates; containers + journal survive ---
+    containers = system.engine.containers
+    image = journal.to_bytes()
+    torn = image[: len(image) - 11]  # the tail record was mid-write
+    recovered, clean = recover_engine(
+        torn, containers, ModeledCompressor(0.5), num_buckets=4096
+    )
+    print(f"recovery from a torn journal: clean={clean} "
+          f"(tail record discarded, as designed)")
+
+    verified = 0
+    for lba, data in dataset.items():
+        pbn = recovered.lba_map.get(lba)
+        if pbn is None:
+            continue  # lost with the torn tail — but never corrupted
+        assert recovered.read(lba, 1).data == data, f"corruption at {lba}"
+        verified += 1
+    print(f"verified {verified}/{len(dataset)} LBAs byte-exact after "
+          f"recovery; dedup identity intact: rewriting old content "
+          f"deduplicates -> "
+          f"{recovered.write(4096, pool[0]).chunks[0].duplicate}")
+
+
+if __name__ == "__main__":
+    main()

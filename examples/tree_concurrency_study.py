@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scenario: sizing the Cache HW-Engine's speculation window (§5.5.1).
+
+The crash/replay optimization lets several tree updates run
+concurrently.  How wide should the window be, and when does it stop
+paying?  This study sweeps the window across cache-miss regimes using
+both the functional engine (measuring *real* crash rates on a live
+B+-tree) and the timing model (throughput), reproducing Figure 13's
+regimes and showing where each constraint binds.
+
+Run:  python examples/tree_concurrency_study.py
+"""
+
+import random
+
+from repro.analysis import format_table, gbps, pct
+from repro.cache import CacheEngineModel, SpeculativeTreeEngine, TreeOp
+
+
+def functional_crash_rates(window: int, tree_keys: int) -> float:
+    """Measured mis-speculation rate on a live tree of ``tree_keys``."""
+    rng = random.Random(window * 1000 + tree_keys)
+    key_space = tree_keys * 100
+    engine = SpeculativeTreeEngine(window=window)
+    engine.execute(
+        [TreeOp("insert", rng.randrange(key_space), 1) for _ in range(tree_keys)]
+    )
+    churn = min(8000, tree_keys)
+    mixed = [TreeOp("delete", rng.randrange(key_space)) for _ in range(churn)]
+    mixed += [TreeOp("insert", rng.randrange(key_space), 1) for _ in range(churn)]
+    rng.shuffle(mixed)
+    engine.execute(mixed)
+    return engine.crash_rate
+
+
+def main() -> None:
+    # 1. Throughput vs window across miss regimes (timing model).
+    model = CacheEngineModel()
+    rows = []
+    for label, miss in (("hot cache (10% miss)", 0.10),
+                        ("warm cache (19% miss)", 0.19),
+                        ("cold cache (47% miss)", 0.47)):
+        row = [label]
+        for window in (1, 2, 4, 8):
+            solved = model.analytic_throughput(miss, window=window)
+            row.append(f"{solved.throughput / 1e9:.0f}")
+        solved = model.analytic_throughput(miss, window=4)
+        row.append(solved.bottleneck)
+        rows.append(row)
+    print(format_table(
+        headers=["regime", "w=1 (GB/s)", "w=2", "w=4", "w=8", "binding @w=4"],
+        rows=rows,
+        title="engine throughput vs speculation window",
+    ))
+    print("\nwindow 4 is where the commit port takes over — wider windows"
+          "\nbuy nothing, which is why the paper stops there.\n")
+
+    # 2. Real crash rates on a live tree: conflicts need two in-flight
+    # updates to land on the same leaf, so the rate falls inversely with
+    # tree size.
+    rows = []
+    for tree_keys in (2_000, 16_000, 64_000):
+        row = [f"{tree_keys:,}-key tree"]
+        for window in (1, 2, 4):
+            row.append(pct(functional_crash_rates(window, tree_keys)))
+        rows.append(row)
+    print(format_table(
+        headers=["tree size", "crash rate w=1", "w=2", "w=4"],
+        rows=rows,
+        title="measured crash/replay rates (functional tree)",
+    ))
+    print("\nthe rate shrinks with tree size; the prototype's 100-GB cache"
+          "\nindex has ~1.5M leaves, which is where the paper's <0.1% lives.")
+
+
+if __name__ == "__main__":
+    main()

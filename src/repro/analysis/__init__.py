@@ -1,0 +1,26 @@
+"""Analysis: linear projection, throughput solving, and cost modelling."""
+
+from .cost import CostBreakdown, CostParameters, StorageCostModel
+from .projection import LinearFit, fit_least_squares, fit_two_points, sweep
+from .report import Comparison, format_comparisons, format_table, gbps, pct
+from .scaleout import DeploymentPlan, plan_deployment
+from .throughput import ThroughputCeilings, solve_throughput
+
+__all__ = [
+    "Comparison",
+    "CostBreakdown",
+    "CostParameters",
+    "DeploymentPlan",
+    "LinearFit",
+    "plan_deployment",
+    "StorageCostModel",
+    "ThroughputCeilings",
+    "fit_least_squares",
+    "fit_two_points",
+    "format_comparisons",
+    "format_table",
+    "gbps",
+    "pct",
+    "solve_throughput",
+    "sweep",
+]

@@ -1,0 +1,163 @@
+"""Storage cost model (paper §7.8, Figures 15-16).
+
+The paper prices a server as the data SSDs remaining after reduction
+plus the reduction machinery (CPU share, FPGAs scaled by resource
+utilization with 70% usable fabric, DRAM for the table cache, table
+SSDs), against a no-reduction server that simply buys ``capacity`` worth
+of SSDs.  Unit prices follow §7.8: 0.5 $/GB SSD, 5.5 $/GB DRAM, $7000
+per 22-core Xeon, $7000 per high-end FPGA.
+
+The baseline's defining problem (Figure 16) also falls out: past its
+per-socket throughput ceiling it must apply *partial* reduction — the
+overflow is stored unreduced — so its SSD bill grows with throughput
+while FIDR's stays flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["CostParameters", "CostBreakdown", "StorageCostModel"]
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """§7.8's unit prices and utilization assumptions."""
+
+    ssd_per_gb: float = 0.5
+    dram_per_gb: float = 5.5
+    cpu_price: float = 7000.0  #: 22-core Xeon E5-4669 v4
+    cpu_cores: int = 22
+    fpga_price: float = 7000.0  #: Xilinx VCU9P-class board
+    fpga_usable_fraction: float = 0.70
+
+    # Reduction effectiveness (50% dedup x 50% compression).
+    stored_fraction: float = 0.25
+
+    # Device capability assumptions for sizing at a target throughput.
+    nic_rate: float = 8 * GB  #: one FIDR NIC (64 Gbps)
+    compression_engine_rate: float = 12.8 * GB
+    cache_engine_rate: float = 64 * GB  #: Table 5's large-tree estimate
+
+    # FPGA resource utilizations (Tables 4-5) for cost scaling.
+    nic_reduction_utilization: float = 0.245
+    compression_utilization: float = 0.30
+    cache_engine_utilization: float = 0.294
+
+    # Per-socket metadata memory (table cache) and table-SSD overheads.
+    table_cache_gb: float = 100.0
+    table_entry_bytes: int = 38
+    chunk_bytes: int = 4096
+
+
+@dataclass
+class CostBreakdown:
+    """Dollar cost by component."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def savings_vs(self, reference: "CostBreakdown") -> float:
+        """Fractional saving relative to a reference system."""
+        if reference.total == 0:
+            raise ValueError("reference system has zero cost")
+        return 1.0 - self.total / reference.total
+
+
+class StorageCostModel:
+    """Cost of serving (throughput, effective capacity) per §7.8."""
+
+    def __init__(self, params: Optional[CostParameters] = None):
+        self.params = params if params is not None else CostParameters()
+
+    # -- reference ---------------------------------------------------------------
+    def no_reduction_cost(self, capacity_bytes: float) -> CostBreakdown:
+        """A server that just buys the full capacity in SSDs."""
+        return CostBreakdown(
+            components={"data_ssd": capacity_bytes / GB * self.params.ssd_per_gb}
+        )
+
+    # -- shared pieces --------------------------------------------------------------
+    def _reduced_storage_cost(self, capacity_bytes: float,
+                              reduced_fraction: float = 1.0) -> Dict[str, float]:
+        """SSD + metadata costs when ``reduced_fraction`` of the data is
+        reduced and the remainder stored raw (partial reduction)."""
+        p = self.params
+        stored = capacity_bytes * (
+            reduced_fraction * p.stored_fraction + (1.0 - reduced_fraction)
+        )
+        unique_stored = capacity_bytes * reduced_fraction * p.stored_fraction
+        # Hash-PBN table sized by unique chunks (one entry per chunk).
+        table_bytes = unique_stored / p.chunk_bytes * p.table_entry_bytes
+        return {
+            "data_ssd": stored / GB * p.ssd_per_gb,
+            "table_ssd": table_bytes / GB * p.ssd_per_gb,
+            "table_cache_dram": p.table_cache_gb * p.dram_per_gb * reduced_fraction,
+        }
+
+    def _fpga_unit_cost(self, utilization: float) -> float:
+        p = self.params
+        return p.fpga_price * min(1.0, utilization / p.fpga_usable_fraction)
+
+    # -- FIDR ---------------------------------------------------------------------------
+    def fidr_cost(
+        self,
+        throughput: float,
+        capacity_bytes: float,
+        cpu_cores_per_75gbps: float = 17.0,
+    ) -> CostBreakdown:
+        """FIDR serves the full throughput with reduction on.
+
+        ``cpu_cores_per_75gbps`` comes from the measured FIDR report
+        (Figure 12); the default matches the write-heavy workloads.
+        """
+        p = self.params
+        components = self._reduced_storage_cost(capacity_bytes, 1.0)
+        cores = cpu_cores_per_75gbps * throughput / (75 * GB)
+        components["cpu"] = p.cpu_price * cores / p.cpu_cores
+        nics = throughput / p.nic_rate
+        components["fidr_nics"] = nics * self._fpga_unit_cost(
+            p.nic_reduction_utilization
+        )
+        engines = throughput / p.compression_engine_rate
+        components["compression_engines"] = engines * self._fpga_unit_cost(
+            p.compression_utilization
+        )
+        cache_engines = throughput / p.cache_engine_rate
+        components["cache_hw_engines"] = cache_engines * self._fpga_unit_cost(
+            p.cache_engine_utilization
+        )
+        return CostBreakdown(components=components)
+
+    # -- baseline -------------------------------------------------------------------------
+    def baseline_cost(
+        self,
+        throughput: float,
+        capacity_bytes: float,
+        per_socket_cap: float = 25 * GB,
+        cpu_cores_per_75gbps: float = 67.0,
+        sockets: int = 1,
+    ) -> CostBreakdown:
+        """The baseline reduces only what its socket ceiling allows.
+
+        Up to ``per_socket_cap × sockets`` of the stream is reduced;
+        the overflow is stored raw (partial reduction, §7.8/Figure 16).
+        """
+        p = self.params
+        reducible = min(throughput, per_socket_cap * sockets)
+        reduced_fraction = reducible / throughput if throughput > 0 else 1.0
+        components = self._reduced_storage_cost(capacity_bytes, reduced_fraction)
+        cores = cpu_cores_per_75gbps * reducible / (75 * GB)
+        components["cpu"] = p.cpu_price * cores / p.cpu_cores
+        # Integrated hash+compression FPGAs sized for the reduced share.
+        engines = reducible / p.compression_engine_rate
+        components["compression_engines"] = engines * self._fpga_unit_cost(
+            p.compression_utilization
+        )
+        return CostBreakdown(components=components)

@@ -1,0 +1,66 @@
+"""Linear projection utilities (paper §3.2, Figures 4-5).
+
+The paper measures its baseline at two throughput points (5 and
+6.9 GB/s) and projects resource demands linearly to the 75 GB/s target.
+Our model's demands are linear in throughput by construction (byte/cycle
+amplification × target), so the same methodology applies exactly; this
+module provides the two-point fit — useful both for emulating the
+paper's plots and for validating that measured series really are linear
+— and sweep helpers for producing figure series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = ["LinearFit", "fit_two_points", "fit_least_squares", "sweep"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted ``y = slope * x + intercept`` projection."""
+
+    slope: float
+    intercept: float
+
+    def __call__(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def solve(self, y: float) -> float:
+        """The x at which the projection reaches ``y``."""
+        if self.slope == 0:
+            raise ZeroDivisionError("flat projection never reaches the target")
+        return (y - self.intercept) / self.slope
+
+
+def fit_two_points(p1: Tuple[float, float], p2: Tuple[float, float]) -> LinearFit:
+    """The paper's measure-twice-project method."""
+    (x1, y1), (x2, y2) = p1, p2
+    if x1 == x2:
+        raise ValueError("need two distinct throughput points")
+    slope = (y2 - y1) / (x2 - x1)
+    return LinearFit(slope=slope, intercept=y1 - slope * x1)
+
+
+def fit_least_squares(points: Sequence[Tuple[float, float]]) -> LinearFit:
+    """Least-squares fit over any number of measurement points."""
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    n = len(points)
+    sum_x = sum(x for x, _ in points)
+    sum_y = sum(y for _, y in points)
+    sum_xx = sum(x * x for x, _ in points)
+    sum_xy = sum(x * y for x, y in points)
+    denominator = n * sum_xx - sum_x * sum_x
+    if denominator == 0:
+        raise ValueError("degenerate x values")
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    return LinearFit(slope=slope, intercept=(sum_y - slope * sum_x) / n)
+
+
+def sweep(
+    function: Callable[[float], float], xs: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Evaluate a demand function over a throughput sweep (figure series)."""
+    return [(x, function(x)) for x in xs]

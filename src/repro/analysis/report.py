@@ -1,0 +1,89 @@
+"""Report formatting for the experiment harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, alongside the paper's values where we have them.  These
+helpers keep that output consistent: fixed-width ASCII tables and a
+paper-vs-measured row type with relative error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+__all__ = ["Comparison", "format_table", "format_comparisons", "pct", "gbps"]
+
+Cell = Union[str, float, int, None]
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.1f}%"
+
+
+def gbps(value_bytes_per_s: float) -> str:
+    """Format bytes/s as GB/s (decimal, matching the paper)."""
+    return f"{value_bytes_per_s / 1e9:.1f} GB/s"
+
+
+def _render(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Cell]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Comparison:
+    """One paper-value vs measured-value row."""
+
+    label: str
+    paper: Optional[float]
+    measured: float
+    unit: str = ""
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return (self.measured - self.paper) / self.paper
+
+    def row(self) -> List[Cell]:
+        error = self.relative_error
+        return [
+            self.label,
+            "-" if self.paper is None else f"{self.paper:.3g} {self.unit}".strip(),
+            f"{self.measured:.3g} {self.unit}".strip(),
+            "-" if error is None else f"{error:+.0%}",
+        ]
+
+
+def format_comparisons(comparisons: Sequence[Comparison], title: str = "") -> str:
+    """Render paper-vs-measured rows as a table."""
+    return format_table(
+        headers=["metric", "paper", "measured", "error"],
+        rows=[comparison.row() for comparison in comparisons],
+        title=title,
+    )

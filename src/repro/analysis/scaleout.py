@@ -1,0 +1,129 @@
+"""Rack-level scale-out planning.
+
+The paper evaluates per-socket scalability; a deployment plans in whole
+servers.  :func:`plan_deployment` turns a measured workload report into
+a bill of materials for an aggregate (throughput, capacity) target:
+
+* sockets — from the per-socket ceiling (the Figure-14 solve),
+* NICs / compression engines / cache engines — from device rates,
+* SSDs — from capacity after reduction plus write-bandwidth needs,
+* dollars — through the §7.8 cost model.
+
+Because the per-socket ceiling differs so much between architectures,
+the same target often needs ~3x the baseline sockets — which is the
+operational translation of Figure 14.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..systems.accounting import SystemReport
+from .cost import CostParameters, StorageCostModel
+from .throughput import solve_throughput
+
+__all__ = ["DeploymentPlan", "plan_deployment"]
+
+GB = 1e9
+
+
+@dataclass
+class DeploymentPlan:
+    """Bill of materials for one aggregate target."""
+
+    target_throughput: float
+    effective_capacity: float
+    per_socket_throughput: float
+    sockets: int
+    nics: int
+    compression_engines: int
+    cache_engines: int
+    data_ssds: int
+    table_ssds: int
+    total_cost: float
+    cost_per_effective_tb: float
+    bottleneck: str
+
+    def summary_rows(self):
+        return [
+            ["sockets", self.sockets],
+            ["FIDR NICs", self.nics],
+            ["compression engines", self.compression_engines],
+            ["cache HW engines", self.cache_engines],
+            ["data SSDs (1 TB)", self.data_ssds],
+            ["table SSDs (1 TB)", self.table_ssds],
+            ["total cost", f"${self.total_cost / 1000:,.0f}k"],
+            ["cost per effective TB", f"${self.cost_per_effective_tb:,.0f}"],
+        ]
+
+
+def plan_deployment(
+    report: SystemReport,
+    target_throughput: float,
+    effective_capacity: float,
+    use_cache_engine: bool = True,
+    tree_window: int = 4,
+    params: Optional[CostParameters] = None,
+) -> DeploymentPlan:
+    """Size a deployment from a measured per-socket report."""
+    if target_throughput <= 0 or effective_capacity <= 0:
+        raise ValueError("target throughput and capacity must be positive")
+    params = params if params is not None else CostParameters()
+
+    solved = solve_throughput(
+        report, use_cache_engine=use_cache_engine, tree_window=tree_window
+    )
+    per_socket = solved.throughput
+    sockets = max(1, math.ceil(target_throughput / per_socket))
+
+    nics = max(sockets, math.ceil(target_throughput / params.nic_rate))
+    compression_engines = max(
+        sockets, math.ceil(target_throughput / params.compression_engine_rate)
+    )
+    cache_engines = (
+        max(sockets, math.ceil(target_throughput / params.cache_engine_rate))
+        if use_cache_engine
+        else 0
+    )
+
+    stored = effective_capacity * params.stored_fraction
+    ssd_unit = 1000 * GB
+    capacity_ssds = math.ceil(stored / ssd_unit)
+    # Sustained ingest also needs write bandwidth: stored bytes per
+    # client byte times the target, over one drive's write rate.
+    stored_per_byte = (
+        report.reduction.stored_bytes / report.logical_bytes
+        if report.logical_bytes
+        else params.stored_fraction
+    )
+    bandwidth_ssds = math.ceil(
+        stored_per_byte * target_throughput / report.server.data_ssd.write_bw
+    )
+    data_ssds = max(capacity_ssds, bandwidth_ssds)
+    table_bytes = stored / params.chunk_bytes * params.table_entry_bytes
+    table_ssds = max(sockets, math.ceil(table_bytes / ssd_unit))
+
+    cost_model = StorageCostModel(params)
+    cores_per_75 = report.cores_required(75 * GB)
+    cost = cost_model.fidr_cost(
+        target_throughput, effective_capacity,
+        cpu_cores_per_75gbps=cores_per_75,
+    )
+    total = cost.total
+
+    return DeploymentPlan(
+        target_throughput=target_throughput,
+        effective_capacity=effective_capacity,
+        per_socket_throughput=per_socket,
+        sockets=sockets,
+        nics=nics,
+        compression_engines=compression_engines,
+        cache_engines=cache_engines,
+        data_ssds=data_ssds,
+        table_ssds=table_ssds,
+        total_cost=total,
+        cost_per_effective_tb=total / (effective_capacity / 1e12),
+        bottleneck=solved.bottleneck,
+    )

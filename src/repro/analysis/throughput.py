@@ -1,0 +1,97 @@
+"""Per-socket throughput solver (paper §7.5, Figure 14).
+
+The paper's overall-throughput evaluation is "a basic simulation model
+based on our measured CPU utilization, memory bandwidth and the
+throughput of FIDR Cache HW-Engine", projected onto a high-end 22-core
+socket.  We do the same, explicitly: a system configuration's maximum
+per-socket throughput is the smallest of its resource ceilings —
+
+* host DRAM bandwidth        (amplification × T ≤ peak DRAM BW),
+* host CPU                   (cycles/byte × T ≤ socket cycle rate),
+* PCIe root complex          (root-complex bytes/byte × T ≤ socket IO),
+* Cache HW-Engine            (Figure 13's caps, when the engine is used),
+* data SSD array bandwidth   (stored bytes/byte × T ≤ array write BW).
+
+Every ceiling comes from a measured :class:`~repro.systems.SystemReport`
+over the workload plus the cache-engine timing model — nothing is
+tabulated from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cache.cache_engine import CacheEngineConfig, CacheEngineModel
+from ..systems.accounting import SystemReport
+
+__all__ = ["ThroughputCeilings", "solve_throughput"]
+
+
+@dataclass
+class ThroughputCeilings:
+    """All resource ceilings (bytes/s of client data) for one config."""
+
+    ceilings: Dict[str, float]
+
+    @property
+    def throughput(self) -> float:
+        return min(self.ceilings.values())
+
+    @property
+    def bottleneck(self) -> str:
+        return min(self.ceilings, key=self.ceilings.get)
+
+    def speedup_over(self, other: "ThroughputCeilings") -> float:
+        return self.throughput / other.throughput
+
+
+def solve_throughput(
+    report: SystemReport,
+    use_cache_engine: bool = False,
+    tree_window: int = 4,
+    engine_config: Optional[CacheEngineConfig] = None,
+    num_cache_engines: int = 1,
+    data_ssd_write_bw: Optional[float] = None,
+) -> ThroughputCeilings:
+    """Max per-socket throughput for the system behind ``report``.
+
+    ``use_cache_engine`` adds the Cache HW-Engine ceiling (Figure 13's
+    model) with the workload's *measured* miss behaviour;
+    ``tree_window=1`` is the single-update tree, ``4`` the optimized one.
+    ``data_ssd_write_bw`` defaults to unconstrained (the paper scales
+    the SSD array with the target).
+    """
+    ceilings: Dict[str, float] = {
+        "host_dram": report.max_throughput_memory(),
+        "host_cpu": report.max_throughput_cpu(),
+        "pcie_root_complex": report.max_throughput_pcie(),
+    }
+
+    if use_cache_engine:
+        model = CacheEngineModel(
+            engine_config if engine_config is not None else CacheEngineConfig()
+        )
+        # Engine miss rate = bucket fetches per chunk-sized request,
+        # measured functionally on the workload.
+        chunks = report.logical_write_bytes / model.config.chunk_size
+        miss_rate = report.cache_stats.fetches / chunks if chunks else 0.0
+        breakdown = model.analytic_throughput(
+            min(1.0, miss_rate), window=tree_window
+        )
+        # Engine capacity applies to the *written* share of the stream.
+        write_fraction = (
+            report.logical_write_bytes / report.logical_bytes
+            if report.logical_bytes
+            else 1.0
+        )
+        engine_cap = breakdown.throughput * num_cache_engines
+        if write_fraction > 0:
+            ceilings["cache_hw_engine"] = engine_cap / write_fraction
+
+    if data_ssd_write_bw is not None and report.logical_bytes:
+        stored_per_byte = report.reduction.stored_bytes / report.logical_bytes
+        if stored_per_byte > 0:
+            ceilings["data_ssd"] = data_ssd_write_bw / stored_per_byte
+
+    return ThroughputCeilings(ceilings=ceilings)

@@ -1,0 +1,77 @@
+"""Circular-buffer free list for table-cache lines (paper §6.3).
+
+The FIDR Cache HW-Engine keeps the free list of cache-line slots as a
+circular buffer in FPGA-board DRAM: accesses are strictly sequential, so
+one wide DDR burst returns many entries ("negligible DRAM access
+overhead").  This class reproduces those semantics — bounded capacity,
+FIFO order, and an access counter in DDR-burst units so the engine model
+can account board-DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["CircularFreeList"]
+
+
+class CircularFreeList:
+    """Bounded FIFO of free cache-line indexes over a ring buffer."""
+
+    #: Free-list entries per 512-bit DDR burst (4-byte slot indexes).
+    ENTRIES_PER_BURST = 16
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: List[Optional[int]] = [None] * capacity
+        self._head = 0  # next pop position
+        self._tail = 0  # next push position
+        self._count = 0
+        self.ddr_bursts = 0
+        self._burst_budget = 0  # entries prefetched by the last burst
+
+    @classmethod
+    def full(cls, capacity: int) -> "CircularFreeList":
+        """A free list pre-loaded with slots ``0..capacity-1`` (boot state)."""
+        free_list = cls(capacity)
+        for slot in range(capacity):
+            free_list.push(slot)
+        return free_list
+
+    def push(self, slot: int) -> None:
+        """Return a freed cache-line slot to the list."""
+        if self._count >= self.capacity:
+            raise OverflowError("free list is full")
+        if slot < 0:
+            raise ValueError(f"negative slot {slot}")
+        self._ring[self._tail] = slot
+        self._tail = (self._tail + 1) % self.capacity
+        self._count += 1
+
+    def pop(self) -> int:
+        """Take the oldest free slot; accounts a DDR burst per 16 pops."""
+        if self._count == 0:
+            raise IndexError("free list is empty")
+        if self._burst_budget == 0:
+            self.ddr_bursts += 1
+            self._burst_budget = self.ENTRIES_PER_BURST
+        self._burst_budget -= 1
+        slot = self._ring[self._head]
+        self._ring[self._head] = None
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        assert slot is not None
+        return slot
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def is_full(self) -> bool:
+        return self._count >= self.capacity

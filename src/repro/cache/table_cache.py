@@ -1,0 +1,299 @@
+"""The Hash-PBN table cache (paper §2.1.3, §4.3, §5.5).
+
+Only a small slice of the multi-TB Hash-PBN table fits in host DRAM; the
+rest lives on dedicated *table SSDs*.  :class:`TableCache` is the cached
+bucket store both systems share functionally — it implements the
+:class:`~repro.datared.hash_pbn.BucketStore` interface, so a
+:class:`~repro.datared.hash_pbn.HashPbnTable` layered on top transparently
+runs through the cache.
+
+What differs between the baseline and FIDR is *where the cache machinery
+runs*, not what it does:
+
+* baseline — the CPU walks a software B+-tree index, manages the free
+  list and LRU, and drives the table-SSD IO stack (Table 2's overheads);
+* FIDR — tree indexing, free-list handling and table-SSD queues move to
+  the Cache HW-Engine; the CPU only scans cached bucket *content* in
+  host memory (§5.5).
+
+Both variants use this class; the system layers charge the per-event
+costs (CPU cycles, DRAM bytes, SSD transfers) to different devices using
+the :class:`CacheStats` event counts it maintains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Set
+
+from ..datared.hash_pbn import BUCKET_SIZE, BucketStore
+from .btree import BPlusTree
+from .freelist import CircularFreeList
+from .hwtree import SpeculativeTreeEngine, TreeOp
+from .lru import LruList
+
+__all__ = ["CacheIndex", "BTreeIndex", "HwTreeIndex", "CacheStats", "TableCache"]
+
+
+class CacheIndex(Protocol):
+    """Index mapping bucket index → cache-line slot."""
+
+    def search(self, bucket: int) -> Optional[int]: ...
+
+    def insert(self, bucket: int, slot: int) -> None: ...
+
+    def delete(self, bucket: int) -> None: ...
+
+
+class BTreeIndex:
+    """Baseline: software B+-tree walked by the CPU (§7.1)."""
+
+    def __init__(self, order: int = 16):
+        self.tree = BPlusTree(order=order)
+        self.searches = 0
+        self.updates = 0
+
+    def search(self, bucket: int) -> Optional[int]:
+        self.searches += 1
+        return self.tree.search(bucket)
+
+    def insert(self, bucket: int, slot: int) -> None:
+        self.updates += 1
+        self.tree.insert(bucket, slot)
+
+    def delete(self, bucket: int) -> None:
+        self.updates += 1
+        self.tree.delete(bucket)
+
+    @property
+    def node_visits(self) -> int:
+        """Tree nodes touched — the CPU cycle driver (Table 2)."""
+        return self.tree.node_visits
+
+
+class HwTreeIndex:
+    """FIDR: the Cache HW-Engine's speculative pipelined tree (§5.5.1)."""
+
+    def __init__(self, window: int = 4):
+        self.engine = SpeculativeTreeEngine(window=window)
+        self.searches = 0
+        self.updates = 0
+
+    def search(self, bucket: int) -> Optional[int]:
+        self.searches += 1
+        return self.engine.search(bucket)
+
+    def insert(self, bucket: int, slot: int) -> None:
+        self.updates += 1
+        self.engine.execute([TreeOp("insert", bucket, slot)])
+
+    def delete(self, bucket: int) -> None:
+        self.updates += 1
+        self.engine.execute([TreeOp("delete", bucket)])
+
+    def execute_batch(self, ops: List[TreeOp]) -> None:
+        """Concurrent batch path (the engine's real operating mode)."""
+        self.updates += len(ops)
+        self.engine.execute(ops)
+
+
+@dataclass
+class CacheStats:
+    """Event counts for one table cache; units noted per field."""
+
+    hits: int = 0
+    misses: int = 0
+    fetches: int = 0  #: bucket pages read from table SSD
+    flushes: int = 0  #: dirty pages written back to table SSD
+    evictions: int = 0
+    content_scans: int = 0  #: cached bucket pages scanned by the host
+    warm_hits: int = 0  #: re-accesses served from the CPU cache
+    host_bytes_read: int = 0  #: DRAM reads for content scans / flushes
+    host_bytes_written: int = 0  #: DRAM writes for fetches / dirty updates
+
+    @property
+    def accesses(self) -> int:
+        """All table accesses, including CPU-cache-warm re-accesses
+        (a lookup-then-insert pair is two table accesses, as the paper
+        counts them — the second just costs no DRAM traffic)."""
+        return self.hits + self.warm_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return (self.hits + self.warm_hits) / self.accesses
+
+
+class TableCache(BucketStore):
+    """Write-back, LRU bucket cache over a table-SSD bucket store."""
+
+    def __init__(
+        self,
+        backing: BucketStore,
+        capacity_lines: int,
+        index: Optional[CacheIndex] = None,
+        eviction_batch: int = 8,
+        lru: Optional[LruList] = None,
+    ):
+        """``lru`` injects a replacement policy; anything API-compatible
+        with :class:`~repro.cache.lru.LruList` works — e.g. the
+        tenant-aware :class:`~repro.cache.policy.PartitionedLru` (§8)."""
+        if capacity_lines < 1:
+            raise ValueError("cache needs at least one line")
+        if not 1 <= eviction_batch <= capacity_lines:
+            raise ValueError("eviction batch must be in [1, capacity]")
+        self.backing = backing
+        self.capacity_lines = capacity_lines
+        self.index = index if index is not None else BTreeIndex()
+        self.eviction_batch = eviction_batch
+        self.stats = CacheStats()
+        self._lines: List[Optional[bytes]] = [None] * capacity_lines
+        self._line_bucket: List[Optional[int]] = [None] * capacity_lines
+        self._free = CircularFreeList.full(capacity_lines)
+        self._lru = lru if lru is not None else LruList()
+        self._dirty: Set[int] = set()  # bucket indexes with unflushed writes
+        # Mirror of bucket → slot for internal bookkeeping.  This is NOT
+        # the modelled index (that is ``self.index``, whose walks are
+        # what the CPU/engine pay for) — it only keeps the Python
+        # implementation O(1).
+        self._resident: Dict[int, int] = {}
+        # The bucket touched by the immediately preceding access: a
+        # lookup-then-insert pair hits the same page while it is still in
+        # the CPU's caches, so the second access costs neither a DRAM
+        # scan nor a fresh index walk.
+        self._warm_bucket: Optional[int] = None
+
+    #: DRAM burst charged for an in-place entry update of a cached page
+    #: (inserting one 38-byte entry dirties one cache line, not 4 KB).
+    IN_PLACE_WRITE_BYTES = 64
+
+    # -- BucketStore interface -------------------------------------------------------
+    def read_bucket(self, bucket: int) -> bytes:
+        if bucket == self._warm_bucket:
+            # Back-to-back access to the same page (lookup-then-insert):
+            # served from the CPU cache, no DRAM or index traffic.
+            slot = self._slot_of(bucket)
+            if slot is not None:
+                self.stats.warm_hits += 1
+                page = self._lines[slot]
+                assert page is not None
+                return page
+        slot = self.index.search(bucket)
+        if slot is not None:
+            self.stats.hits += 1
+            self._lru.touch(bucket)
+        else:
+            self.stats.misses += 1
+            slot = self._install(bucket, self.backing.read_bucket(bucket))
+            self.stats.fetches += 1
+        # The host scans the cached content for dedup detection (§5.3 #5).
+        self.stats.content_scans += 1
+        self.stats.host_bytes_read += BUCKET_SIZE
+        self._warm_bucket = bucket
+        page = self._lines[slot]
+        assert page is not None
+        return page
+
+    def write_bucket(self, bucket: int, page: bytes) -> None:
+        if len(page) != BUCKET_SIZE:
+            raise ValueError("bucket pages must be 4 KB")
+        if bucket == self._warm_bucket:
+            slot = self._slot_of(bucket)
+            if slot is not None:
+                # In-place update of the page just examined: one dirty
+                # cache line, no index walk.  Not counted as a table
+                # access — it is the tail of the same logical operation
+                # whose read was already counted.
+                self._lines[slot] = page
+                self.stats.host_bytes_written += self.IN_PLACE_WRITE_BYTES
+                self._dirty.add(bucket)
+                return
+        slot = self.index.search(bucket)
+        if slot is None:
+            self.stats.misses += 1
+            slot = self._install(bucket, page)
+        else:
+            self.stats.hits += 1
+            self._lines[slot] = page
+            self._lru.touch(bucket)
+            self.stats.host_bytes_written += self.IN_PLACE_WRITE_BYTES
+        self._warm_bucket = bucket
+        self._dirty.add(bucket)
+
+    def _slot_of(self, bucket: int) -> Optional[int]:
+        """Slot of a resident bucket without touching index stats."""
+        return self._resident.get(bucket)
+
+    # -- internals ---------------------------------------------------------------------
+    def _install(self, bucket: int, page: bytes) -> int:
+        if self._free.is_empty:
+            self._evict_batch()
+        slot = self._free.pop()
+        self._lines[slot] = page
+        self._line_bucket[slot] = bucket
+        self._resident[bucket] = slot
+        self.index.insert(bucket, slot)
+        self._lru.touch(bucket)
+        # The fetched page lands in host memory.
+        self.stats.host_bytes_written += BUCKET_SIZE
+        return slot
+
+    def _evict_batch(self) -> None:
+        """Evict the coldest lines (batched, §5.5's LRU-batch protocol)."""
+        victims = self._lru.evict_batch(self.eviction_batch)
+        if not victims:
+            raise RuntimeError("cache full of pinned lines; cannot evict")
+        for bucket in victims:
+            slot = self.index.search(bucket)
+            assert slot is not None, "LRU and index disagree"
+            if bucket in self._dirty:
+                page = self._lines[slot]
+                assert page is not None
+                self.backing.write_bucket(bucket, page)
+                self._dirty.discard(bucket)
+                self.stats.flushes += 1
+                self.stats.host_bytes_read += BUCKET_SIZE
+            self.index.delete(bucket)
+            self._lines[slot] = None
+            self._line_bucket[slot] = None
+            del self._resident[bucket]
+            if self._warm_bucket == bucket:
+                self._warm_bucket = None
+            self._free.push(slot)
+            self.stats.evictions += 1
+
+    # -- maintenance ------------------------------------------------------------------------
+    def flush_all(self) -> int:
+        """Write every dirty line back to the table SSD (shutdown)."""
+        flushed = 0
+        for bucket in sorted(self._dirty):
+            slot = self.index.search(bucket)
+            assert slot is not None
+            page = self._lines[slot]
+            assert page is not None
+            self.backing.write_bucket(bucket, page)
+            self.stats.flushes += 1
+            self.stats.host_bytes_read += BUCKET_SIZE
+            flushed += 1
+        self._dirty.clear()
+        return flushed
+
+    @property
+    def resident_lines(self) -> int:
+        return self.capacity_lines - len(self._free)
+
+    def check_invariants(self) -> None:
+        """Structural consistency between index, LRU, lines and free list."""
+        resident = {
+            bucket
+            for bucket in self._line_bucket
+            if bucket is not None
+        }
+        lru_keys = set(self._lru.keys_hot_to_cold())
+        assert resident == lru_keys, "LRU tracks a different resident set"
+        assert self._dirty <= resident, "dirty bucket not resident"
+        assert len(resident) + len(self._free) == self.capacity_lines
+        for slot, bucket in enumerate(self._line_bucket):
+            if bucket is not None:
+                assert self.index.search(bucket) == slot, "index mismatch"

@@ -1,0 +1,152 @@
+"""Chunk compression (paper §2.1, §5.2.2).
+
+The FIDR prototype compresses unique chunks on a dedicated FPGA engine.
+Here compression is a pluggable strategy with two implementations:
+
+* :class:`ZlibCompressor` — real DEFLATE compression.  Used by the
+  functional storage server and all correctness tests: data written
+  through the system is genuinely compressed and decompressed.
+* :class:`ModeledCompressor` — stores payloads verbatim but reports a
+  compressed size from the workload's declared compressibility.  Used by
+  large performance sweeps where running DEFLATE over hundreds of GB of
+  synthetic content would dominate run time without changing any result
+  (only sizes feed the performance model).
+
+Both produce :class:`CompressedChunk`, which carries the logical size,
+the *stored* size used for capacity/bandwidth accounting, and enough to
+reconstruct the original bytes exactly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "CompressedChunk",
+    "Compressor",
+    "ZlibCompressor",
+    "ModeledCompressor",
+    "compression_ratio",
+]
+
+
+@dataclass(frozen=True)
+class CompressedChunk:
+    """A compressed chunk payload plus its size accounting.
+
+    ``stored_size`` is the number of bytes the chunk occupies in a
+    container on the data SSDs (2-byte field in the PBN-PBA table entry,
+    §2.1.4).  ``payload`` round-trips through the matching compressor's
+    :meth:`Compressor.decompress`.
+    """
+
+    payload: bytes
+    logical_size: int
+    stored_size: int
+
+    def __post_init__(self):
+        if self.logical_size <= 0:
+            raise ValueError("logical_size must be positive")
+        if not 0 < self.stored_size <= 0xFFFF:
+            raise ValueError(
+                f"stored_size {self.stored_size} outside the 2-byte field "
+                "of a PBN-PBA entry"
+            )
+
+
+class Compressor:
+    """Strategy interface: compress/decompress one chunk."""
+
+    def compress(self, data: bytes) -> CompressedChunk:
+        raise NotImplementedError
+
+    def decompress(self, chunk: CompressedChunk) -> bytes:
+        raise NotImplementedError
+
+
+class ZlibCompressor(Compressor):
+    """Real DEFLATE compression via :mod:`zlib`.
+
+    Incompressible chunks whose DEFLATE output exceeds the original are
+    stored raw (the standard "store uncompressed" escape every real
+    system implements), so ``stored_size <= logical_size`` always holds.
+    """
+
+    _RAW = b"\x00"
+    _DEFLATE = b"\x01"
+
+    def __init__(self, level: int = 1):
+        if not 0 <= level <= 9:
+            raise ValueError(f"zlib level must be 0-9, got {level}")
+        self.level = level
+
+    def compress(self, data: bytes) -> CompressedChunk:
+        if not data:
+            raise ValueError("cannot compress an empty chunk")
+        squeezed = zlib.compress(data, self.level)
+        if len(squeezed) < len(data):
+            payload = self._DEFLATE + squeezed
+        else:
+            payload = self._RAW + data
+        return CompressedChunk(
+            payload=payload,
+            logical_size=len(data),
+            stored_size=min(len(payload), len(data)),
+        )
+
+    def decompress(self, chunk: CompressedChunk) -> bytes:
+        tag, body = chunk.payload[:1], chunk.payload[1:]
+        if tag == self._DEFLATE:
+            data = zlib.decompress(body)
+        elif tag == self._RAW:
+            data = body
+        else:
+            raise ValueError(f"unknown compression tag {tag!r}")
+        if len(data) != chunk.logical_size:
+            raise ValueError(
+                f"decompressed to {len(data)} bytes, expected "
+                f"{chunk.logical_size}"
+            )
+        return data
+
+
+class ModeledCompressor(Compressor):
+    """Size-modelled compression for large performance sweeps.
+
+    The payload is kept verbatim (reads stay correct) while the reported
+    stored size is ``logical_size * ratio``, clamped to at least one
+    byte.  ``ratio`` is the *compressed fraction*: the paper's "50%
+    compression ratio" stores half the bytes, i.e. ``ratio=0.5``.
+    """
+
+    def __init__(self, ratio: float = 0.5):
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+
+    def compress(self, data: bytes) -> CompressedChunk:
+        if not data:
+            raise ValueError("cannot compress an empty chunk")
+        stored = max(1, min(len(data), round(len(data) * self.ratio)))
+        return CompressedChunk(
+            payload=data, logical_size=len(data), stored_size=stored
+        )
+
+    def decompress(self, chunk: CompressedChunk) -> bytes:
+        return chunk.payload
+
+
+def compression_ratio(
+    logical_bytes: int, stored_bytes: int, *, empty: Optional[float] = None
+) -> float:
+    """Stored fraction of the logical bytes (lower is better).
+
+    Returns ``empty`` (default: raises) when nothing was written.
+    """
+    if logical_bytes <= 0:
+        if empty is None:
+            raise ValueError("no logical bytes written")
+        return empty
+    return stored_bytes / logical_bytes

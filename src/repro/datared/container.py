@@ -1,0 +1,211 @@
+"""Compressed-chunk containers (paper §2.1.4, §5.3 step 8).
+
+Because compressed chunks have variable size, the server packs them into
+large *containers* (default 4 MB) and writes each sealed container to the
+data SSDs as one sequential block.  A chunk's physical address is then
+``(container id, offset within container)``.
+
+The PBN→PBA entry stores the offset in 2 bytes, which with 4-MB
+containers implies a 64-byte allocation granule (4 MiB / 2^16 = 64 B);
+chunks are aligned up to the granule inside a container.
+
+The container layer also tracks live vs. dead bytes per container so a
+garbage collector can pick compaction victims — dedup systems must
+reclaim space when overwrites drop the last reference to a chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CONTAINER_SIZE",
+    "OFFSET_GRANULE",
+    "Placement",
+    "Container",
+    "ContainerStore",
+]
+
+#: Default sealed-container size: the 4-MB threshold of §5.3.
+CONTAINER_SIZE = 4 * 1024 * 1024
+
+#: Allocation granule inside a container, sized so a 2-byte offset field
+#: addresses the whole 4-MB container (4 MiB / 65536).
+OFFSET_GRANULE = 64
+
+
+def _granules(num_bytes: int) -> int:
+    """Bytes rounded up to whole granules."""
+    return -(-num_bytes // OFFSET_GRANULE)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a stored chunk lives: container + granule offset + size."""
+
+    container_id: int
+    offset: int  #: in OFFSET_GRANULE units (the 2-byte PBA field)
+    stored_size: int  #: bytes charged against container space
+
+
+class Container:
+    """One (possibly still open) container of packed compressed chunks.
+
+    Payloads are kept per-offset so that modelled compression (where the
+    retained payload is larger than the charged ``stored_size``) still
+    reads back exactly; space accounting always uses ``stored_size``.
+    """
+
+    def __init__(self, container_id: int, capacity: int = CONTAINER_SIZE):
+        if capacity <= 0 or capacity % OFFSET_GRANULE != 0:
+            raise ValueError("capacity must be a positive multiple of the granule")
+        if capacity // OFFSET_GRANULE > 0x10000:
+            raise ValueError("capacity exceeds the 2-byte offset field")
+        self.container_id = container_id
+        self.capacity = capacity
+        self.sealed = False
+        self._fill_granules = 0
+        self._payloads: Dict[int, bytes] = {}
+        self.live_bytes = 0
+        self.total_bytes = 0
+
+    def has_room(self, stored_size: int) -> bool:
+        needed = _granules(stored_size)
+        return self._fill_granules + needed <= self.capacity // OFFSET_GRANULE
+
+    def append(self, payload: bytes, stored_size: int) -> Placement:
+        """Pack one chunk; returns its placement within this container."""
+        if self.sealed:
+            raise ValueError("container is sealed")
+        if stored_size <= 0:
+            raise ValueError("stored_size must be positive")
+        if not self.has_room(stored_size):
+            raise ValueError("container has no room")
+        offset = self._fill_granules
+        self._fill_granules += _granules(stored_size)
+        self._payloads[offset] = payload
+        self.live_bytes += stored_size
+        self.total_bytes += stored_size
+        return Placement(self.container_id, offset, stored_size)
+
+    def read(self, offset: int) -> bytes:
+        try:
+            return self._payloads[offset]
+        except KeyError:
+            raise KeyError(
+                f"container {self.container_id} has no chunk at offset {offset}"
+            ) from None
+
+    def mark_dead(self, offset: int, stored_size: int) -> None:
+        """Account a chunk as garbage (last reference dropped)."""
+        if offset not in self._payloads:
+            raise KeyError(f"no chunk at offset {offset}")
+        del self._payloads[offset]
+        self.live_bytes -= stored_size
+        if self.live_bytes < 0:
+            raise ValueError("live bytes went negative; double free?")
+
+    def seal(self) -> None:
+        self.sealed = True
+
+    @property
+    def fill_bytes(self) -> int:
+        """Bytes consumed including granule-alignment padding."""
+        return self._fill_granules * OFFSET_GRANULE
+
+    @property
+    def garbage_fraction(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        return 1.0 - self.live_bytes / self.total_bytes
+
+    def chunks(self) -> List[Tuple[int, bytes]]:
+        """Live (offset, payload) pairs, for compaction."""
+        return sorted(self._payloads.items())
+
+
+class ContainerStore:
+    """Manages the open container and all sealed ones.
+
+    ``on_seal`` fires with the sealed :class:`Container` — the system
+    layer hooks it to charge the sequential data-SSD write (§6.1: "write
+    requests to data SSDs for the compressed chunks are sequential").
+    """
+
+    def __init__(
+        self,
+        container_size: int = CONTAINER_SIZE,
+        on_seal: Optional[Callable[[Container], None]] = None,
+    ):
+        self.container_size = container_size
+        self.on_seal = on_seal
+        self._containers: Dict[int, Container] = {}
+        self._next_id = 0
+        self._open: Optional[Container] = None
+        self.sealed_count = 0
+
+    def _new_container(self) -> Container:
+        container = Container(self._next_id, self.container_size)
+        self._containers[self._next_id] = container
+        self._next_id += 1
+        return container
+
+    def append(self, payload: bytes, stored_size: int) -> Placement:
+        """Pack a chunk, opening/sealing containers as needed."""
+        if self._open is None:
+            self._open = self._new_container()
+        if not self._open.has_room(stored_size):
+            self.seal_open()
+            self._open = self._new_container()
+        return self._open.append(payload, stored_size)
+
+    def seal_open(self) -> Optional[Container]:
+        """Seal the open container (end of batch / shutdown flush)."""
+        container, self._open = self._open, None
+        if container is None:
+            return None
+        container.seal()
+        self.sealed_count += 1
+        if self.on_seal is not None:
+            self.on_seal(container)
+        return container
+
+    def read(self, container_id: int, offset: int) -> bytes:
+        return self._get(container_id).read(offset)
+
+    def mark_dead(self, container_id: int, offset: int, stored_size: int) -> None:
+        self._get(container_id).mark_dead(offset, stored_size)
+
+    def _get(self, container_id: int) -> Container:
+        try:
+            return self._containers[container_id]
+        except KeyError:
+            raise KeyError(f"unknown container {container_id}") from None
+
+    def garbage_victims(self, threshold: float = 0.5) -> List[Container]:
+        """Sealed containers whose garbage fraction exceeds ``threshold``."""
+        return [
+            container
+            for container in self._containers.values()
+            if container.sealed and container.garbage_fraction > threshold
+        ]
+
+    def drop(self, container_id: int) -> None:
+        """Remove a fully-compacted container."""
+        container = self._get(container_id)
+        if container.live_bytes != 0:
+            raise ValueError("container still holds live chunks")
+        del self._containers[container_id]
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(c.live_bytes for c in self._containers.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(c.total_bytes for c in self._containers.values())
+
+    @property
+    def container_count(self) -> int:
+        return len(self._containers)

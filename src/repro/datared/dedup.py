@@ -1,0 +1,308 @@
+"""The inline data-reduction engine (paper §2.2, Figure 1).
+
+:class:`DedupEngine` is the functional core shared by both systems: it
+performs the complete write flow — chunk, fingerprint, Hash-PBN lookup,
+compress unique chunks, pack into containers, update both mapping tables
+— and the read flow — LBA→PBN→PBA lookup, container read, decompress.
+
+The engine is *policy-free*: it does not know whether hashing ran on a
+NIC or a host core, or whether a bucket came from DRAM or a table SSD.
+Every write/read returns a detailed report of what happened (per-chunk
+dedup outcomes, bucket accesses, container seals) and the system layers
+(:mod:`repro.systems.baseline`, :mod:`repro.systems.fidr`) charge their
+device ledgers from those reports according to their own flow topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .chunking import BLOCK_SIZE, Chunk, FixedChunker
+from .compression import CompressedChunk, Compressor, ZlibCompressor
+from .container import ContainerStore
+from .hash_pbn import HashPbnTable
+from .hashing import fingerprint
+from .lba_map import LbaMap, PbnAllocator, PbnMap, PbnRecord
+
+__all__ = [
+    "ChunkOutcome",
+    "WriteReport",
+    "ReadReport",
+    "ReductionStats",
+    "DedupEngine",
+]
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """What happened to one chunk of a write request."""
+
+    lba: int
+    pbn: int
+    duplicate: bool
+    logical_size: int
+    stored_size: int  #: 0 for duplicates (nothing newly stored)
+
+
+@dataclass
+class WriteReport:
+    """Everything the system layer needs to account one write request."""
+
+    chunks: List[ChunkOutcome] = field(default_factory=list)
+    containers_sealed: int = 0
+    reclaimed_chunks: int = 0  #: chunks whose last reference dropped
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(outcome.logical_size for outcome in self.chunks)
+
+    @property
+    def unique_chunks(self) -> int:
+        return sum(1 for outcome in self.chunks if not outcome.duplicate)
+
+    @property
+    def duplicate_chunks(self) -> int:
+        return sum(1 for outcome in self.chunks if outcome.duplicate)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(outcome.stored_size for outcome in self.chunks)
+
+
+@dataclass
+class ReadReport:
+    """Accounting detail for one read request."""
+
+    data: bytes = b""
+    chunks_read: int = 0
+    stored_bytes_read: int = 0  #: compressed bytes fetched from containers
+    unmapped_chunks: int = 0  #: never-written holes (returned as zeros)
+
+
+@dataclass
+class ReductionStats:
+    """Cumulative data-reduction effectiveness of an engine.
+
+    ``stored_bytes`` is cumulative (never decremented);
+    ``reclaimed_stored_bytes`` tracks space later freed by overwrites, so
+    ``live_stored_bytes`` is the current on-SSD footprint.
+    """
+
+    logical_bytes: int = 0
+    unique_logical_bytes: int = 0
+    stored_bytes: int = 0
+    reclaimed_stored_bytes: int = 0
+    duplicate_chunks: int = 0
+    unique_chunks: int = 0
+
+    @property
+    def live_stored_bytes(self) -> int:
+        return self.stored_bytes - self.reclaimed_stored_bytes
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of written chunks removed by deduplication."""
+        total = self.duplicate_chunks + self.unique_chunks
+        return self.duplicate_chunks / total if total else 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Stored fraction of unique bytes (0.5 = halved)."""
+        if self.unique_logical_bytes == 0:
+            return 1.0
+        return self.stored_bytes / self.unique_logical_bytes
+
+    @property
+    def reduction_factor(self) -> float:
+        """Logical bytes written per stored byte (higher is better)."""
+        if self.stored_bytes == 0:
+            return float("inf") if self.logical_bytes else 1.0
+        return self.logical_bytes / self.stored_bytes
+
+
+class DedupEngine:
+    """End-to-end inline deduplication + compression over containers."""
+
+    def __init__(
+        self,
+        table: Optional[HashPbnTable] = None,
+        compressor: Optional[Compressor] = None,
+        containers: Optional[ContainerStore] = None,
+        chunk_size: int = BLOCK_SIZE,
+        num_buckets: int = 1 << 16,
+        observer=None,
+        lba_map=None,
+    ):
+        """``observer`` receives metadata-mutation callbacks
+        (``on_new_chunk``/``on_map``/``on_free``) — the hook
+        :class:`~repro.datared.journal.MetadataJournal` plugs into.
+        ``lba_map`` accepts any LbaMap-compatible store, e.g. the paged
+        :class:`~repro.datared.lba_store.PagedLbaStore` (§2.1.4)."""
+        self.chunker = FixedChunker(chunk_size)
+        self.table = table if table is not None else HashPbnTable(num_buckets)
+        self.compressor = compressor if compressor is not None else ZlibCompressor()
+        self.containers = containers if containers is not None else ContainerStore()
+        self.lba_map = lba_map if lba_map is not None else LbaMap()
+        self.pbn_map = PbnMap()
+        self.allocator = PbnAllocator()
+        self.stats = ReductionStats()
+        self.observer = observer
+        #: Garbage-collection work counters (see :meth:`collect_garbage`).
+        self.gc_containers_reclaimed = 0
+        self.gc_bytes_moved = 0
+
+    # -- write path (Figure 1a) ------------------------------------------------
+    def write(self, lba: int, payload: bytes) -> WriteReport:
+        """Write ``payload`` at chunk-aligned ``lba``; dedupe + compress."""
+        report = WriteReport()
+        sealed_before = self.containers.sealed_count
+        for chunk in self.chunker.split(lba, payload):
+            report.chunks.append(self._write_chunk(chunk, report))
+        report.containers_sealed = self.containers.sealed_count - sealed_before
+        return report
+
+    def _write_chunk(self, chunk: Chunk, report: WriteReport) -> ChunkOutcome:
+        digest = fingerprint(chunk.data)
+        existing_pbn = self.table.lookup(digest)
+        self.stats.logical_bytes += len(chunk.data)
+
+        if existing_pbn is not None:
+            # Duplicate: bump the reference, remap the LBA, no data moves.
+            self.pbn_map.ref(existing_pbn)
+            self._remap(chunk.lba, existing_pbn, report)
+            self.stats.duplicate_chunks += 1
+            outcome = ChunkOutcome(
+                lba=chunk.lba,
+                pbn=existing_pbn,
+                duplicate=True,
+                logical_size=len(chunk.data),
+                stored_size=0,
+            )
+            return outcome
+
+        # Unique: compress, pack, allocate a PBN, publish metadata.
+        compressed = self.compressor.compress(chunk.data)
+        placement = self.containers.append(
+            compressed.payload, compressed.stored_size
+        )
+        pbn = self.allocator.allocate()
+        self.pbn_map.add(
+            pbn,
+            PbnRecord(
+                container_id=placement.container_id,
+                offset=placement.offset,
+                stored_size=placement.stored_size,
+                fingerprint=digest,
+            ),
+        )
+        self.table.insert(digest, pbn)
+        if self.observer is not None:
+            self.observer.on_new_chunk(
+                pbn, digest, placement.container_id, placement.offset,
+                placement.stored_size, len(chunk.data),
+            )
+        self._remap(chunk.lba, pbn, report)
+        self.stats.unique_chunks += 1
+        self.stats.unique_logical_bytes += len(chunk.data)
+        self.stats.stored_bytes += compressed.stored_size
+        return ChunkOutcome(
+            lba=chunk.lba,
+            pbn=pbn,
+            duplicate=False,
+            logical_size=len(chunk.data),
+            stored_size=compressed.stored_size,
+        )
+
+    def _remap(self, lba: int, new_pbn: int, report: WriteReport) -> None:
+        """Point the LBA at its new chunk, releasing the old one."""
+        old_pbn = self.lba_map.set(lba, new_pbn)
+        if self.observer is not None:
+            self.observer.on_map(lba, new_pbn)
+        if old_pbn is not None and old_pbn != new_pbn:
+            self._release(old_pbn, report)
+        elif old_pbn == new_pbn:
+            # Same content rewritten in place: undo the extra reference.
+            self._release(old_pbn, report)
+
+    def _release(self, pbn: int, report: WriteReport) -> None:
+        dead = self.pbn_map.unref(pbn)
+        if dead is None:
+            return
+        # Last reference: reclaim space and retire the fingerprint.
+        self.containers.mark_dead(
+            dead.container_id, dead.offset, dead.stored_size
+        )
+        self.table.remove(dead.fingerprint)
+        self.allocator.free(pbn)
+        if self.observer is not None:
+            self.observer.on_free(pbn)
+        self.stats.reclaimed_stored_bytes += dead.stored_size
+        report.reclaimed_chunks += 1
+
+    # -- read path (Figure 1b) ---------------------------------------------------
+    def read(self, lba: int, num_chunks: int = 1) -> ReadReport:
+        """Read ``num_chunks`` chunks starting at chunk-aligned ``lba``.
+
+        Unwritten holes read back as zeros, matching block-device
+        semantics.
+        """
+        if num_chunks < 1:
+            raise ValueError("must read at least one chunk")
+        if lba % self.chunker.blocks_per_chunk != 0:
+            raise ValueError(f"LBA {lba} is not chunk-aligned")
+        report = ReadReport()
+        pieces = []
+        step = self.chunker.blocks_per_chunk
+        for position in range(num_chunks):
+            chunk_lba = lba + position * step
+            pbn = self.lba_map.get(chunk_lba)
+            if pbn is None:
+                pieces.append(b"\x00" * self.chunker.chunk_size)
+                report.unmapped_chunks += 1
+                continue
+            record = self.pbn_map.get(pbn)
+            payload = self.containers.read(record.container_id, record.offset)
+            compressed = CompressedChunk(
+                payload=payload,
+                logical_size=self.chunker.chunk_size,
+                stored_size=record.stored_size,
+            )
+            pieces.append(self.compressor.decompress(compressed))
+            report.chunks_read += 1
+            report.stored_bytes_read += record.stored_size
+        report.data = b"".join(pieces)
+        return report
+
+    # -- maintenance -------------------------------------------------------------
+    def flush(self) -> None:
+        """Seal the open container (batch boundary / shutdown)."""
+        self.containers.seal_open()
+
+    def collect_garbage(self, threshold: float = 0.5) -> int:
+        """Compact sealed containers above the garbage threshold.
+
+        Live chunks move to the open container and their PBN records are
+        repointed; fingerprints (and hence dedup identity) are unchanged.
+        Returns the number of containers reclaimed.
+        """
+        reclaimed = 0
+        victims = self.containers.garbage_victims(threshold)
+        # Map placements back to PBNs so records can be repointed.
+        by_placement = {
+            (record.container_id, record.offset): pbn
+            for pbn, record in self.pbn_map.records()
+        }
+        for victim in victims:
+            for offset, payload in victim.chunks():
+                pbn = by_placement[(victim.container_id, offset)]
+                record = self.pbn_map.get(pbn)
+                placement = self.containers.append(payload, record.stored_size)
+                victim.mark_dead(offset, record.stored_size)
+                record.container_id = placement.container_id
+                record.offset = placement.offset
+                self.gc_bytes_moved += record.stored_size
+            self.containers.drop(victim.container_id)
+            reclaimed += 1
+        self.gc_containers_reclaimed += reclaimed
+        return reclaimed

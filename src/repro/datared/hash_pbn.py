@@ -1,0 +1,256 @@
+"""The Hash-PBN table (paper §2.1.3).
+
+A bucket-based key-value store mapping 32-byte chunk fingerprints to
+6-byte physical block numbers.  Each bucket is one 4-KB page — the same
+granularity as a table-cache line and a table-SSD block — holding up to
+107 entries of 38 bytes.
+
+The table reads and writes buckets through a :class:`BucketStore`, which
+lets the cache subsystem (:mod:`repro.cache.table_cache`) interpose a
+host-memory cache over table SSDs exactly as the paper's architecture
+does.  Bucket overflow uses bucket-granular linear probing with a sticky
+per-bucket overflow bit, so lookups and deletes stay correct after any
+insertion history.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .hashing import FINGERPRINT_SIZE, MAX_PBN, PBN_SIZE, bucket_index
+
+__all__ = [
+    "ENTRY_SIZE",
+    "BUCKET_SIZE",
+    "BUCKET_CAPACITY",
+    "Bucket",
+    "BucketStore",
+    "InMemoryBucketStore",
+    "HashPbnTable",
+    "table_bytes_for_capacity",
+    "buckets_for_capacity",
+]
+
+#: One table entry: 32-byte fingerprint + 6-byte PBN (§2.1.3).
+ENTRY_SIZE = FINGERPRINT_SIZE + PBN_SIZE
+
+#: Buckets are 4-KB pages, matching table-cache lines and SSD blocks.
+BUCKET_SIZE = 4096
+
+_HEADER = struct.Struct(">HB")  # entry count, flags
+_FLAG_OVERFLOWED = 0x01
+
+#: Entries that fit in one bucket after the 3-byte header (107).
+BUCKET_CAPACITY = (BUCKET_SIZE - _HEADER.size) // ENTRY_SIZE
+
+
+@dataclass
+class Bucket:
+    """An in-memory view of one 4-KB table bucket."""
+
+    entries: List[Tuple[bytes, int]] = field(default_factory=list)
+    #: Sticky bit: an insert once probed past this bucket because it was
+    #: full.  Lookups may stop probing at the first bucket without it.
+    overflowed: bool = False
+
+    def lookup(self, digest: bytes) -> Optional[int]:
+        for key, pbn in self.entries:
+            if key == digest:
+                return pbn
+        return None
+
+    def insert(self, digest: bytes, pbn: int) -> None:
+        if self.is_full:
+            raise ValueError("bucket is full")
+        self.entries.append((digest, pbn))
+
+    def remove(self, digest: bytes) -> bool:
+        for position, (key, _) in enumerate(self.entries):
+            if key == digest:
+                del self.entries[position]
+                return True
+        return False
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.entries) >= BUCKET_CAPACITY
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly one 4-KB page."""
+        flags = _FLAG_OVERFLOWED if self.overflowed else 0
+        parts = [_HEADER.pack(len(self.entries), flags)]
+        for digest, pbn in self.entries:
+            if len(digest) != FINGERPRINT_SIZE:
+                raise ValueError("malformed fingerprint in bucket")
+            parts.append(digest)
+            parts.append(pbn.to_bytes(PBN_SIZE, "big"))
+        body = b"".join(parts)
+        return body + b"\x00" * (BUCKET_SIZE - len(body))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Bucket":
+        if len(raw) != BUCKET_SIZE:
+            raise ValueError(f"bucket pages are {BUCKET_SIZE} bytes, got {len(raw)}")
+        count, flags = _HEADER.unpack_from(raw, 0)
+        if count > BUCKET_CAPACITY:
+            raise ValueError(f"corrupt bucket: {count} entries")
+        entries = []
+        offset = _HEADER.size
+        for _ in range(count):
+            digest = raw[offset : offset + FINGERPRINT_SIZE]
+            offset += FINGERPRINT_SIZE
+            pbn = int.from_bytes(raw[offset : offset + PBN_SIZE], "big")
+            offset += PBN_SIZE
+            entries.append((digest, pbn))
+        return cls(entries=entries, overflowed=bool(flags & _FLAG_OVERFLOWED))
+
+
+class BucketStore:
+    """Backing store interface for table buckets (4-KB pages)."""
+
+    def read_bucket(self, index: int) -> bytes:
+        raise NotImplementedError
+
+    def write_bucket(self, index: int, page: bytes) -> None:
+        raise NotImplementedError
+
+
+class InMemoryBucketStore(BucketStore):
+    """Dict-backed store; unwritten buckets read back empty."""
+
+    _EMPTY = Bucket().to_bytes()
+
+    def __init__(self):
+        self._pages: Dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read_bucket(self, index: int) -> bytes:
+        self.reads += 1
+        return self._pages.get(index, self._EMPTY)
+
+    def write_bucket(self, index: int, page: bytes) -> None:
+        if len(page) != BUCKET_SIZE:
+            raise ValueError("bucket pages must be 4 KB")
+        self.writes += 1
+        self._pages[index] = page
+
+
+class HashPbnTable:
+    """Fingerprint → PBN store over a bucket-granular backing store.
+
+    All bucket IO flows through the injected :class:`BucketStore`; the
+    table itself holds no pages, so a cached store sees every access.
+    """
+
+    def __init__(self, num_buckets: int, store: Optional[BucketStore] = None):
+        if num_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.num_buckets = num_buckets
+        self.store = store if store is not None else InMemoryBucketStore()
+        self.entry_count = 0
+        self.probe_count = 0  # buckets touched, for locality analysis
+
+    # -- helpers -------------------------------------------------------------
+    def _home(self, digest: bytes) -> int:
+        return bucket_index(digest, self.num_buckets)
+
+    def _load(self, index: int) -> Bucket:
+        self.probe_count += 1
+        return Bucket.from_bytes(self.store.read_bucket(index))
+
+    def _save(self, index: int, bucket: Bucket) -> None:
+        self.store.write_bucket(index, bucket.to_bytes())
+
+    # -- operations ------------------------------------------------------------
+    def lookup(self, digest: bytes) -> Optional[int]:
+        """Return the PBN stored for ``digest``, or ``None`` if unique."""
+        index = self._home(digest)
+        for _ in range(self.num_buckets):
+            bucket = self._load(index)
+            pbn = bucket.lookup(digest)
+            if pbn is not None:
+                return pbn
+            if not bucket.overflowed:
+                return None
+            index = (index + 1) % self.num_buckets
+        return None
+
+    def insert(self, digest: bytes, pbn: int) -> None:
+        """Insert a new fingerprint.  The caller must have checked
+        uniqueness via :meth:`lookup` (the dedup flow always does)."""
+        if not 0 <= pbn <= MAX_PBN:
+            raise ValueError(f"PBN {pbn} out of range")
+        if len(digest) != FINGERPRINT_SIZE:
+            raise ValueError("fingerprints are 32 bytes")
+        index = self._home(digest)
+        for _ in range(self.num_buckets):
+            bucket = self._load(index)
+            if not bucket.is_full:
+                bucket.insert(digest, pbn)
+                self._save(index, bucket)
+                self.entry_count += 1
+                return
+            if not bucket.overflowed:
+                bucket.overflowed = True
+                self._save(index, bucket)
+            index = (index + 1) % self.num_buckets
+        raise RuntimeError("Hash-PBN table is full")
+
+    def remove(self, digest: bytes) -> bool:
+        """Remove a fingerprint (garbage collection of freed chunks)."""
+        index = self._home(digest)
+        for _ in range(self.num_buckets):
+            bucket = self._load(index)
+            if bucket.remove(digest):
+                self._save(index, bucket)
+                self.entry_count -= 1
+                return True
+            if not bucket.overflowed:
+                return False
+            index = (index + 1) % self.num_buckets
+        return False
+
+    def update(self, digest: bytes, pbn: int) -> bool:
+        """Repoint an existing fingerprint at a new PBN (defragmentation)."""
+        index = self._home(digest)
+        for _ in range(self.num_buckets):
+            bucket = self._load(index)
+            for position, (key, _) in enumerate(bucket.entries):
+                if key == digest:
+                    bucket.entries[position] = (digest, pbn)
+                    self._save(index, bucket)
+                    return True
+            if not bucket.overflowed:
+                return False
+            index = (index + 1) % self.num_buckets
+        return False
+
+    def __len__(self) -> int:
+        return self.entry_count
+
+    @property
+    def load_factor(self) -> float:
+        return self.entry_count / (self.num_buckets * BUCKET_CAPACITY)
+
+
+def table_bytes_for_capacity(unique_bytes: int, chunk_size: int = 4096) -> int:
+    """Raw Hash-PBN metadata size for a given unique-data capacity.
+
+    Reproduces §2.1.3's sizing: 1 PB of unique 4-KB chunks needs
+    ``1e15 / 4096 * 38 ≈ 9.3 TB`` of table (the paper rounds to 9.5 TB).
+    """
+    if unique_bytes < 0 or chunk_size <= 0:
+        raise ValueError("sizes must be non-negative / positive")
+    return (unique_bytes // chunk_size) * ENTRY_SIZE
+
+
+def buckets_for_capacity(unique_bytes: int, chunk_size: int = 4096,
+                         load_factor: float = 0.7) -> int:
+    """Bucket count sized so the table runs at ``load_factor`` occupancy."""
+    if not 0 < load_factor <= 1:
+        raise ValueError("load_factor must be in (0, 1]")
+    chunks = max(1, unique_bytes // chunk_size)
+    return max(1, int(chunks / (BUCKET_CAPACITY * load_factor)) + 1)

@@ -1,0 +1,76 @@
+"""Chunk fingerprinting (paper §2.1.2).
+
+Deduplication identifies chunks by a strong cryptographic fingerprint so
+that signature equality implies content equality with no practical
+collision risk at PB scale.  The paper's prototype uses an open-source
+SHA-256 RTL core; we use :mod:`hashlib`'s SHA-256, which is semantically
+identical.
+
+The module also provides the fixed-width encodings the Hash-PBN table
+needs: 32-byte fingerprints and 6-byte physical block numbers (§2.1.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List
+
+__all__ = [
+    "FINGERPRINT_SIZE",
+    "PBN_SIZE",
+    "MAX_PBN",
+    "fingerprint",
+    "fingerprint_many",
+    "bucket_index",
+    "encode_pbn",
+    "decode_pbn",
+]
+
+#: SHA-256 digest width in bytes (the "32 bytes for hash" of §2.1.3).
+FINGERPRINT_SIZE = 32
+
+#: Physical block number width in bytes ("6 bytes for PBN", §2.1.3).
+PBN_SIZE = 6
+
+#: Largest PBN representable in 6 bytes (2^48 - 1); with 4-KB chunks this
+#: addresses 2^48 * 4 KB = 1 ZB, comfortably beyond PB scale.
+MAX_PBN = (1 << (8 * PBN_SIZE)) - 1
+
+
+def fingerprint(data: bytes) -> bytes:
+    """SHA-256 fingerprint of a chunk's content."""
+    return hashlib.sha256(data).digest()
+
+
+def fingerprint_many(chunks: Iterable[bytes]) -> List[bytes]:
+    """Fingerprint a batch of chunks (the NIC hashes per batch, §5.4)."""
+    return [fingerprint(data) for data in chunks]
+
+
+def bucket_index(digest: bytes, num_buckets: int) -> int:
+    """Map a fingerprint to its Hash-PBN bucket (the paper's "simple
+    modular function", §2.1.3).
+
+    The digest's low 8 bytes are interpreted as an unsigned integer and
+    reduced modulo the bucket count.  SHA-256 output is uniform, so this
+    spreads load evenly regardless of ``num_buckets``.
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    if len(digest) < 8:
+        raise ValueError("digest too short to derive a bucket index")
+    return int.from_bytes(digest[-8:], "big") % num_buckets
+
+
+def encode_pbn(pbn: int) -> bytes:
+    """Pack a physical block number into its 6-byte on-disk form."""
+    if not 0 <= pbn <= MAX_PBN:
+        raise ValueError(f"PBN {pbn} out of 6-byte range")
+    return pbn.to_bytes(PBN_SIZE, "big")
+
+
+def decode_pbn(raw: bytes) -> int:
+    """Unpack a 6-byte physical block number."""
+    if len(raw) != PBN_SIZE:
+        raise ValueError(f"PBN encoding must be {PBN_SIZE} bytes, got {len(raw)}")
+    return int.from_bytes(raw, "big")

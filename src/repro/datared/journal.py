@@ -1,0 +1,213 @@
+"""Metadata journaling and crash recovery.
+
+The paper assumes its metadata updates are durable (the prototype's
+tables live on table SSDs and writes are acknowledged from battery-backed
+NIC buffers, §7.6.1) but does not describe a recovery path.  A storage
+system that loses its Hash-PBN table or LBA map after a crash loses the
+*meaning* of every byte on the data SSDs, so this module supplies one:
+
+* :class:`MetadataJournal` — an append-only, CRC-guarded binary log of
+  metadata mutations (new chunk placements, LBA mappings, frees).  A
+  torn tail (the classic crash artifact) is detected and discarded.
+* :func:`recover_engine` — replays a journal against the surviving
+  container store and rebuilds a fully functional
+  :class:`~repro.datared.dedup.DedupEngine`: Hash-PBN entries, LBA→PBN
+  map, reference counts and the PBN allocator.
+
+The engine emits journal records through its observer hook, so
+journaling is opt-in and costs nothing when unused.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .compression import Compressor
+from .container import ContainerStore
+from .dedup import DedupEngine
+from .hash_pbn import HashPbnTable
+from .lba_map import PbnRecord
+
+__all__ = [
+    "RecordKind",
+    "JournalRecord",
+    "MetadataJournal",
+    "recover_engine",
+]
+
+_HEADER = struct.Struct(">BI")  # kind, payload length
+_CRC = struct.Struct(">I")
+
+_NEW_CHUNK = struct.Struct(">Q32sQHHI")  # pbn, digest, container, offset, stored, logical
+_MAP = struct.Struct(">QQ")  # lba, pbn
+_FREE = struct.Struct(">Q")  # pbn
+
+
+class RecordKind:
+    NEW_CHUNK = 1  #: a unique chunk was placed (pbn, digest, placement)
+    MAP = 2  #: an LBA now points at a PBN
+    FREE = 3  #: a PBN's last reference dropped (advisory; MAP implies it)
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal entry."""
+
+    kind: int
+    pbn: int = 0
+    lba: int = 0
+    digest: bytes = b""
+    container_id: int = 0
+    offset: int = 0
+    stored_size: int = 0
+    logical_size: int = 0
+
+
+class MetadataJournal:
+    """Append-only metadata log with per-record CRC framing.
+
+    Implements the engine-observer protocol (``on_new_chunk``,
+    ``on_map``, ``on_free``), so an instance can be handed directly to
+    :class:`~repro.datared.dedup.DedupEngine` as its observer.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+        self.records_written = 0
+
+    # -- framing --------------------------------------------------------------
+    def _append(self, kind: int, payload: bytes) -> None:
+        crc = zlib.crc32(payload)
+        self._buffer += _HEADER.pack(kind, len(payload))
+        self._buffer += payload
+        self._buffer += _CRC.pack(crc)
+        self.records_written += 1
+
+    # -- observer protocol (called by the engine) ---------------------------------
+    def on_new_chunk(
+        self, pbn: int, digest: bytes, container_id: int, offset: int,
+        stored_size: int, logical_size: int,
+    ) -> None:
+        self._append(
+            RecordKind.NEW_CHUNK,
+            _NEW_CHUNK.pack(
+                pbn, digest, container_id, offset, stored_size, logical_size
+            ),
+        )
+
+    def on_map(self, lba: int, pbn: int) -> None:
+        self._append(RecordKind.MAP, _MAP.pack(lba, pbn))
+
+    def on_free(self, pbn: int) -> None:
+        self._append(RecordKind.FREE, _FREE.pack(pbn))
+
+    # -- persistence -----------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """The journal's on-disk image."""
+        return bytes(self._buffer)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._buffer)
+
+    @staticmethod
+    def decode(raw: bytes) -> Tuple[List[JournalRecord], bool]:
+        """Decode an image; returns ``(records, clean)``.
+
+        ``clean`` is False when the tail was torn or corrupt — the valid
+        prefix is still returned, which is exactly the recovery contract.
+        """
+        records: List[JournalRecord] = []
+        position = 0
+        while position < len(raw):
+            if position + _HEADER.size > len(raw):
+                return records, False
+            kind, length = _HEADER.unpack_from(raw, position)
+            end = position + _HEADER.size + length + _CRC.size
+            if end > len(raw):
+                return records, False
+            payload = raw[position + _HEADER.size : end - _CRC.size]
+            (crc,) = _CRC.unpack_from(raw, end - _CRC.size)
+            if zlib.crc32(payload) != crc:
+                return records, False
+            record = MetadataJournal._decode_payload(kind, payload)
+            if record is None:
+                return records, False
+            records.append(record)
+            position = end
+        return records, True
+
+    @staticmethod
+    def _decode_payload(kind: int, payload: bytes) -> Optional[JournalRecord]:
+        try:
+            if kind == RecordKind.NEW_CHUNK:
+                pbn, digest, container, offset, stored, logical = (
+                    _NEW_CHUNK.unpack(payload)
+                )
+                return JournalRecord(
+                    kind=kind, pbn=pbn, digest=digest, container_id=container,
+                    offset=offset, stored_size=stored, logical_size=logical,
+                )
+            if kind == RecordKind.MAP:
+                lba, pbn = _MAP.unpack(payload)
+                return JournalRecord(kind=kind, lba=lba, pbn=pbn)
+            if kind == RecordKind.FREE:
+                (pbn,) = _FREE.unpack(payload)
+                return JournalRecord(kind=kind, pbn=pbn)
+        except struct.error:
+            return None
+        return None
+
+
+def recover_engine(
+    journal_image: bytes,
+    containers: ContainerStore,
+    compressor: Optional[Compressor] = None,
+    num_buckets: int = 1 << 15,
+) -> Tuple[DedupEngine, bool]:
+    """Rebuild a dedup engine's metadata from a journal image.
+
+    ``containers`` is the surviving data (the sealed/open containers on
+    the data SSDs).  Returns ``(engine, clean)`` where ``clean`` mirrors
+    :meth:`MetadataJournal.decode` — a torn tail recovers the valid
+    prefix.  Replay is idempotent over the prefix semantics: reference
+    counts, the Hash-PBN table and the allocator come out exactly as a
+    crash at that point would leave them.
+    """
+    records, clean = MetadataJournal.decode(journal_image)
+    engine = DedupEngine(
+        table=HashPbnTable(num_buckets),
+        compressor=compressor,
+        containers=containers,
+    )
+    for record in records:
+        if record.kind == RecordKind.NEW_CHUNK:
+            engine.pbn_map.add(
+                record.pbn,
+                PbnRecord(
+                    container_id=record.container_id,
+                    offset=record.offset,
+                    stored_size=record.stored_size,
+                    fingerprint=record.digest,
+                    refcount=0,  # references arrive via MAP records
+                ),
+            )
+            engine.table.insert(record.digest, record.pbn)
+            engine.allocator.ensure_allocated(record.pbn)
+        elif record.kind == RecordKind.MAP:
+            engine.pbn_map.ref(record.pbn)
+            old = engine.lba_map.set(record.lba, record.pbn)
+            if old is not None:
+                dead = engine.pbn_map.unref(old)
+                if dead is not None:
+                    # Metadata-only release: the container store already
+                    # reflects the pre-crash space accounting.
+                    engine.table.remove(dead.fingerprint)
+                    engine.allocator.free(old)
+        elif record.kind == RecordKind.FREE:
+            # Advisory (MAP replay already performed the release).
+            continue
+    return engine, clean

@@ -1,0 +1,83 @@
+"""One module per paper table/figure (see DESIGN.md's experiment index).
+
+Each module exposes ``run(...) -> ExperimentResult``; ``ALL_EXPERIMENTS``
+maps experiment ids to their runners so the benchmark harness and the
+``python -m repro.experiments`` entry point can enumerate them.
+"""
+
+from typing import Callable, Dict
+
+from . import (
+    ablations,
+    ext_cdc,
+    ext_gc,
+    ext_multitenant,
+    ext_pipeline_des,
+    ext_read_offload,
+    ext_sensitivity,
+    fig03_large_chunking,
+    fig04_membw,
+    fig05_cpu,
+    fig11_membw,
+    fig12_cpu,
+    fig13_tree,
+    fig14_throughput,
+    fig15_cost_scaling,
+    fig16_cost_breakdown,
+    latency,
+    tab01_membw_breakdown,
+    tab02_cpu_breakdown,
+    tab03_workloads,
+    tab04_nic_resources,
+    tab05_cache_engine,
+)
+from .common import (
+    DEFAULT_SCALE,
+    SMOKE_SCALE,
+    ExperimentResult,
+    Scale,
+    clear_report_cache,
+    get_report,
+)
+
+#: Experiment id -> zero-argument default runner.
+ALL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig03": fig03_large_chunking.run,
+    "fig04": fig04_membw.run,
+    "fig05": fig05_cpu.run,
+    "tab01": tab01_membw_breakdown.run,
+    "tab02": tab02_cpu_breakdown.run,
+    "tab03": tab03_workloads.run,
+    "fig11": fig11_membw.run,
+    "fig12": fig12_cpu.run,
+    "fig13": fig13_tree.run,
+    "fig14": fig14_throughput.run,
+    "latency": latency.run,
+    "tab04": tab04_nic_resources.run,
+    "tab05": tab05_cache_engine.run,
+    "fig15": fig15_cost_scaling.run,
+    "fig16": fig16_cost_breakdown.run,
+}
+
+#: Studies beyond the paper: its stated future work (§7.5), discussion
+#: items (§8), and the chunking alternative it priced out (§2.1.1).
+EXTENSION_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "ext-read-offload": ext_read_offload.run,
+    "ext-multitenant": ext_multitenant.run,
+    "ext-cdc": ext_cdc.run,
+    "ext-pipeline-des": ext_pipeline_des.run,
+    "ext-gc": ext_gc.run,
+    "ext-sensitivity": ext_sensitivity.run,
+    "ablations": ablations.run,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DEFAULT_SCALE",
+    "EXTENSION_EXPERIMENTS",
+    "ExperimentResult",
+    "SMOKE_SCALE",
+    "Scale",
+    "clear_report_cache",
+    "get_report",
+]

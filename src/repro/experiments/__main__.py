@@ -1,0 +1,81 @@
+"""Run paper experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments                  # every paper table/figure
+    python -m repro.experiments fig14 tab05      # a subset
+    python -m repro.experiments --extensions     # the beyond-paper studies
+    python -m repro.experiments --all            # everything
+    python -m repro.experiments --json out.json  # machine-readable record
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from . import ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS
+
+
+def _as_json(results) -> str:
+    """Serialize the paper-vs-measured record (for CI tracking)."""
+    payload = {}
+    for name, result in results.items():
+        payload[name] = {
+            "title": result.name,
+            "headline": result.headline,
+            "comparisons": [
+                {
+                    "metric": comparison.label,
+                    "paper": comparison.paper,
+                    "measured": comparison.measured,
+                    "unit": comparison.unit,
+                    "relative_error": comparison.relative_error,
+                }
+                for comparison in result.comparisons
+            ],
+        }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    json_path = None
+    if "--json" in argv:
+        index = argv.index("--json")
+        try:
+            json_path = argv[index + 1]
+        except IndexError:
+            print("--json needs a path", file=sys.stderr)
+            return 2
+        del argv[index : index + 2]
+
+    registry = dict(ALL_EXPERIMENTS)
+    registry.update(EXTENSION_EXPERIMENTS)
+    if "--all" in argv:
+        requested = list(registry)
+    elif "--extensions" in argv:
+        requested = list(EXTENSION_EXPERIMENTS)
+    else:
+        requested = argv or list(ALL_EXPERIMENTS)
+    unknown = [name for name in requested if name not in registry]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+
+    results = {}
+    for name in requested:
+        result = registry[name]()
+        results[name] = result
+        print(result.render())
+        print()
+    if json_path is not None:
+        with open(json_path, "w") as handle:
+            handle.write(_as_json(results))
+        print(f"wrote {json_path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

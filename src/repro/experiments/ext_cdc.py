@@ -1,0 +1,107 @@
+"""Extension study: fixed vs. content-defined chunking (§2.1.1).
+
+The paper fixes the chunk size at 4 KB for computational cost; systems
+it cites offload variable-size (content-defined) chunking to
+accelerators instead.  This study quantifies the trade on a versioned-
+document workload — repeated file versions with small insertions, the
+access pattern where fixed chunking loses dedup because every boundary
+downstream of an edit shifts:
+
+* fixed 4-KB chunking: dedup collapses after each insertion,
+* Gear CDC: boundaries resynchronize within a chunk or two,
+* the cost: CDC runs a rolling hash over every input byte.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..analysis.report import Comparison, format_table, pct
+from ..datared.cdc import CdcDedupStore, GearChunker
+from ..datared.compression import ModeledCompressor
+from ..datared.hashing import fingerprint
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _make_versions(num_versions: int, size: int, seed: int) -> List[bytes]:
+    """A document plus versions with small random insertions."""
+    rng = random.Random(seed)
+    current = rng.randbytes(size)
+    versions = [current]
+    for _ in range(num_versions - 1):
+        position = rng.randrange(len(current))
+        insertion = rng.randbytes(rng.randint(8, 64))
+        current = current[:position] + insertion + current[position:]
+        versions.append(current)
+    return versions
+
+
+def _fixed_dedup(versions: List[bytes], chunk_size: int = 4096) -> Dict[str, float]:
+    """Content-addressed dedup over fixed-size chunks."""
+    seen = set()
+    unique = duplicate = 0
+    for version in versions:
+        for start in range(0, len(version), chunk_size):
+            digest = fingerprint(version[start : start + chunk_size])
+            if digest in seen:
+                duplicate += 1
+            else:
+                seen.add(digest)
+                unique += 1
+    total = unique + duplicate
+    return {"dedup": duplicate / total if total else 0.0, "scanned": 0.0}
+
+
+def _cdc_dedup(versions: List[bytes]) -> Dict[str, float]:
+    chunker = GearChunker()
+    store = CdcDedupStore(chunker=chunker, compressor=ModeledCompressor(0.5))
+    for index, version in enumerate(versions):
+        store.write_stream(f"v{index}", version)
+    # Correctness check rides along: the latest version reads back.
+    assert store.read_stream(f"v{len(versions) - 1}") == versions[-1]
+    return {
+        "dedup": store.stats.dedup_ratio,
+        "scanned": float(chunker.bytes_scanned),
+    }
+
+
+def run(num_versions: int = 8, size: int = 120_000, seed: int = 5) -> ExperimentResult:
+    """Compare chunking strategies on the versioned-document workload."""
+    versions = _make_versions(num_versions, size, seed)
+    total_bytes = sum(len(version) for version in versions)
+    fixed = _fixed_dedup(versions)
+    cdc = _cdc_dedup(versions)
+
+    table = format_table(
+        headers=["strategy", "dedup ratio", "rolling-hash bytes",
+                 "per input byte"],
+        rows=[
+            ["fixed 4 KB", pct(fixed["dedup"]), "0", "0"],
+            ["Gear CDC", pct(cdc["dedup"]), f"{cdc['scanned']:,.0f}",
+             f"{cdc['scanned'] / total_bytes:.2f}"],
+        ],
+        title=(
+            f"{num_versions} versions of a {size // 1000}-KB document, "
+            f"small insertions between versions"
+        ),
+    )
+    # Ideal dedup: each new version adds only the edited chunk(s).
+    ideal = 1.0 - 1.0 / num_versions
+    comparisons = [
+        Comparison("CDC dedup vs ideal", ideal, cdc["dedup"]),
+        Comparison("fixed-chunk dedup", None, fixed["dedup"]),
+    ]
+    return ExperimentResult(
+        name="Extension: CDC vs fixed chunking",
+        headline=(
+            f"insertions leave fixed chunking at {pct(fixed['dedup'])} dedup "
+            f"while CDC holds {pct(cdc['dedup'])} — at the cost of hashing "
+            f"every input byte (the overhead §2.1.1 cites)"
+        ),
+        comparisons=comparisons,
+        tables=[table],
+        data={"fixed": fixed, "cdc": cdc},
+    )

@@ -1,0 +1,86 @@
+"""Figure 4: the baseline's host-memory-bandwidth wall (paper §3.2.1).
+
+Measures the baseline's DRAM traffic on the two §3.2 profiling workloads
+(50% dedup, 50% compression), evaluates the demand at the paper's two
+measurement points (5 and 6.9 GB/s), fits the linear projection exactly
+as the paper does, and projects to the 75 GB/s per-socket target.
+
+Paper values: 317 GB/s (write-only) and 269 GB/s (mixed) of DRAM demand
+versus a theoretical socket maximum of 170 GB/s — a 1.9x shortfall.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.projection import fit_two_points
+from ..analysis.report import Comparison, format_table
+from ..hw.specs import HIGH_END_SOCKET_DRAM
+from .common import DEFAULT_SCALE, ExperimentResult, Scale, get_report
+
+__all__ = ["run", "PAPER_WRITE_GBPS", "PAPER_MIXED_GBPS", "TARGET_GBPS"]
+
+PAPER_WRITE_GBPS = 317.0
+PAPER_MIXED_GBPS = 269.0
+TARGET_GBPS = 75.0
+MEASURE_POINTS = (5e9, 6.9e9)  #: the paper's two measurement throughputs
+
+
+def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
+    """Regenerate Figure 4."""
+    rows: List[List] = []
+    projections = {}
+    for key, label in (("profiling-write", "Write-only"),
+                       ("profiling-mixed", "Mixed read/write")):
+        report = get_report("baseline", key, scale)
+        points = [
+            (x, report.memory_bw_demand(x)) for x in MEASURE_POINTS
+        ]
+        fit = fit_two_points(*points)
+        demand_at_target = fit(TARGET_GBPS * 1e9)
+        projections[label] = demand_at_target
+        rows.append([
+            label,
+            f"{points[0][1] / 1e9:.1f}",
+            f"{points[1][1] / 1e9:.1f}",
+            f"{demand_at_target / 1e9:.0f}",
+            f"{demand_at_target / HIGH_END_SOCKET_DRAM.peak_bw:.1f}x",
+        ])
+
+    table = format_table(
+        headers=[
+            "workload",
+            "@5 GB/s (GB/s)",
+            "@6.9 GB/s (GB/s)",
+            "@75 GB/s (GB/s)",
+            "vs 170 GB/s socket",
+        ],
+        rows=rows,
+        title="Figure 4: baseline DRAM bandwidth demand (projected)",
+    )
+    comparisons = [
+        Comparison(
+            "write-only DRAM demand @75 GB/s",
+            PAPER_WRITE_GBPS,
+            projections["Write-only"] / 1e9,
+            "GB/s",
+        ),
+        Comparison(
+            "mixed DRAM demand @75 GB/s",
+            PAPER_MIXED_GBPS,
+            projections["Mixed read/write"] / 1e9,
+            "GB/s",
+        ),
+    ]
+    shortfall = projections["Write-only"] / HIGH_END_SOCKET_DRAM.peak_bw
+    return ExperimentResult(
+        name="Figure 4",
+        headline=(
+            f"baseline needs {projections['Write-only'] / 1e9:.0f} GB/s of DRAM "
+            f"at 75 GB/s — {shortfall:.1f}x a high-end socket "
+            f"(paper: 317 GB/s, 1.9x)"
+        ),
+        comparisons=comparisons,
+        tables=[table],
+        data={"projections": projections},
+    )

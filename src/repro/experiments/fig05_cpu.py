@@ -1,0 +1,104 @@
+"""Figure 5: the baseline's CPU wall and its composition (paper §3.2.2).
+
+(a) Cores required at the 75 GB/s target — the paper projects up to 67
+Xeon cores (3x a 22-core socket).  (b) Utilization breakdown: 85.2%
+(write-only) and 50.8% (mixed) of baseline CPU time is memory/IO
+management (table-cache management 52.4%, unique-chunk predictor 32.7%),
+not data computation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.report import Comparison, format_table, pct
+from ..hw.specs import XEON_E5_4669V4
+from ..systems.accounting import CpuTask
+from .common import DEFAULT_SCALE, ExperimentResult, Scale, get_report
+
+__all__ = ["run", "PAPER_CORES", "PAPER_MGMT_WRITE", "PAPER_MGMT_MIXED"]
+
+PAPER_CORES = 67.0
+PAPER_MGMT_WRITE = 0.852
+PAPER_MGMT_MIXED = 0.508
+PAPER_PREDICTOR_SHARE = 0.327
+PAPER_TABLE_MGMT_SHARE = 0.524
+TARGET = 75e9
+
+
+def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
+    """Regenerate Figure 5 (a: cores required, b: breakdown)."""
+    rows_a: List[List] = []
+    rows_b: List[List] = []
+    measured = {}
+    for key, label in (("profiling-write", "Write-only"),
+                       ("profiling-mixed", "Mixed read/write")):
+        report = get_report("baseline", key, scale)
+        cores = report.cores_required(TARGET)
+        groups = report.cpu_group_breakdown()
+        breakdown = report.cpu_breakdown()
+        table_mgmt = (
+            breakdown.get(CpuTask.TREE, 0.0)
+            + breakdown.get(CpuTask.TABLE_SSD, 0.0)
+            + breakdown.get(CpuTask.REPLACEMENT, 0.0)
+        )
+        measured[label] = {
+            "cores": cores,
+            "mgmt": groups.get("memory/IO management", 0.0),
+            "predictor": breakdown.get(CpuTask.PREDICTOR, 0.0),
+            "table_mgmt": table_mgmt,
+        }
+        rows_a.append([
+            label,
+            f"{cores:.0f}",
+            f"{cores / XEON_E5_4669V4.cores:.1f}x",
+        ])
+        rows_b.append([
+            label,
+            pct(groups.get("memory/IO management", 0.0)),
+            pct(breakdown.get(CpuTask.PREDICTOR, 0.0)),
+            pct(table_mgmt),
+        ])
+
+    table_a = format_table(
+        headers=["workload", "cores @75 GB/s", "vs 22-core socket"],
+        rows=rows_a,
+        title="Figure 5a: baseline cores required",
+    )
+    table_b = format_table(
+        headers=["workload", "memory/IO mgmt", "predictor", "table cache mgmt"],
+        rows=rows_b,
+        title="Figure 5b: baseline CPU utilization breakdown",
+    )
+    write = measured["Write-only"]
+    comparisons = [
+        Comparison("write-only cores @75 GB/s", PAPER_CORES, write["cores"]),
+        Comparison("write-only mgmt share", PAPER_MGMT_WRITE, write["mgmt"]),
+        Comparison(
+            "mixed mgmt share",
+            PAPER_MGMT_MIXED,
+            measured["Mixed read/write"]["mgmt"],
+        ),
+        Comparison(
+            "predictor share (write-only)",
+            PAPER_PREDICTOR_SHARE,
+            write["predictor"],
+        ),
+        Comparison(
+            "table cache mgmt share (write-only)",
+            PAPER_TABLE_MGMT_SHARE,
+            write["table_mgmt"],
+        ),
+    ]
+    return ExperimentResult(
+        name="Figure 5",
+        headline=(
+            f"baseline needs {write['cores']:.0f} cores at 75 GB/s "
+            f"({write['cores'] / XEON_E5_4669V4.cores:.1f}x a socket); "
+            f"{pct(write['mgmt'])} of it is memory/IO management "
+            f"(paper: 67 cores, 85.2%)"
+        ),
+        comparisons=comparisons,
+        tables=[table_a, table_b],
+        data=measured,
+    )

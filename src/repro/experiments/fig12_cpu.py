@@ -1,0 +1,84 @@
+"""Figure 12: FIDR's CPU-utilization reduction (§7.3).
+
+At matched throughput, compares CPU cycles per client byte between the
+baseline and FIDR across the Table-3 workloads, staged the way the
+paper attributes them: NIC hashing removes the predictor (20-37%);
+hybrid caching removes tree/SSD/replacement work (another 19-44
+points).  Paper totals: up to 68% (write-only) and 39% (mixed).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.report import Comparison, format_table, pct
+from ..systems.accounting import CpuTask
+from .common import DEFAULT_SCALE, ExperimentResult, Scale, get_report
+from .tab03_workloads import WORKLOAD_KEYS
+
+__all__ = ["run", "PAPER_MAX_WRITE_REDUCTION", "PAPER_MIXED_REDUCTION"]
+
+PAPER_MAX_WRITE_REDUCTION = 0.68
+PAPER_MIXED_REDUCTION = 0.39
+TARGET = 75e9
+
+
+def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
+    """Regenerate Figure 12."""
+    rows: List[List] = []
+    reductions = {}
+    for key in WORKLOAD_KEYS:
+        base = get_report("baseline", key, scale)
+        fidr = get_report("fidr", key, scale)
+        base_cores = base.cores_required(TARGET)
+        fidr_cores = fidr.cores_required(TARGET)
+        reduction = 1.0 - fidr_cores / base_cores
+        reductions[key] = reduction
+
+        # Stage attribution: what the predictor removal alone saves vs.
+        # what hybrid caching saves on top.
+        breakdown = base.cpu_breakdown()
+        predictor_share = breakdown.get(CpuTask.PREDICTOR, 0.0)
+        caching_share = (
+            breakdown.get(CpuTask.TREE, 0.0)
+            + breakdown.get(CpuTask.TABLE_SSD, 0.0)
+            + breakdown.get(CpuTask.REPLACEMENT, 0.0)
+        )
+        rows.append([
+            key,
+            f"{base_cores:.0f}",
+            f"{fidr_cores:.1f}",
+            pct(reduction),
+            pct(predictor_share),
+            pct(caching_share),
+        ])
+
+    table = format_table(
+        headers=["workload", "baseline cores @75", "FIDR cores @75",
+                 "reduction", "predictor removed", "cache mgmt offloaded"],
+        rows=rows,
+        title="Figure 12: CPU utilization, baseline vs FIDR",
+    )
+    max_write = max(reductions[k] for k in ("write-h", "write-m", "write-l"))
+    comparisons = [
+        Comparison(
+            "max write-only CPU reduction",
+            PAPER_MAX_WRITE_REDUCTION,
+            max_write,
+        ),
+        Comparison(
+            "Read-Mixed CPU reduction",
+            PAPER_MIXED_REDUCTION,
+            reductions["read-mixed"],
+        ),
+    ]
+    return ExperimentResult(
+        name="Figure 12",
+        headline=(
+            f"FIDR cuts CPU needs by up to {pct(max_write)} (write-only) "
+            f"and {pct(reductions['read-mixed'])} (mixed); paper: 68% / 39%"
+        ),
+        comparisons=comparisons,
+        tables=[table],
+        data={"reductions": reductions},
+    )

@@ -1,0 +1,77 @@
+"""Figure 15: cost scalability (§7.8).
+
+Sweeps per-socket throughput (25/50/75 GB/s) and effective capacity
+(100/250/500 TB), pricing FIDR against a no-reduction server.  Paper
+anchor: at 500 TB, FIDR's saving drifts only from 67% (25 GB/s) to 58%
+(75 GB/s) — reduction hardware grows with throughput but stays small
+next to the saved SSDs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.cost import StorageCostModel
+from ..analysis.report import Comparison, format_table, pct
+from .common import DEFAULT_SCALE, ExperimentResult, Scale, get_report
+
+__all__ = ["run", "THROUGHPUTS", "CAPACITIES"]
+
+THROUGHPUTS = (25e9, 50e9, 75e9)
+CAPACITIES = (100e12, 250e12, 500e12)
+PAPER_SAVINGS_500TB = {25e9: 0.67, 75e9: 0.58}
+
+
+def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
+    """Regenerate Figure 15."""
+    model = StorageCostModel()
+    # FIDR's CPU intensity from the measured write-heavy report.
+    fidr_cores = get_report("fidr", "write-h", scale).cores_required(75e9)
+
+    rows: List[List] = []
+    savings: Dict[tuple, float] = {}
+    for capacity in CAPACITIES:
+        reference = model.no_reduction_cost(capacity)
+        for throughput in THROUGHPUTS:
+            fidr = model.fidr_cost(
+                throughput, capacity, cpu_cores_per_75gbps=fidr_cores
+            )
+            saving = fidr.savings_vs(reference)
+            savings[(capacity, throughput)] = saving
+            rows.append([
+                f"{capacity / 1e12:.0f} TB",
+                f"{throughput / 1e9:.0f} GB/s",
+                f"${reference.total / 1000:.0f}k",
+                f"${fidr.total / 1000:.0f}k",
+                pct(saving),
+            ])
+
+    table = format_table(
+        headers=["capacity", "throughput", "no-reduction cost", "FIDR cost",
+                 "saving"],
+        rows=rows,
+        title="Figure 15: FIDR cost vs throughput and capacity",
+    )
+    comparisons = [
+        Comparison(
+            "500 TB saving @25 GB/s",
+            PAPER_SAVINGS_500TB[25e9],
+            savings[(500e12, 25e9)],
+        ),
+        Comparison(
+            "500 TB saving @75 GB/s",
+            PAPER_SAVINGS_500TB[75e9],
+            savings[(500e12, 75e9)],
+        ),
+    ]
+    return ExperimentResult(
+        name="Figure 15",
+        headline=(
+            f"at 500 TB the saving drifts from "
+            f"{pct(savings[(500e12, 25e9)])} (25 GB/s) to "
+            f"{pct(savings[(500e12, 75e9)])} (75 GB/s); paper: 67% → 58%"
+        ),
+        comparisons=comparisons,
+        tables=[table],
+        data={"savings": savings},
+    )

@@ -1,0 +1,83 @@
+"""Figure 16: cost breakdown at 75 GB/s and 500 TB effective (§7.8).
+
+The baseline's per-socket ceiling (its Figure-14 solve) forces *partial*
+reduction at 75 GB/s: the overflow is stored raw, so its SSD bill
+dominates.  FIDR reduces the full stream; its extra FPGAs/CPU are small
+next to the saved flash.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.cost import StorageCostModel
+from ..analysis.report import Comparison, format_table, pct
+from ..analysis.throughput import solve_throughput
+from .common import DEFAULT_SCALE, ExperimentResult, Scale, get_report
+
+__all__ = ["run", "THROUGHPUT", "CAPACITY"]
+
+THROUGHPUT = 75e9
+CAPACITY = 500e12
+
+
+def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
+    """Regenerate Figure 16."""
+    model = StorageCostModel()
+    # Measured intensities on the write-heavy workload, target socket.
+    base_report = get_report("baseline", "write-h", scale, server="target")
+    fidr_report = get_report("fidr", "write-h", scale, server="target")
+    baseline_cap = solve_throughput(base_report).throughput
+    fidr_cores = fidr_report.cores_required(75e9)
+    baseline_cores = base_report.cores_required(75e9)
+
+    reference = model.no_reduction_cost(CAPACITY)
+    fidr = model.fidr_cost(THROUGHPUT, CAPACITY, cpu_cores_per_75gbps=fidr_cores)
+    baseline = model.baseline_cost(
+        THROUGHPUT,
+        CAPACITY,
+        per_socket_cap=baseline_cap,
+        cpu_cores_per_75gbps=baseline_cores,
+    )
+
+    systems = [("no reduction", reference), ("baseline (partial)", baseline),
+               ("FIDR", fidr)]
+    components = sorted({name for _, b in systems for name in b.components})
+    rows: List[List] = []
+    for name in components:
+        rows.append(
+            [name]
+            + [f"${b.components.get(name, 0.0) / 1000:.1f}k" for _, b in systems]
+        )
+    rows.append(["TOTAL"] + [f"${b.total / 1000:.0f}k" for _, b in systems])
+
+    table = format_table(
+        headers=["component"] + [label for label, _ in systems],
+        rows=rows,
+        title=f"Figure 16: cost at {THROUGHPUT / 1e9:.0f} GB/s, "
+        f"{CAPACITY / 1e12:.0f} TB effective",
+    )
+    comparisons = [
+        Comparison(
+            "FIDR saving vs no reduction", 0.58, fidr.savings_vs(reference)
+        ),
+        Comparison(
+            "baseline cost / FIDR cost", None, baseline.total / fidr.total, "x"
+        ),
+    ]
+    return ExperimentResult(
+        name="Figure 16",
+        headline=(
+            f"partial reduction leaves the baseline at "
+            f"${baseline.total / 1000:.0f}k vs FIDR's "
+            f"${fidr.total / 1000:.0f}k "
+            f"({baseline.total / fidr.total:.1f}x; reduced share only "
+            f"{pct(baseline_cap / THROUGHPUT)})"
+        ),
+        comparisons=comparisons,
+        tables=[table],
+        data={
+            "baseline_cap": baseline_cap,
+            "totals": {label: b.total for label, b in systems},
+        },
+    )

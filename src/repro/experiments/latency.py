@@ -1,0 +1,65 @@
+"""§7.6: request latency.
+
+Writes (§7.6.1): FIDR acknowledges from the NIC's battery-backed buffer,
+so its commit latency equals a no-reduction system's — verified as an
+identity of the model.
+
+Reads (§7.6.2): server-side (SSDs↔NICs) latency of a batched 4-KB read.
+Paper: 700 µs baseline → 490 µs FIDR, from removing the two mid-datapath
+host-memory landings and their software handoffs.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import Comparison, format_table
+from ..systems.latency import ReadLatencyModel, write_commit_latency
+from .common import ExperimentResult
+
+__all__ = ["run", "PAPER_BASELINE_US", "PAPER_FIDR_US"]
+
+PAPER_BASELINE_US = 700.0
+PAPER_FIDR_US = 490.0
+
+
+def run(batch_size: int = 64) -> ExperimentResult:
+    """Regenerate the §7.6 latency numbers."""
+    model = ReadLatencyModel()
+    baseline = model.baseline_read_latency(batch_size)
+    fidr = model.fidr_read_latency(batch_size)
+    commits = write_commit_latency()
+
+    read_table = format_table(
+        headers=["system", "mean (us)", "min (us)", "max (us)"],
+        rows=[
+            ["baseline", f"{baseline.mean_s * 1e6:.0f}",
+             f"{baseline.min_s * 1e6:.0f}", f"{baseline.max_s * 1e6:.0f}"],
+            ["FIDR", f"{fidr.mean_s * 1e6:.0f}",
+             f"{fidr.min_s * 1e6:.0f}", f"{fidr.max_s * 1e6:.0f}"],
+        ],
+        title=f"§7.6.2: server-side 4-KB read latency (batch of {batch_size})",
+    )
+    write_table = format_table(
+        headers=["system", "write commit latency (us)"],
+        rows=[[name, f"{value * 1e6:.0f}"] for name, value in commits.items()],
+        title="§7.6.1: write commit latency (FIDR == no-reduction)",
+    )
+    comparisons = [
+        Comparison("baseline read latency", PAPER_BASELINE_US,
+                   baseline.mean_s * 1e6, "us"),
+        Comparison("FIDR read latency", PAPER_FIDR_US, fidr.mean_s * 1e6, "us"),
+    ]
+    return ExperimentResult(
+        name="§7.6 latency",
+        headline=(
+            f"read latency {baseline.mean_s * 1e6:.0f} → "
+            f"{fidr.mean_s * 1e6:.0f} us (paper: 700 → 490); write commit "
+            f"latency unchanged by FIDR"
+        ),
+        comparisons=comparisons,
+        tables=[read_table, write_table],
+        data={
+            "baseline_us": baseline.mean_s * 1e6,
+            "fidr_us": fidr.mean_s * 1e6,
+            "commits": commits,
+        },
+    )

@@ -1,0 +1,74 @@
+"""Table 4: FIDR NIC FPGA resource utilization (§7.7.1).
+
+Computed from the parametric estimator: the data-reduction layer's cost
+is dominated by SHA-256 cores sized to the *written* line rate, so the
+mixed workload (half the hashing) needs visibly less fabric.  The fixed
+NIC+TCP-offload part is rate-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.report import Comparison, format_table, pct
+from ..hw.fpga_resources import estimate_nic_resources
+from ..hw.specs import VCU1525
+from .common import ExperimentResult
+
+__all__ = ["run", "PAPER_VALUES"]
+
+#: Paper's Table 4: (workload, row) -> (kLUTs, kFFs, BRAMs).
+PAPER_VALUES: Dict[tuple, tuple] = {
+    ("write-only", "data_reduction_support"): (125, 128, 95),
+    ("write-only", "total"): (290, 296, 1119),
+    ("mixed", "data_reduction_support"): (84, 87, 75),
+    ("mixed", "total"): (249, 255, 1099),
+}
+
+
+def run(line_rate: float = 8e9) -> ExperimentResult:
+    """Regenerate Table 4 (64-Gbps NIC)."""
+    rows: List[List] = []
+    comparisons: List[Comparison] = []
+    results = {}
+    for label, write_fraction in (("write-only", 1.0), ("mixed", 0.5)):
+        estimate = estimate_nic_resources(
+            line_rate=line_rate, write_fraction=write_fraction
+        )
+        results[label] = estimate
+        for row_name in ("data_reduction_support", "basic_nic_tcp_offload", "total"):
+            count = estimate[row_name]
+            util = count.utilization(VCU1525)
+            rows.append([
+                label,
+                row_name.replace("_", " "),
+                f"{count.luts / 1000:.0f}K ({pct(util['luts'])})",
+                f"{count.flip_flops / 1000:.0f}K ({pct(util['flip_flops'])})",
+                f"{count.brams} ({pct(util['brams'])})",
+            ])
+            paper = PAPER_VALUES.get((label, row_name))
+            if paper is not None:
+                comparisons.append(
+                    Comparison(
+                        f"{label} {row_name} kLUTs", paper[0], count.luts / 1000
+                    )
+                )
+
+    table = format_table(
+        headers=["workload", "component", "LUTs", "flip-flops", "BRAMs"],
+        rows=rows,
+        title="Table 4: FIDR NIC resource utilization (VCU1525)",
+    )
+    dr_write = results["write-only"]["data_reduction_support"]
+    return ExperimentResult(
+        name="Table 4",
+        headline=(
+            f"data-reduction support costs "
+            f"{pct(dr_write.utilization(VCU1525)['luts'])} LUTs / "
+            f"{pct(dr_write.utilization(VCU1525)['brams'])} BRAMs on top of "
+            f"the base NIC (paper: 10.7% / 4.4%)"
+        ),
+        comparisons=comparisons,
+        tables=[table],
+        data={label: est["total"] for label, est in results.items()},
+    )

@@ -1,0 +1,114 @@
+"""Table 5: Cache HW-Engine resources and throughput estimates (§7.7.2).
+
+Three columns, all computed:
+
+* **All** — 410-MB cache tree plus table-SSD controllers, with the
+  prototype's 2 GB/s table-SSD link bounding throughput (paper: 10 GB/s
+  for Write-M),
+* **Medium tree** — same tree without the table-SSD path (80 GB/s),
+* **Large tree** — a ~100-GB cache: 13 on-chip levels, node storage
+  spilling into UltraRAM (paper: 78.8% URAM, est. 64 GB/s).
+
+Tree geometry (levels, URAM spill) comes from node arithmetic;
+throughputs from the Figure-13 engine model at Write-M's measured miss
+rate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.report import Comparison, format_table, pct
+from ..cache.cache_engine import CacheEngineConfig, CacheEngineModel
+from ..hw.fpga_resources import estimate_cache_engine_resources
+from ..hw.specs import VCU1525
+from .common import DEFAULT_SCALE, ExperimentResult, Scale
+from .fig13_tree import _measured_miss_rate
+
+__all__ = ["run", "COLUMNS", "PAPER_THROUGHPUT"]
+
+MB = 1024 * 1024
+
+#: (label, cache bytes, with table SSD, table-SSD read BW, clock).
+COLUMNS = (
+    ("All", 410 * MB, True, 2e9, 250e6),
+    ("Except SSD, medium tree", 410 * MB, False, None, 250e6),
+    ("Except SSD, large tree", 99_645 * MB, False, None, 200e6),
+)
+
+#: Paper's estimated max throughput for Write-M, GB/s, per column.
+PAPER_THROUGHPUT = {"All": 10.0, "Except SSD, medium tree": 80.0,
+                    "Except SSD, large tree": 64.0}
+PAPER_LEVELS = {"All": (8, 1), "Except SSD, medium tree": (8, 1),
+                "Except SSD, large tree": (13, 1)}
+PAPER_URAM_PCT = 0.788  # large tree
+
+
+def run(scale: Scale = DEFAULT_SCALE) -> ExperimentResult:
+    """Regenerate Table 5 (Write-M workload)."""
+    miss = _measured_miss_rate("write-m", scale)
+    rows: List[List] = []
+    comparisons: List[Comparison] = []
+    data = {}
+    for label, cache_bytes, with_ssd, ssd_bw, clock in COLUMNS:
+        estimate = estimate_cache_engine_resources(cache_bytes, with_table_ssd=with_ssd)
+        geometry = estimate["geometry"]
+        resources = estimate["resources"]
+        engine = CacheEngineModel(
+            CacheEngineConfig(
+                clock_hz=clock,
+                on_chip_levels=geometry.on_chip_levels,
+                table_ssd_read_bw=ssd_bw,
+            )
+        )
+        throughput = engine.analytic_throughput(miss, window=4).throughput
+        util = resources.utilization(VCU1525)
+        rows.append([
+            label,
+            f"{cache_bytes // MB:,} MB",
+            f"{geometry.on_chip_levels}/{geometry.off_chip_levels}",
+            f"{throughput / 1e9:.0f}",
+            f"{resources.luts / 1000:.0f}K ({pct(util['luts'])})",
+            f"{resources.brams} ({pct(util['brams'])})",
+            f"{resources.urams} ({pct(util.get('urams', 0.0))})" if resources.urams else "-",
+        ])
+        comparisons.append(
+            Comparison(
+                f"{label}: est. throughput",
+                PAPER_THROUGHPUT[label],
+                throughput / 1e9,
+                "GB/s",
+            )
+        )
+        comparisons.append(
+            Comparison(
+                f"{label}: on-chip levels",
+                PAPER_LEVELS[label][0],
+                geometry.on_chip_levels,
+            )
+        )
+        data[label] = {"geometry": geometry, "resources": resources,
+                       "throughput": throughput}
+
+    large = data["Except SSD, large tree"]["resources"]
+    comparisons.append(
+        Comparison("large tree URAM share", PAPER_URAM_PCT, large.urams / VCU1525.urams)
+    )
+    table = format_table(
+        headers=["configuration", "cache size", "levels (chip/DRAM)",
+                 "est. GB/s (Write-M)", "LUTs", "BRAMs", "URAMs"],
+        rows=rows,
+        title="Table 5: Cache HW-Engine resources & estimated throughput",
+    )
+    return ExperimentResult(
+        name="Table 5",
+        headline=(
+            f"a 243x larger cache costs only 5 more on-chip levels "
+            f"(URAM-backed) and keeps "
+            f"{data['Except SSD, large tree']['throughput'] / 1e9:.0f} GB/s "
+            f"(paper: 64 GB/s)"
+        ),
+        comparisons=comparisons,
+        tables=[table],
+        data=data,
+    )

@@ -1,0 +1,94 @@
+"""Host-CPU cycle ledger (paper §3.2.2, Figure 5, Figure 12, Table 2).
+
+The paper's CPU argument mirrors its memory argument: most baseline CPU
+time goes to *management* (table-cache indexing, SSD IO stacks, the
+unique-chunk predictor, accelerator scheduling), not data computation.
+:class:`CpuLedger` attributes cycles to named tasks; projections to a
+target throughput (cores required, Figure 5a) and per-task breakdowns
+(Figure 5b, Table 2) are then linear arithmetic over the ledger.
+
+Cycle costs per operation are supplied by the system layer's calibration
+constants — the ledger itself is policy-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .specs import CpuSpec
+
+__all__ = ["CpuLedger"]
+
+
+class CpuLedger:
+    """Per-task CPU cycle accounting for one processed workload."""
+
+    def __init__(self, spec: Optional[CpuSpec] = None):
+        self.spec = spec
+        self._cycles: Dict[str, float] = {}
+
+    def charge(self, task: str, cycles: float) -> None:
+        """Attribute ``cycles`` of host CPU work to ``task``."""
+        if cycles < 0:
+            raise ValueError("negative cycles")
+        self._cycles[task] = self._cycles.get(task, 0.0) + cycles
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        return sum(self._cycles.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-task share of total CPU time (Figure 5b / Table 2)."""
+        total = self.total_cycles
+        if total == 0:
+            return {task: 0.0 for task in self._cycles}
+        return {
+            task: cycles / total for task, cycles in sorted(self._cycles.items())
+        }
+
+    def tasks(self) -> Dict[str, float]:
+        return dict(self._cycles)
+
+    def cycles_per_byte(self, logical_bytes: float) -> float:
+        """CPU cycles spent per byte of client data processed."""
+        if logical_bytes <= 0:
+            raise ValueError("ledger covered no client bytes")
+        return self.total_cycles / logical_bytes
+
+    def cores_required(
+        self, data_throughput: float, logical_bytes: float,
+        frequency_hz: Optional[float] = None,
+    ) -> float:
+        """Cores needed to sustain ``data_throughput`` (Figure 5a).
+
+        Linear projection: cycles-per-client-byte × target bytes/s,
+        divided by one core's cycle rate.
+        """
+        if frequency_hz is None:
+            if self.spec is None:
+                raise ValueError("no CPU spec attached")
+            frequency_hz = self.spec.frequency_hz
+        return (
+            self.cycles_per_byte(logical_bytes) * data_throughput / frequency_hz
+        )
+
+    def utilization(self, data_throughput: float, logical_bytes: float) -> float:
+        """Fraction of the socket's total cycle budget consumed."""
+        if self.spec is None:
+            raise ValueError("no CPU spec attached")
+        required = self.cores_required(data_throughput, logical_bytes)
+        return required / self.spec.cores
+
+    def grouped_breakdown(self, groups: Dict[str, str]) -> Dict[str, float]:
+        """Breakdown with tasks coalesced by ``groups[task] -> label``.
+
+        Unlisted tasks fall into the ``"other"`` group.  Used to map the
+        model's fine-grained tasks onto the paper's figure categories.
+        """
+        shares: Dict[str, float] = {}
+        for task, share in self.breakdown().items():
+            label = groups.get(task, "other")
+            shares[label] = shares.get(label, 0.0) + share
+        return shares

@@ -1,0 +1,124 @@
+"""Host-DRAM traffic ledger (paper §3.2.1, §4.1, Table 1, Figure 11).
+
+The paper's central memory argument is arithmetic over *which flows cross
+host DRAM*: every byte a device DMAs into host memory is one DRAM write,
+every byte read out is one DRAM read, and flows re-routed peer-to-peer
+simply stop appearing in the ledger.  :class:`MemoryLedger` records that
+arithmetic per named data path so Table 1's breakdown and Figure 11's
+reductions fall out of the recorded flows.
+
+The ledger also tracks *capacity* per path (Observation #1: bandwidth-
+hungry paths need KBs-MBs; the table cache needs 10s-100s of GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .specs import DramSpec
+
+__all__ = ["PathTraffic", "MemoryLedger"]
+
+
+@dataclass
+class PathTraffic:
+    """Traffic and footprint attributed to one named data path."""
+
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    capacity_bytes: float = 0.0  #: resident footprint this path needs
+
+    @property
+    def total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+
+class MemoryLedger:
+    """Per-path host-DRAM byte accounting for one processed workload."""
+
+    def __init__(self, spec: Optional[DramSpec] = None):
+        self.spec = spec
+        self._paths: Dict[str, PathTraffic] = {}
+
+    def _path(self, name: str) -> PathTraffic:
+        traffic = self._paths.get(name)
+        if traffic is None:
+            traffic = PathTraffic()
+            self._paths[name] = traffic
+        return traffic
+
+    def read(self, path: str, num_bytes: float) -> None:
+        """Account DRAM reads on ``path`` (data leaving host memory)."""
+        if num_bytes < 0:
+            raise ValueError("negative traffic")
+        self._path(path).bytes_read += num_bytes
+
+    def write(self, path: str, num_bytes: float) -> None:
+        """Account DRAM writes on ``path`` (data landing in host memory)."""
+        if num_bytes < 0:
+            raise ValueError("negative traffic")
+        self._path(path).bytes_written += num_bytes
+
+    def through(self, path: str, num_bytes: float) -> None:
+        """A store-and-forward hop: written into DRAM, then read back out.
+
+        This is the baseline's signature pattern (Observation #2): data
+        buffered in host memory on its way between two devices costs the
+        memory system twice.
+        """
+        self.write(path, num_bytes)
+        self.read(path, num_bytes)
+
+    def require_capacity(self, path: str, num_bytes: float) -> None:
+        """Record the resident footprint a path needs (max, not sum)."""
+        traffic = self._path(path)
+        traffic.capacity_bytes = max(traffic.capacity_bytes, num_bytes)
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def total_bytes(self) -> float:
+        return sum(traffic.total for traffic in self._paths.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-path share of total DRAM traffic (Table 1's BW columns)."""
+        total = self.total_bytes
+        if total == 0:
+            return {name: 0.0 for name in self._paths}
+        return {
+            name: traffic.total / total
+            for name, traffic in sorted(self._paths.items())
+        }
+
+    def path_traffic(self, name: str) -> PathTraffic:
+        return self._path(name)
+
+    def paths(self) -> Dict[str, PathTraffic]:
+        return dict(self._paths)
+
+    def bandwidth_demand(self, data_throughput: float, logical_bytes: float) -> float:
+        """DRAM bandwidth needed to sustain ``data_throughput`` of client
+        data, given this ledger covered ``logical_bytes`` of it.
+
+        The paper's projection (Figure 4) is linear: bytes-of-DRAM-traffic
+        per byte-of-client-data times the target throughput.
+        """
+        if logical_bytes <= 0:
+            raise ValueError("ledger covered no client bytes")
+        return self.total_bytes / logical_bytes * data_throughput
+
+    def amplification(self, logical_bytes: float) -> float:
+        """DRAM bytes moved per client byte."""
+        if logical_bytes <= 0:
+            raise ValueError("ledger covered no client bytes")
+        return self.total_bytes / logical_bytes
+
+    def utilization(self, data_throughput: float, logical_bytes: float) -> float:
+        """Fraction of the socket's peak DRAM bandwidth consumed."""
+        if self.spec is None:
+            raise ValueError("no DRAM spec attached")
+        return self.bandwidth_demand(data_throughput, logical_bytes) / self.spec.peak_bw
+
+    def capacity_demand(self) -> float:
+        """Total resident footprint across paths."""
+        return sum(traffic.capacity_bytes for traffic in self._paths.values())

@@ -1,0 +1,161 @@
+"""PCIe topology with peer-to-peer routing (paper §5.1, §5.6).
+
+FIDR's second idea is routing data NIC→Compression-Engine→data-SSD
+directly over PCIe switches, bypassing host memory.  This module models
+the socket's PCIe fabric as a two-level tree:
+
+    host/root complex ── switch₀ ── {NIC, Compression Engine, SSDs…}
+                      └─ switch₁ ── {…}
+
+Transfers between two devices under the *same* switch consume only their
+endpoint links and the switch (peer-to-peer); transfers crossing switches
+or touching the host also consume root-complex bandwidth.  §5.6's design
+rule — group each NIC/engine/SSD set under one switch — exists precisely
+to keep reduction traffic off the root complex.
+
+The topology is a byte ledger (like :class:`~repro.hw.memory.MemoryLedger`);
+link utilizations at a target throughput are linear projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .specs import PcieLinkSpec, PCIE3_X16
+
+__all__ = ["PcieDevice", "PcieTopology", "HOST"]
+
+#: Reserved endpoint name for the host (root complex / DRAM side).
+HOST = "host"
+
+
+@dataclass
+class PcieDevice:
+    """An endpoint attached to a switch port."""
+
+    name: str
+    link: PcieLinkSpec
+    switch: int
+
+    bytes_in: float = 0.0  #: toward the device
+    bytes_out: float = 0.0  #: from the device
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_in + self.bytes_out
+
+
+class PcieTopology:
+    """Two-level PCIe fabric with per-link and root-complex ledgers."""
+
+    def __init__(
+        self,
+        num_switches: int = 1,
+        root_complex_bw: float = 128e9,
+        switch_uplink: Optional[PcieLinkSpec] = None,
+    ):
+        if num_switches < 1:
+            raise ValueError("need at least one switch")
+        self.num_switches = num_switches
+        self.root_complex_bw = root_complex_bw
+        self.switch_uplink = switch_uplink if switch_uplink is not None else PCIE3_X16
+        self._devices: Dict[str, PcieDevice] = {}
+        self.root_complex_bytes = 0.0
+        self._switch_bytes = [0.0] * num_switches
+        self._uplink_bytes = [0.0] * num_switches
+        self.p2p_bytes = 0.0  #: bytes that never touched the root complex
+
+    # -- construction -----------------------------------------------------------
+    def attach(self, name: str, link: Optional[PcieLinkSpec] = None,
+               switch: int = 0) -> PcieDevice:
+        """Attach a device to a switch port."""
+        if name == HOST:
+            raise ValueError(f"{HOST!r} is reserved for the root complex")
+        if name in self._devices:
+            raise ValueError(f"device {name!r} already attached")
+        if not 0 <= switch < self.num_switches:
+            raise ValueError(f"no switch {switch}")
+        device = PcieDevice(
+            name=name, link=link if link is not None else PCIE3_X16, switch=switch
+        )
+        self._devices[name] = device
+        return device
+
+    def device(self, name: str) -> PcieDevice:
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise KeyError(f"unknown device {name!r}") from None
+
+    # -- transfers ------------------------------------------------------------------
+    def transfer(self, src: str, dst: str, num_bytes: float) -> None:
+        """Account ``num_bytes`` moving from ``src`` to ``dst``.
+
+        Either endpoint may be :data:`HOST`.  Device↔device transfers
+        under one switch are peer-to-peer; everything else crosses the
+        root complex.
+        """
+        if num_bytes < 0:
+            raise ValueError("negative transfer")
+        if src == dst:
+            raise ValueError("source and destination are the same endpoint")
+        src_dev = None if src == HOST else self.device(src)
+        dst_dev = None if dst == HOST else self.device(dst)
+
+        if src_dev is not None:
+            src_dev.bytes_out += num_bytes
+            self._switch_bytes[src_dev.switch] += num_bytes
+        if dst_dev is not None:
+            dst_dev.bytes_in += num_bytes
+            self._switch_bytes[dst_dev.switch] += num_bytes
+
+        if src_dev is not None and dst_dev is not None:
+            if src_dev.switch == dst_dev.switch:
+                self.p2p_bytes += num_bytes
+                return
+            # Cross-switch: both uplinks and the root complex.
+            self._uplink_bytes[src_dev.switch] += num_bytes
+            self._uplink_bytes[dst_dev.switch] += num_bytes
+            self.root_complex_bytes += num_bytes
+            return
+
+        # Host on one side: one uplink plus the root complex.
+        endpoint = src_dev if src_dev is not None else dst_dev
+        assert endpoint is not None
+        self._uplink_bytes[endpoint.switch] += num_bytes
+        self.root_complex_bytes += num_bytes
+
+    # -- reporting --------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> float:
+        return sum(device.total_bytes for device in self._devices.values())
+
+    def device_utilization(
+        self, name: str, data_throughput: float, logical_bytes: float
+    ) -> float:
+        """Device-link utilization at a projected client throughput.
+
+        The link is full-duplex; the busier direction binds.
+        """
+        if logical_bytes <= 0:
+            raise ValueError("no client bytes covered")
+        device = self.device(name)
+        busier = max(device.bytes_in, device.bytes_out)
+        return busier / logical_bytes * data_throughput / device.link.bw
+
+    def root_complex_utilization(
+        self, data_throughput: float, logical_bytes: float
+    ) -> float:
+        if logical_bytes <= 0:
+            raise ValueError("no client bytes covered")
+        demand = self.root_complex_bytes / logical_bytes * data_throughput
+        return demand / self.root_complex_bw
+
+    def p2p_fraction(self) -> float:
+        """Share of device↔device traffic that stayed peer-to-peer."""
+        moved = self.p2p_bytes + self.root_complex_bytes
+        return self.p2p_bytes / moved if moved else 0.0
+
+    def devices(self) -> List[PcieDevice]:
+        return list(self._devices.values())

@@ -1,0 +1,190 @@
+"""NVMe SSD models (paper §2.1.3, §6.1).
+
+Two roles:
+
+* **data SSDs** — receive sealed 4-MB containers sequentially and serve
+  compressed-chunk reads.  Their NVMe queues stay in host memory in both
+  systems (§6.1: sequential container writes have tolerable overhead).
+* **table SSDs** — hold the full Hash-PBN table as 4-KB buckets and serve
+  the cache's random fetches/flushes.  The baseline drives them from the
+  host IO stack (a large CPU cost, Table 2); FIDR moves their queues into
+  the Cache HW-Engine (§6.1).
+
+:class:`NvmeSsd` is both a functional byte store and an IO ledger;
+:class:`SsdBucketStore` adapts an SSD (array) to the
+:class:`~repro.datared.hash_pbn.BucketStore` interface so the functional
+table/cache stack runs against "real" table SSDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..datared.hash_pbn import BUCKET_SIZE, BucketStore
+from .specs import SsdSpec, SAMSUNG_970_PRO
+
+__all__ = ["IoStats", "NvmeSsd", "SsdArray", "SsdBucketStore"]
+
+
+@dataclass
+class IoStats:
+    """Cumulative IO issued to one SSD (or array)."""
+
+    read_ops: int = 0
+    write_ops: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+
+    @property
+    def total_ops(self) -> int:
+        return self.read_ops + self.write_ops
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def merge(self, other: "IoStats") -> "IoStats":
+        return IoStats(
+            read_ops=self.read_ops + other.read_ops,
+            write_ops=self.write_ops + other.write_ops,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+        )
+
+
+class NvmeSsd:
+    """Functional block store + IO ledger for one NVMe drive."""
+
+    def __init__(self, spec: Optional[SsdSpec] = None, name: str = "ssd"):
+        self.spec = spec if spec is not None else SAMSUNG_970_PRO
+        self.name = name
+        self.stats = IoStats()
+        self._blocks: Dict[int, bytes] = {}
+        self.bytes_stored = 0
+
+    # -- functional IO -------------------------------------------------------------
+    def write_block(self, address: int, data: bytes) -> None:
+        if address < 0:
+            raise ValueError("negative address")
+        if not data:
+            raise ValueError("empty write")
+        previous = self._blocks.get(address)
+        if previous is not None:
+            self.bytes_stored -= len(previous)
+        self._blocks[address] = data
+        self.bytes_stored += len(data)
+        if self.bytes_stored > self.spec.capacity:
+            raise RuntimeError(f"{self.name}: capacity exceeded")
+        self.stats.write_ops += 1
+        self.stats.bytes_written += len(data)
+
+    def read_block(self, address: int) -> bytes:
+        data = self._blocks.get(address)
+        if data is None:
+            raise KeyError(f"{self.name}: nothing stored at {address}")
+        self.stats.read_ops += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def trim(self, address: int) -> None:
+        data = self._blocks.pop(address, None)
+        if data is not None:
+            self.bytes_stored -= len(data)
+
+    # -- accounting-only IO (performance paths that skip content) ------------------
+    def account_read(self, num_bytes: float, ops: int = 1) -> None:
+        self.stats.read_ops += ops
+        self.stats.bytes_read += num_bytes
+
+    def account_write(self, num_bytes: float, ops: int = 1) -> None:
+        self.stats.write_ops += ops
+        self.stats.bytes_written += num_bytes
+
+    # -- timing -----------------------------------------------------------------------
+    def read_service_time(self, num_bytes: float) -> float:
+        """Seconds for one read: access latency + transfer time."""
+        return self.spec.read_latency_s + num_bytes / self.spec.read_bw
+
+    def write_service_time(self, num_bytes: float) -> float:
+        return self.spec.write_latency_s + num_bytes / self.spec.write_bw
+
+    def utilization(self, data_throughput: float, logical_bytes: float) -> float:
+        """Busy fraction at a projected client throughput (BW terms)."""
+        if logical_bytes <= 0:
+            raise ValueError("no client bytes covered")
+        scale = data_throughput / logical_bytes
+        return (
+            self.stats.bytes_read * scale / self.spec.read_bw
+            + self.stats.bytes_written * scale / self.spec.write_bw
+        )
+
+
+class SsdArray:
+    """A stripe of identical SSDs with round-robin block placement."""
+
+    def __init__(self, count: int, spec: Optional[SsdSpec] = None, name: str = "array"):
+        if count < 1:
+            raise ValueError("need at least one SSD")
+        self.drives = [
+            NvmeSsd(spec=spec, name=f"{name}[{index}]") for index in range(count)
+        ]
+
+    def _drive_for(self, address: int) -> NvmeSsd:
+        return self.drives[address % len(self.drives)]
+
+    def write_block(self, address: int, data: bytes) -> None:
+        self._drive_for(address).write_block(address, data)
+
+    def read_block(self, address: int) -> bytes:
+        return self._drive_for(address).read_block(address)
+
+    @property
+    def stats(self) -> IoStats:
+        combined = IoStats()
+        for drive in self.drives:
+            combined = combined.merge(drive.stats)
+        return combined
+
+    @property
+    def read_bw(self) -> float:
+        return sum(drive.spec.read_bw for drive in self.drives)
+
+    @property
+    def write_bw(self) -> float:
+        return sum(drive.spec.write_bw for drive in self.drives)
+
+    def __len__(self) -> int:
+        return len(self.drives)
+
+
+class SsdBucketStore(BucketStore):
+    """Hash-PBN bucket pages stored on a table-SSD array.
+
+    ``queue_owner`` records who pays the NVMe submission cost: the host
+    IO stack in the baseline, the Cache HW-Engine in FIDR (§6.1).  The
+    system layers read it when charging CPU cycles.
+    """
+
+    def __init__(self, array: SsdArray, queue_owner: str = "host"):
+        if queue_owner not in ("host", "engine"):
+            raise ValueError("queue_owner must be 'host' or 'engine'")
+        self.array = array
+        self.queue_owner = queue_owner
+        self._empty = None  # lazily built empty bucket page
+
+    def read_bucket(self, index: int) -> bytes:
+        try:
+            return self.array.read_block(index)
+        except KeyError:
+            # Never-written buckets read back empty, like a fresh table.
+            if self._empty is None:
+                from ..datared.hash_pbn import Bucket
+
+                self._empty = Bucket().to_bytes()
+            return self._empty
+
+    def write_bucket(self, index: int, page: bytes) -> None:
+        if len(page) != BUCKET_SIZE:
+            raise ValueError("bucket pages must be 4 KB")
+        self.array.write_block(index, page)

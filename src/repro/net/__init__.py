@@ -1,0 +1,21 @@
+"""The storage network protocol layer (paper §6.2)."""
+
+from .protocol import (
+    Frame,
+    FrameDecoder,
+    Op,
+    ProtocolClient,
+    ProtocolError,
+    ProtocolServer,
+    encode_frame,
+)
+
+__all__ = [
+    "Frame",
+    "FrameDecoder",
+    "Op",
+    "ProtocolClient",
+    "ProtocolError",
+    "ProtocolServer",
+    "encode_frame",
+]

@@ -1,0 +1,186 @@
+"""The simplified storage access protocol (paper §6.2).
+
+The prototype speaks "a simplified protocol (instead of a complete
+protocol like iSCSI)": requests carry an operation type, an LBA, and
+data; the flow is write→ack and read→ack-with-data.  This module
+implements that wire format and both endpoints:
+
+* frame encoding/decoding with length prefixes and a CRC (corrupt or
+  truncated frames are detected, never mis-parsed),
+* :class:`ProtocolServer` — decodes request frames, drives a
+  :class:`~repro.systems.server.StorageServer`, encodes acks,
+* :class:`ProtocolClient` — the mirror side, with a blocking-style API
+  over any byte transport.
+
+The encoding is deliberately small (the paper's point): a 16-byte
+header is all the NIC's protocol layer must parse before acting.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..systems.server import StorageServer
+
+__all__ = [
+    "Op",
+    "Frame",
+    "encode_frame",
+    "FrameDecoder",
+    "ProtocolError",
+    "ProtocolServer",
+    "ProtocolClient",
+]
+
+#: header: magic, op, flags, reserved, lba, payload length, crc32(payload)
+_HEADER = struct.Struct(">BBBBQII")
+_MAGIC = 0xF1
+
+
+class Op:
+    WRITE = 1
+    READ = 2
+    WRITE_ACK = 3
+    READ_ACK = 4
+    ERROR = 5
+
+
+class ProtocolError(ValueError):
+    """A malformed or corrupt frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    op: int
+    lba: int
+    payload: bytes = b""
+    flags: int = 0
+
+
+def encode_frame(op: int, lba: int, payload: bytes = b"", flags: int = 0) -> bytes:
+    """Serialize one frame."""
+    if op not in (Op.WRITE, Op.READ, Op.WRITE_ACK, Op.READ_ACK, Op.ERROR):
+        raise ProtocolError(f"unknown op {op}")
+    if lba < 0:
+        raise ProtocolError("negative LBA")
+    header = _HEADER.pack(
+        _MAGIC, op, flags, 0, lba, len(payload), zlib.crc32(payload)
+    )
+    return header + payload
+
+
+class FrameDecoder:
+    """Incremental decoder over a byte stream (frames may arrive split
+    or coalesced, as on a real TCP stream)."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Append stream bytes; returns every complete frame."""
+        self._buffer += data
+        frames: List[Frame] = []
+        while True:
+            frame = self._try_decode()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _try_decode(self) -> Optional[Frame]:
+        if len(self._buffer) < _HEADER.size:
+            return None
+        magic, op, flags, _, lba, length, crc = _HEADER.unpack_from(
+            self._buffer, 0
+        )
+        if magic != _MAGIC:
+            raise ProtocolError("bad magic: stream out of sync")
+        end = _HEADER.size + length
+        if len(self._buffer) < end:
+            return None
+        payload = bytes(self._buffer[_HEADER.size : end])
+        if zlib.crc32(payload) != crc:
+            raise ProtocolError("payload CRC mismatch")
+        del self._buffer[:end]
+        if op not in (Op.WRITE, Op.READ, Op.WRITE_ACK, Op.READ_ACK, Op.ERROR):
+            raise ProtocolError(f"unknown op {op}")
+        return Frame(op=op, lba=lba, payload=payload, flags=flags)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+class ProtocolServer:
+    """Server endpoint: request frames in, ack frames out.
+
+    Reads use the frame's ``flags`` field as the chunk count (the
+    protocol's length field, §6.2: "the requested address (i.e., LBA)
+    and data").
+    """
+
+    def __init__(self, server: StorageServer):
+        self.server = server
+        self._decoder = FrameDecoder()
+        self.requests_served = 0
+
+    def handle_bytes(self, data: bytes) -> bytes:
+        """Feed stream bytes; returns the concatenated response frames."""
+        responses = []
+        for frame in self._decoder.feed(data):
+            responses.append(self._handle(frame))
+        return b"".join(responses)
+
+    def _handle(self, frame: Frame) -> bytes:
+        self.requests_served += 1
+        if frame.op == Op.WRITE:
+            if not frame.payload:
+                return encode_frame(Op.ERROR, frame.lba, b"empty write")
+            self.server.write(frame.lba, frame.payload)
+            # §7.6.1: the ack is immediate — data is durable in the
+            # (battery-backed) NIC buffer, not yet reduced.
+            return encode_frame(Op.WRITE_ACK, frame.lba)
+        if frame.op == Op.READ:
+            num_chunks = max(1, frame.flags)
+            data = self.server.read(frame.lba, num_chunks)
+            return encode_frame(Op.READ_ACK, frame.lba, data)
+        return encode_frame(Op.ERROR, frame.lba, b"unexpected op")
+
+
+class ProtocolClient:
+    """Client endpoint with a call-style API over a request function.
+
+    ``transport`` is any callable ``bytes -> bytes`` (e.g. a
+    :meth:`ProtocolServer.handle_bytes` bound method, or a socket shim).
+    """
+
+    def __init__(self, transport):
+        self._transport = transport
+        self._decoder = FrameDecoder()
+
+    def _roundtrip(self, request: bytes) -> Frame:
+        frames = self._decoder.feed(self._transport(request))
+        if not frames:
+            raise ProtocolError("no response frame")
+        return frames[0]
+
+    def write(self, lba: int, payload: bytes) -> None:
+        response = self._roundtrip(encode_frame(Op.WRITE, lba, payload))
+        if response.op != Op.WRITE_ACK:
+            raise ProtocolError(
+                f"write failed: {response.payload.decode(errors='replace')}"
+            )
+
+    def read(self, lba: int, num_chunks: int = 1) -> bytes:
+        response = self._roundtrip(
+            encode_frame(Op.READ, lba, flags=num_chunks)
+        )
+        if response.op != Op.READ_ACK:
+            raise ProtocolError(
+                f"read failed: {response.payload.decode(errors='replace')}"
+            )
+        return response.payload

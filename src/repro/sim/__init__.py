@@ -1,0 +1,33 @@
+"""Discrete-event simulation kernel (events, processes, resources, stats)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import BandwidthPipe, Resource, Store
+from .stats import Counter, Histogram, RateMeter, StreamingSummary, TimeWeighted
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BandwidthPipe",
+    "Counter",
+    "Event",
+    "Histogram",
+    "Interrupt",
+    "Process",
+    "RateMeter",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "StreamingSummary",
+    "TimeWeighted",
+    "Timeout",
+]

@@ -1,0 +1,307 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free event-driven simulator in the style of SimPy:
+processes are Python generators that ``yield`` events (timeouts, other
+events, or other processes) and are resumed when those events fire.
+
+The kernel is deliberately minimal — the FIDR reproduction needs ordered
+event delivery, process suspension, and simulated-time accounting, not a
+full simulation framework.  Device models in :mod:`repro.hw` build shared
+resources (bandwidth pipes, request queues) on top of this kernel.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker(sim, "a", 2.0))
+>>> _ = sim.spawn(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. negative delays, re-triggering)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Events start *pending*, become *triggered* when :meth:`succeed` or
+    :meth:`fail` is called, and are *processed* once the kernel has resumed
+    all waiting processes.
+    """
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.state = Event.PENDING
+        self.value: Any = None
+        self._ok = True
+        self.callbacks: List[Callable[["Event"], None]] = []
+
+    # -- state queries ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self.state != Event.PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.state = Event.TRIGGERED
+        self.value = value
+        self._ok = True
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see ``exception`` raised."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self.state = Event.TRIGGERED
+        self.value = exception
+        self._ok = False
+        self.sim._schedule(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.state == Event.PROCESSED:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a simulated delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.state = Event.TRIGGERED
+        self.value = value
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running generator-based process.
+
+    A process is itself an event: it triggers (with the generator's return
+    value) when the generator finishes, so other processes can wait on it.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at time `now`.
+        bootstrap = Event(sim)
+        bootstrap.state = Event.TRIGGERED
+        bootstrap.callbacks.append(self._resume)
+        sim._schedule(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        return self.state == Event.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        target = self._waiting_on
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick.state = Event.TRIGGERED
+        kick.value = Interrupt(cause)
+        kick._ok = False
+        kick.callbacks.append(self._resume)
+        self.sim._schedule(kick)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            elif isinstance(event.value, Interrupt):
+                target = self._generator.throw(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as unhandled:
+            self.fail(unhandled)
+            return
+        if isinstance(target, Generator):
+            target = self.sim.spawn(target)
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected an Event"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Composite event: succeeds when *all* child events have succeeded.
+
+    The value is the list of child values in the original order.  Fails as
+    soon as any child fails.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Composite event: succeeds when the *first* child event triggers.
+
+    The value is a ``(event, value)`` pair identifying the winner.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child.ok:
+            self.succeed((child, child.value))
+        else:
+            self.fail(child.value)
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of triggered events."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List = []
+        self._ids = itertools.count()
+        self._processed = 0
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated units from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a generator as a process and return its Process handle."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._ids), event))
+
+    def step(self) -> None:
+        """Process the single next event on the heap."""
+        when, _, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        event.state = Event.PROCESSED
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+        self._processed += 1
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events the kernel has fired (for tests/metrics)."""
+        return self._processed

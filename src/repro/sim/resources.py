@@ -1,0 +1,215 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Three resource shapes cover every device in the FIDR model:
+
+* :class:`Resource` — a counted semaphore with a FIFO wait queue (e.g. NVMe
+  submission-queue slots, DMA channels, CPU cores when modelled discretely).
+* :class:`Store` — a FIFO buffer of items with optional capacity (e.g. the
+  in-NIC chunk buffer, batch queues between pipeline stages).
+* :class:`BandwidthPipe` — a fair-shared bandwidth channel where a transfer
+  of ``n`` bytes takes ``n / (rate / active)`` time (e.g. a PCIe link, a DRAM
+  channel group, an SSD's flash backend).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "BandwidthPipe"]
+
+
+class Resource:
+    """Counted semaphore with FIFO granting.
+
+    ``yield resource.acquire()`` suspends the process until a unit is free;
+    ``resource.release()`` frees one unit and wakes the next waiter.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        """Return an event that succeeds once a unit has been granted."""
+        event = self.sim.event()
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one unit; hands it straight to the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed(self)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Store:
+    """FIFO item buffer with optional bounded capacity.
+
+    ``put`` blocks when full, ``get`` blocks when empty.  Used for the
+    staging buffers between pipeline stages in device models.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Tuple[Event, Any]] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Return an event that succeeds once ``item`` is in the store."""
+        event = self.sim.event()
+        if self._getters:
+            # Hand the item directly to the oldest waiting consumer.
+            self._getters.popleft().succeed(item)
+            event.succeed(None)
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the next item."""
+        event = self.sim.event()
+        if self.items:
+            item = self.items.popleft()
+            if self._putters:
+                put_event, queued = self._putters.popleft()
+                self.items.append(queued)
+                put_event.succeed(None)
+            event.succeed(item)
+        elif self._putters:
+            put_event, queued = self._putters.popleft()
+            put_event.succeed(None)
+            event.succeed(queued)
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class BandwidthPipe:
+    """Fair-share bandwidth channel using progressive reallocation.
+
+    All in-flight transfers share ``rate_bytes_per_s`` equally.  When a
+    transfer joins or leaves, the remaining bytes of every other transfer
+    are re-timed under the new share.  This reproduces the throughput
+    behaviour of a PCIe link or DRAM channel group without per-packet
+    simulation.
+    """
+
+    def __init__(self, sim: Simulator, rate_bytes_per_s: float, name: str = "pipe"):
+        if rate_bytes_per_s <= 0:
+            raise SimulationError("rate must be positive")
+        self.sim = sim
+        self.rate = float(rate_bytes_per_s)
+        self.name = name
+        self._active = {}  # id -> [remaining_bytes, last_update_time, done_event]
+        self._ids = 0
+        self.bytes_transferred = 0.0
+        self._busy_since: Optional[float] = None
+        self.busy_time = 0.0
+        # Sweep epoch: every reschedule invalidates earlier completion
+        # markers, so exactly one marker is ever live per pipe.  (Without
+        # this, a stale marker firing would spawn a fresh one, and heavy
+        # join/leave churn degenerates into marker storms.)
+        self._epoch = 0
+        # Completions within this fraction of a transfer's size count as
+        # done — absorbs float drift from repeated re-sharing.
+        self._epsilon = 1e-9 * self.rate
+
+    # -- internal bookkeeping ----------------------------------------------
+    def _settle(self) -> None:
+        """Charge elapsed progress to all active transfers."""
+        now = self.sim.now
+        if not self._active:
+            return
+        share = self.rate / len(self._active)
+        for entry in self._active.values():
+            remaining, last, _ = entry
+            progressed = share * (now - last)
+            entry[0] = max(0.0, remaining - progressed)
+            entry[1] = now
+
+    def _reschedule(self) -> None:
+        """Re-time the completion sweep under the current share."""
+        self._epoch += 1
+        if not self._active:
+            if self._busy_since is not None:
+                self.busy_time += self.sim.now - self._busy_since
+                self._busy_since = None
+            return
+        if self._busy_since is None:
+            self._busy_since = self.sim.now
+        share = self.rate / len(self._active)
+        soonest = min(entry[0] for entry in self._active.values())
+        marker = self.sim.timeout(soonest / share)
+        marker.add_callback(
+            lambda _evt, epoch=self._epoch: self._sweep(epoch)
+        )
+
+    def _sweep(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a newer reschedule: inert
+        self._settle()
+        finished = [
+            tid for tid, entry in self._active.items()
+            if entry[0] <= self._epsilon
+        ]
+        for tid in finished:
+            entry = self._active.pop(tid)
+            entry[2].succeed(None)
+        self._reschedule()
+
+    # -- public API ----------------------------------------------------------
+    def transfer(self, num_bytes: float) -> Event:
+        """Return an event that succeeds once ``num_bytes`` have moved."""
+        if num_bytes < 0:
+            raise SimulationError("cannot transfer negative bytes")
+        done = self.sim.event()
+        self.bytes_transferred += num_bytes
+        if num_bytes == 0:
+            done.succeed(None)
+            return done
+        self._settle()
+        tid = self._ids
+        self._ids += 1
+        self._active[tid] = [float(num_bytes), self.sim.now, done]
+        self._reschedule()
+        return done
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of wall time the pipe was busy over ``[since, now]``."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        horizon = self.sim.now - since
+        return busy / horizon if horizon > 0 else 0.0

@@ -1,0 +1,182 @@
+"""Statistics accumulators used by device models and experiments.
+
+Everything here is pure bookkeeping: counters, time-weighted averages for
+utilization-style metrics, streaming summaries, and a fixed-bucket
+histogram for latency distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "TimeWeighted",
+    "StreamingSummary",
+    "Histogram",
+    "RateMeter",
+]
+
+
+class Counter:
+    """A named family of monotonically increasing counters."""
+
+    def __init__(self):
+        self._counts: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {name!r} cannot decrease (got {amount})")
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0.0)
+
+    def total(self) -> float:
+        return sum(self._counts.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counts)
+
+    def fractions(self) -> Dict[str, float]:
+        """Each counter as a fraction of the family total."""
+        total = self.total()
+        if total == 0:
+            return {name: 0.0 for name in self._counts}
+        return {name: value / total for name, value in self._counts.items()}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counts.items()))
+        return f"Counter({body})"
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal.
+
+    Useful for queue lengths and utilization: call :meth:`record` whenever
+    the level changes, then read :meth:`average` over the observed window.
+    """
+
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0):
+        self._last_time = start_time
+        self._level = initial
+        self._area = 0.0
+        self._start = start_time
+        self.peak = initial
+
+    def record(self, now: float, level: float) -> None:
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        self.peak = max(self.peak, level)
+
+    def average(self, now: Optional[float] = None) -> float:
+        end = self._last_time if now is None else now
+        area = self._area + self._level * max(0.0, end - self._last_time)
+        span = end - self._start
+        return area / span if span > 0 else self._level
+
+    @property
+    def current(self) -> float:
+        return self._level
+
+
+class StreamingSummary:
+    """Single-pass mean/variance/min/max (Welford's algorithm)."""
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class Histogram:
+    """Fixed-boundary histogram with percentile estimation.
+
+    Boundaries are upper edges; a sample lands in the first bucket whose
+    edge is >= the sample.  Percentiles interpolate within the bucket.
+    """
+
+    def __init__(self, boundaries: Sequence[float]):
+        edges = list(boundaries)
+        if edges != sorted(edges):
+            raise ValueError("boundaries must be sorted ascending")
+        if not edges:
+            raise ValueError("need at least one boundary")
+        self.edges: List[float] = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)  # + overflow bucket
+        self.total = 0
+
+    def add(self, value: float) -> None:
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.total += 1
+
+    def percentile(self, pct: float) -> float:
+        """Approximate the given percentile (0-100)."""
+        if not 0 <= pct <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.total == 0:
+            return 0.0
+        target = pct / 100.0 * self.total
+        seen = 0.0
+        for index, count in enumerate(self.counts):
+            if seen + count >= target and count > 0:
+                lower = self.edges[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.edges[index]
+                    if index < len(self.edges)
+                    else self.edges[-1]
+                )
+                fraction = (target - seen) / count
+                return lower + fraction * (upper - lower)
+            seen += count
+        return self.edges[-1]
+
+
+class RateMeter:
+    """Tracks a quantity delivered over simulated time (e.g. GB/s)."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._start = start_time
+        self._amount = 0.0
+
+    def add(self, amount: float) -> None:
+        self._amount += amount
+
+    def rate(self, now: float) -> float:
+        span = now - self._start
+        return self._amount / span if span > 0 else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._amount

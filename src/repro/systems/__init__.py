@@ -1,0 +1,43 @@
+"""End-to-end systems: the CIDR-extended baseline and FIDR."""
+
+from .accounting import CpuTask, FIG5B_GROUPS, MemPath, SystemReport, TABLE2_GROUPS
+from .base import CacheDelta, ReductionSystem
+from .baseline import BaselineSystem
+from .config import CpuCosts, SystemConfig
+from .extensions import ExtendedFidrSystem, HotReadCache
+from .fidr import FidrSystem
+from .latency import (
+    LatencyConfig,
+    LatencyResult,
+    ReadLatencyModel,
+    write_commit_latency,
+)
+from .pipeline_sim import PipelineResult, simulate_write_pipeline
+from .predictor import PredictionStats, UniqueChunkPredictor
+from .server import StorageServer, SystemKind
+
+__all__ = [
+    "BaselineSystem",
+    "CacheDelta",
+    "CpuCosts",
+    "CpuTask",
+    "FIG5B_GROUPS",
+    "ExtendedFidrSystem",
+    "FidrSystem",
+    "HotReadCache",
+    "PipelineResult",
+    "simulate_write_pipeline",
+    "LatencyConfig",
+    "LatencyResult",
+    "MemPath",
+    "PredictionStats",
+    "ReadLatencyModel",
+    "ReductionSystem",
+    "StorageServer",
+    "SystemConfig",
+    "SystemKind",
+    "SystemReport",
+    "TABLE2_GROUPS",
+    "UniqueChunkPredictor",
+    "write_commit_latency",
+]

@@ -1,0 +1,243 @@
+"""Shared scaffold for the two end-to-end systems (baseline and FIDR).
+
+A :class:`ReductionSystem` owns one functional data-reduction stack —
+dedup engine, Hash-PBN table over a :class:`~repro.cache.TableCache`
+backed by table SSDs, containers accounted to data SSDs — plus the
+device ledgers.  Subclasses differ **only** in flow topology: which
+devices move the bytes, which memory paths get charged, which tasks the
+host CPU pays for.  That is the paper's thesis rendered as code
+structure: both systems do identical logical work; the architecture
+decides who pays.
+
+Writes accumulate into batches of ``config.batch_chunks`` before the
+backend runs (both CIDR's predictor and FIDR's NIC operate on batches);
+reads are strongly consistent (subclasses either flush first or serve
+from their staging buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..cache.table_cache import CacheIndex, TableCache
+from ..datared.chunking import Chunk
+from ..datared.compression import Compressor, ZlibCompressor
+from ..datared.container import Container, ContainerStore
+from ..datared.dedup import ChunkOutcome, DedupEngine
+from ..datared.hash_pbn import HashPbnTable
+from ..hw.cpu import CpuLedger
+from ..hw.memory import MemoryLedger
+from ..hw.pcie import PcieTopology
+from ..hw.specs import PROTOTYPE_SERVER, ServerSpec
+from ..hw.ssd import SsdArray, SsdBucketStore
+from .accounting import SystemReport
+from .config import SystemConfig
+
+__all__ = ["CacheDelta", "ReductionSystem"]
+
+
+@dataclass
+class CacheDelta:
+    """What the table-cache stack did during one batch of chunks."""
+
+    content_scans: int = 0
+    fetches: int = 0
+    flushes: int = 0
+    evictions: int = 0
+    host_bytes_read: int = 0
+    host_bytes_written: int = 0
+    tree_searches: int = 0
+    tree_updates: int = 0
+    tree_node_visits: int = 0
+    table_ssd_reads: int = 0
+    table_ssd_writes: int = 0
+    table_ssd_read_bytes: float = 0.0
+    table_ssd_write_bytes: float = 0.0
+
+
+class ReductionSystem:
+    """Base class wiring the functional stack to the ledgers."""
+
+    #: Who runs the table SSDs' NVMe queues ("host" or "engine", §6.1).
+    TABLE_QUEUE_OWNER = "host"
+    name = "abstract"
+
+    def __init__(
+        self,
+        server: Optional[ServerSpec] = None,
+        config: Optional[SystemConfig] = None,
+        num_buckets: int = 1 << 15,
+        cache_lines: int = 1024,
+        compressor: Optional[Compressor] = None,
+    ):
+        self.server = server if server is not None else PROTOTYPE_SERVER
+        self.config = config if config is not None else SystemConfig()
+
+        # Device ledgers.
+        self.memory = MemoryLedger(self.server.dram)
+        self.cpu = CpuLedger(self.server.cpu)
+        self.pcie = self._build_topology()
+
+        # Functional storage stack.
+        self.table_array = SsdArray(
+            self.server.num_table_ssds, self.server.table_ssd, name="table-ssd"
+        )
+        self.data_array = SsdArray(
+            self.server.num_data_ssds, self.server.data_ssd, name="data-ssd"
+        )
+        backing = SsdBucketStore(self.table_array, queue_owner=self.TABLE_QUEUE_OWNER)
+        self.table_cache = TableCache(
+            backing,
+            capacity_lines=cache_lines,
+            index=self._make_index(),
+            eviction_batch=self.config.eviction_batch,
+        )
+        table = HashPbnTable(num_buckets, store=self.table_cache)
+        containers = ContainerStore(on_seal=self._on_container_seal)
+        self.engine = DedupEngine(
+            table=table,
+            compressor=compressor if compressor is not None else ZlibCompressor(),
+            containers=containers,
+            chunk_size=self.config.chunk_size,
+        )
+
+        self.logical_write_bytes = 0.0
+        self.logical_read_bytes = 0.0
+        self._pending: List[Chunk] = []
+
+    # -- subclass hooks --------------------------------------------------------------
+    def _build_topology(self) -> PcieTopology:
+        raise NotImplementedError
+
+    def _make_index(self) -> CacheIndex:
+        raise NotImplementedError
+
+    def _enqueue(self, chunk: Chunk) -> None:
+        """Stage one incoming chunk (host buffer vs. NIC buffer)."""
+        raise NotImplementedError
+
+    def _process_batch(self, chunks: List[Chunk]) -> None:
+        """Run the backend write flow for one staged batch."""
+        raise NotImplementedError
+
+    def _read_chunk(self, lba: int) -> bytes:
+        """Run the read flow for one chunk-aligned LBA."""
+        raise NotImplementedError
+
+    def _on_container_seal(self, container: Container) -> None:
+        """Charge the sealed container's trip to the data SSDs."""
+        raise NotImplementedError
+
+    # -- client API --------------------------------------------------------------------
+    def write(self, lba: int, payload: bytes) -> None:
+        """Client write at chunk-aligned ``lba`` (ack is immediate;
+        the backend runs when a batch fills)."""
+        chunks = self.engine.chunker.split(lba, payload)
+        for chunk in chunks:
+            self.logical_write_bytes += len(chunk.data)
+            self._enqueue(chunk)
+            self._pending.append(chunk)
+        while len(self._pending) >= self.config.batch_chunks:
+            batch = self._pending[: self.config.batch_chunks]
+            del self._pending[: self.config.batch_chunks]
+            self._process_batch(batch)
+
+    def flush(self) -> None:
+        """Drain staged writes and seal the open container."""
+        if self._pending:
+            batch, self._pending = self._pending, []
+            self._process_batch(batch)
+        self.engine.flush()
+
+    def read(self, lba: int, num_chunks: int = 1) -> bytes:
+        """Client read of ``num_chunks`` chunks at chunk-aligned ``lba``."""
+        if num_chunks < 1:
+            raise ValueError("must read at least one chunk")
+        step = self.engine.chunker.blocks_per_chunk
+        if lba % step != 0:
+            raise ValueError(f"LBA {lba} is not chunk-aligned")
+        pieces = []
+        for position in range(num_chunks):
+            piece = self._read_chunk(lba + position * step)
+            self.logical_read_bytes += len(piece)
+            pieces.append(piece)
+        return b"".join(pieces)
+
+    # -- delta capture -----------------------------------------------------------------
+    def _snapshot(self) -> Tuple:
+        stats = self.table_cache.stats
+        array = self.table_array.stats
+        index = self.table_cache.index
+        visits = getattr(index, "node_visits", 0)
+        return (
+            stats.content_scans,
+            stats.fetches,
+            stats.flushes,
+            stats.evictions,
+            stats.host_bytes_read,
+            stats.host_bytes_written,
+            index.searches,
+            index.updates,
+            visits,
+            array.read_ops,
+            array.write_ops,
+            array.bytes_read,
+            array.bytes_written,
+        )
+
+    def _delta_since(self, snapshot: Tuple) -> CacheDelta:
+        now = self._snapshot()
+        return CacheDelta(
+            content_scans=now[0] - snapshot[0],
+            fetches=now[1] - snapshot[1],
+            flushes=now[2] - snapshot[2],
+            evictions=now[3] - snapshot[3],
+            host_bytes_read=now[4] - snapshot[4],
+            host_bytes_written=now[5] - snapshot[5],
+            tree_searches=now[6] - snapshot[6],
+            tree_updates=now[7] - snapshot[7],
+            tree_node_visits=now[8] - snapshot[8],
+            table_ssd_reads=now[9] - snapshot[9],
+            table_ssd_writes=now[10] - snapshot[10],
+            table_ssd_read_bytes=now[11] - snapshot[11],
+            table_ssd_write_bytes=now[12] - snapshot[12],
+        )
+
+    def _dedup_batch(self, chunks: List[Chunk]) -> Tuple[List[ChunkOutcome], CacheDelta]:
+        """Run the functional dedup write for a batch, capturing what the
+        table-cache stack did on its behalf."""
+        snapshot = self._snapshot()
+        outcomes = []
+        for chunk in chunks:
+            report = self.engine.write(chunk.lba, chunk.data)
+            outcomes.extend(report.chunks)
+        return outcomes, self._delta_since(snapshot)
+
+    # -- reporting ----------------------------------------------------------------------
+    def report(self) -> SystemReport:
+        """Build the projection-ready report for the processed workload."""
+        index = self.table_cache.index
+        return SystemReport(
+            name=self.name,
+            server=self.server,
+            logical_write_bytes=self.logical_write_bytes,
+            logical_read_bytes=self.logical_read_bytes,
+            memory=self.memory,
+            cpu=self.cpu,
+            pcie=self.pcie,
+            cache_stats=self.table_cache.stats,
+            reduction=self.engine.stats,
+            tree_node_visits=getattr(index, "node_visits", 0),
+            engine_tree_updates=(
+                index.updates if self.TABLE_QUEUE_OWNER == "engine" else 0
+            ),
+            predictor_accuracy=self._predictor_accuracy(),
+            nic_buffer_hit_rate=self._nic_buffer_hit_rate(),
+        )
+
+    def _predictor_accuracy(self) -> Optional[float]:
+        return None
+
+    def _nic_buffer_hit_rate(self) -> Optional[float]:
+        return None

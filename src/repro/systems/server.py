@@ -1,0 +1,89 @@
+"""The public storage-server facade.
+
+:class:`StorageServer` wraps either end-to-end system behind the simple
+block API a client of the paper's server would see: chunk-aligned writes
+that are acknowledged immediately, strongly-consistent reads, and a
+flush for shutdown.  The underlying system object stays reachable for
+accounting (``server.system.report()``) and the common questions have
+direct helpers.
+"""
+
+from __future__ import annotations
+
+import enum
+from ..datared.dedup import ReductionStats
+from .accounting import SystemReport
+from .base import ReductionSystem
+from .baseline import BaselineSystem
+from .fidr import FidrSystem
+
+__all__ = ["SystemKind", "StorageServer"]
+
+
+class SystemKind(enum.Enum):
+    """Which architecture the server runs."""
+
+    BASELINE = "baseline"
+    FIDR = "fidr"
+
+
+class StorageServer:
+    """A deduplicating, compressing block store over simulated devices.
+
+    Example
+    -------
+    >>> server = StorageServer.build(SystemKind.FIDR)
+    >>> server.write(0, b"x" * 4096)
+    >>> server.read(0, 1) == b"x" * 4096
+    True
+    """
+
+    def __init__(self, system: ReductionSystem):
+        self.system = system
+
+    @classmethod
+    def build(cls, kind: SystemKind = SystemKind.FIDR, **kwargs) -> "StorageServer":
+        """Construct a server of the given architecture.
+
+        ``kwargs`` pass through to the system constructor (``server``,
+        ``config``, ``num_buckets``, ``cache_lines``, ``compressor`` and
+        the architecture-specific knobs).
+        """
+        if kind is SystemKind.BASELINE:
+            return cls(BaselineSystem(**kwargs))
+        if kind is SystemKind.FIDR:
+            return cls(FidrSystem(**kwargs))
+        raise ValueError(f"unknown system kind {kind!r}")
+
+    # -- block API ---------------------------------------------------------------
+    def write(self, lba: int, payload: bytes) -> None:
+        """Write ``payload`` at chunk-aligned ``lba`` (immediate ack)."""
+        self.system.write(lba, payload)
+
+    def read(self, lba: int, num_chunks: int = 1) -> bytes:
+        """Read ``num_chunks`` chunks starting at chunk-aligned ``lba``."""
+        return self.system.read(lba, num_chunks)
+
+    def flush(self) -> None:
+        """Drain staged writes and seal the open container."""
+        self.system.flush()
+
+    # -- introspection -------------------------------------------------------------
+    @property
+    def reduction_stats(self) -> ReductionStats:
+        """Dedup/compression effectiveness so far."""
+        return self.system.engine.stats
+
+    @property
+    def chunk_size(self) -> int:
+        return self.system.engine.chunker.chunk_size
+
+    def report(self) -> SystemReport:
+        """Full device-accounting report for the processed workload."""
+        return self.system.report()
+
+    def __enter__(self) -> "StorageServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.flush()

@@ -1,0 +1,111 @@
+"""Workload tooling from the command line.
+
+Usage::
+
+    python -m repro.workloads gen --workload write-h --chunks 20000 -o trace.txt
+    python -m repro.workloads gen --profile mail --writes 50000 -o mail.txt
+    python -m repro.workloads inspect trace.txt
+    python -m repro.workloads list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis.report import format_table, pct
+from .generator import WORKLOADS, build_workload
+from .synthetic import MAIL_PROFILE, WEBVM_PROFILE, synthesize
+from .trace import Trace
+
+PROFILES = {"mail": MAIL_PROFILE, "webvm": WEBVM_PROFILE}
+
+
+def _cmd_list(_args) -> int:
+    rows = []
+    for key, spec in WORKLOADS.items():
+        rows.append([
+            key,
+            spec.name,
+            pct(spec.dedup_target),
+            pct(spec.hit_rate_target),
+            pct(spec.read_fraction),
+        ])
+    print(format_table(
+        headers=["key", "name", "dedup target", "hit-rate target", "reads"],
+        rows=rows,
+        title="Table-3 workloads",
+    ))
+    print("\nraw trace profiles:", ", ".join(PROFILES))
+    return 0
+
+
+def _cmd_gen(args) -> int:
+    if args.workload:
+        spec = WORKLOADS.get(args.workload)
+        if spec is None:
+            print(f"unknown workload {args.workload!r}; try `list`",
+                  file=sys.stderr)
+            return 2
+        trace = build_workload(
+            spec, num_chunks=args.chunks, replicas=args.replicas,
+            seed=args.seed,
+        )
+    else:
+        profile = PROFILES.get(args.profile or "")
+        if profile is None:
+            print("need --workload or --profile {mail,webvm}", file=sys.stderr)
+            return 2
+        trace = synthesize(profile, args.writes, seed=args.seed)
+    trace.save(args.output)
+    print(f"wrote {len(trace):,} requests to {args.output} "
+          f"(dedup {trace.content_dedup_ratio():.1%}, "
+          f"{trace.address_footprint():,} distinct LBAs)")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    trace = Trace.load(args.path)
+    rows = [
+        ["requests", f"{len(trace):,}"],
+        ["writes", f"{trace.write_count:,}"],
+        ["reads", f"{trace.read_count:,}"],
+        ["content dedup ratio", pct(trace.content_dedup_ratio())],
+        ["address footprint", f"{trace.address_footprint():,} blocks"],
+        ["logical volume", f"{trace.write_count * 4096 / 1e6:,.1f} MB"],
+    ]
+    print(format_table(headers=["metric", "value"], rows=rows,
+                       title=trace.name))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.workloads")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list known workloads/profiles")
+
+    gen = commands.add_parser("gen", help="generate a trace file")
+    gen.add_argument("--workload", help="a Table-3 workload key (see list)")
+    gen.add_argument("--profile", help="a raw profile: mail or webvm")
+    gen.add_argument("--chunks", type=int, default=16_000,
+                     help="workload volume in 4-KB chunks")
+    gen.add_argument("--writes", type=int, default=16_000,
+                     help="raw-profile write count")
+    gen.add_argument("--replicas", type=int, default=2)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("-o", "--output", required=True)
+
+    inspect = commands.add_parser("inspect", help="summarize a trace file")
+    inspect.add_argument("path")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "gen":
+        return _cmd_gen(args)
+    return _cmd_inspect(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

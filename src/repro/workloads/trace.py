@@ -1,0 +1,160 @@
+"""IO trace structures (paper §7.1).
+
+Traces are block-level: each request touches one 4-KB block by LBA.
+Because no public traces carry real data content (the paper's footnote
+3), content is represented by an integer *content id* — two blocks with
+the same id have byte-identical content, materialized on demand by
+:mod:`repro.workloads.content`.  This is exactly the information the FIU
+traces provide (block address + content hash).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+__all__ = ["OpKind", "IoRequest", "Trace"]
+
+
+class OpKind:
+    WRITE = "W"
+    READ = "R"
+
+
+@dataclass(frozen=True)
+class IoRequest:
+    """One 4-KB block IO."""
+
+    op: str
+    lba: int
+    content_id: int = 0  #: identity of the written content (writes only)
+
+    def __post_init__(self):
+        if self.op not in (OpKind.WRITE, OpKind.READ):
+            raise ValueError(f"unknown op {self.op!r}")
+        if self.lba < 0:
+            raise ValueError(f"negative LBA {self.lba}")
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of block IOs plus descriptive metadata."""
+
+    name: str
+    requests: List[IoRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[IoRequest]:
+        return iter(self.requests)
+
+    def append(self, request: IoRequest) -> None:
+        self.requests.append(request)
+
+    # -- derived properties -------------------------------------------------------
+    @property
+    def write_count(self) -> int:
+        return sum(1 for request in self.requests if request.op == OpKind.WRITE)
+
+    @property
+    def read_count(self) -> int:
+        return len(self.requests) - self.write_count
+
+    def content_dedup_ratio(self) -> float:
+        """Fraction of writes whose content was already written earlier
+        in the trace — the trace's intrinsic deduplication opportunity."""
+        seen = set()
+        duplicates = 0
+        writes = 0
+        for request in self.requests:
+            if request.op != OpKind.WRITE:
+                continue
+            writes += 1
+            if request.content_id in seen:
+                duplicates += 1
+            else:
+                seen.add(request.content_id)
+        return duplicates / writes if writes else 0.0
+
+    def address_footprint(self) -> int:
+        """Distinct LBAs touched."""
+        return len({request.lba for request in self.requests})
+
+    def writes(self) -> Iterator[Tuple[int, int]]:
+        """(lba, content_id) pairs of the write requests, in order."""
+        for request in self.requests:
+            if request.op == OpKind.WRITE:
+                yield request.lba, request.content_id
+
+    # -- (de)serialization --------------------------------------------------------------
+    def dumps(self) -> str:
+        """Compact text form: one ``op lba content`` line per request."""
+        out = io.StringIO()
+        out.write(f"# trace: {self.name}\n")
+        for request in self.requests:
+            out.write(f"{request.op} {request.lba} {request.content_id}\n")
+        return out.getvalue()
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        name = "trace"
+        requests: List[IoRequest] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# trace:"):
+                    name = line.split(":", 1)[1].strip()
+                continue
+            op, lba, content = line.split()
+            requests.append(IoRequest(op, int(lba), int(content)))
+        return cls(name=name, requests=requests)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with open(path) as handle:
+            return cls.loads(handle.read())
+
+    # -- transformations --------------------------------------------------------------------
+    def replicate(
+        self, copies: int, content_stride: int = 1 << 32, lba_stride: int = 0
+    ) -> "Trace":
+        """The paper's replication with systematic modification (§7.1
+        factors 2-3): repeat the trace ``copies`` times, offsetting each
+        replica's content ids so cross-replica duplication vanishes and
+        the aggregate dedup ratio equals a single replica's.
+
+        A non-zero ``lba_stride`` also shifts each replica's address
+        space.  With modified content, replaying the same LBAs would
+        turn every cross-replica write into an overwrite whose old chunk
+        must be garbage-collected — churn the paper's workloads do not
+        contain — so workload construction passes the trace's address
+        footprint as the stride.
+        """
+        if copies < 1:
+            raise ValueError("need at least one copy")
+        combined = Trace(name=f"{self.name}x{copies}")
+        for replica in range(copies):
+            content_offset = replica * content_stride
+            lba_offset = replica * lba_stride
+            for request in self.requests:
+                if request.op == OpKind.WRITE:
+                    combined.append(
+                        IoRequest(
+                            request.op,
+                            request.lba + lba_offset,
+                            request.content_id + content_offset,
+                        )
+                    )
+                else:
+                    combined.append(
+                        IoRequest(request.op, request.lba + lba_offset)
+                    )
+        return combined

@@ -1,0 +1,146 @@
+"""Tests for projection, throughput solving, cost, and report helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cost import CostParameters, StorageCostModel
+from repro.analysis.projection import fit_least_squares, fit_two_points, sweep
+from repro.analysis.report import Comparison, format_comparisons, format_table, gbps, pct
+from repro.analysis.throughput import ThroughputCeilings
+
+
+class TestProjection:
+    def test_two_point_fit(self):
+        fit = fit_two_points((1.0, 10.0), (2.0, 20.0))
+        assert fit(7.5) == pytest.approx(75.0)
+        assert fit.slope == pytest.approx(10.0)
+        assert fit.intercept == pytest.approx(0.0)
+
+    def test_solve_inverts(self):
+        fit = fit_two_points((0.0, 5.0), (10.0, 25.0))
+        assert fit.solve(25.0) == pytest.approx(10.0)
+
+    def test_flat_solve_rejected(self):
+        fit = fit_two_points((0.0, 5.0), (1.0, 5.0))
+        with pytest.raises(ZeroDivisionError):
+            fit.solve(10.0)
+
+    def test_identical_x_rejected(self):
+        with pytest.raises(ValueError):
+            fit_two_points((1.0, 1.0), (1.0, 2.0))
+
+    def test_least_squares_on_exact_line(self):
+        points = [(x, 3.0 * x + 1.0) for x in range(5)]
+        fit = fit_least_squares(points)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.0)
+
+    def test_least_squares_validation(self):
+        with pytest.raises(ValueError):
+            fit_least_squares([(1.0, 1.0)])
+        with pytest.raises(ValueError):
+            fit_least_squares([(1.0, 1.0), (1.0, 2.0)])
+
+    def test_sweep(self):
+        assert sweep(lambda x: x * 2, [1, 2]) == [(1, 2), (2, 4)]
+
+    @given(st.floats(-100, 100), st.floats(-100, 100))
+    def test_fit_passes_through_points(self, y1, y2):
+        fit = fit_two_points((0.0, y1), (1.0, y2))
+        assert fit(0.0) == pytest.approx(y1, abs=1e-9)
+        assert fit(1.0) == pytest.approx(y2, abs=1e-9)
+
+
+class TestThroughputCeilings:
+    def test_minimum_binds(self):
+        solved = ThroughputCeilings({"cpu": 30e9, "dram": 40e9})
+        assert solved.throughput == 30e9
+        assert solved.bottleneck == "cpu"
+
+    def test_speedup(self):
+        fast = ThroughputCeilings({"x": 60e9})
+        slow = ThroughputCeilings({"x": 20e9})
+        assert fast.speedup_over(slow) == pytest.approx(3.0)
+
+
+class TestCostModel:
+    def test_no_reduction_is_pure_ssd(self):
+        cost = StorageCostModel().no_reduction_cost(100e12)
+        assert cost.total == pytest.approx(100e3 * 0.5)
+
+    def test_fidr_storage_shrinks_by_reduction(self):
+        model = StorageCostModel()
+        cost = model.fidr_cost(25e9, 100e12)
+        assert cost.components["data_ssd"] == pytest.approx(100e3 * 0.5 * 0.25)
+
+    def test_fidr_machinery_scales_with_throughput(self):
+        model = StorageCostModel()
+        slow = model.fidr_cost(25e9, 500e12)
+        fast = model.fidr_cost(75e9, 500e12)
+        assert fast.components["fidr_nics"] == pytest.approx(
+            3 * slow.components["fidr_nics"]
+        )
+        assert fast.components["data_ssd"] == slow.components["data_ssd"]
+
+    def test_savings_shrink_with_throughput(self):
+        model = StorageCostModel()
+        reference = model.no_reduction_cost(500e12)
+        saving_25 = model.fidr_cost(25e9, 500e12).savings_vs(reference)
+        saving_75 = model.fidr_cost(75e9, 500e12).savings_vs(reference)
+        assert saving_25 > saving_75 > 0.4
+
+    def test_baseline_partial_reduction_costs_more(self):
+        model = StorageCostModel()
+        baseline = model.baseline_cost(75e9, 500e12, per_socket_cap=25e9)
+        fidr = model.fidr_cost(75e9, 500e12)
+        assert baseline.total > fidr.total
+        # Two thirds of the stream went unreduced.
+        assert baseline.components["data_ssd"] == pytest.approx(
+            500e3 * 0.5 * (1 / 3 * 0.25 + 2 / 3), rel=0.01
+        )
+
+    def test_baseline_within_cap_matches_full_reduction_storage(self):
+        model = StorageCostModel()
+        baseline = model.baseline_cost(20e9, 100e12, per_socket_cap=25e9)
+        assert baseline.components["data_ssd"] == pytest.approx(
+            100e3 * 0.5 * 0.25
+        )
+
+    def test_savings_vs_zero_reference_rejected(self):
+        model = StorageCostModel()
+        with pytest.raises(ValueError):
+            model.fidr_cost(1e9, 1e12).savings_vs(
+                model.no_reduction_cost(0)
+            )
+
+
+class TestReportHelpers:
+    def test_pct_and_gbps(self):
+        assert pct(0.125) == "12.5%"
+        assert gbps(75e9) == "75.0 GB/s"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yy", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "extra"]])
+
+    def test_comparison_error(self):
+        comparison = Comparison("metric", paper=100.0, measured=110.0)
+        assert comparison.relative_error == pytest.approx(0.10)
+
+    def test_comparison_without_paper_value(self):
+        comparison = Comparison("metric", paper=None, measured=1.0)
+        assert comparison.relative_error is None
+        assert "-" in comparison.row()
+
+    def test_format_comparisons(self):
+        text = format_comparisons(
+            [Comparison("m", 1.0, 1.1, "GB/s")], title="T"
+        )
+        assert "T" in text
+        assert "+10%" in text

@@ -1,0 +1,69 @@
+"""Tests for rack-level deployment planning."""
+
+import pytest
+
+from repro.analysis.scaleout import plan_deployment
+from repro.experiments import SMOKE_SCALE, get_report
+
+GB = 1e9
+TB = 1e12
+
+
+@pytest.fixture(scope="module")
+def fidr_report():
+    return get_report("fidr", "write-h", SMOKE_SCALE, server="target")
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    return get_report("baseline", "write-h", SMOKE_SCALE, server="target")
+
+
+class TestPlanning:
+    def test_sockets_scale_with_target(self, fidr_report):
+        import math
+
+        small = plan_deployment(fidr_report, 50 * GB, 500 * TB)
+        large = plan_deployment(fidr_report, 500 * GB, 500 * TB)
+        assert large.sockets > small.sockets
+        assert large.sockets == math.ceil(
+            500 * GB / large.per_socket_throughput
+        )
+
+    def test_baseline_needs_more_sockets(self, fidr_report, baseline_report):
+        fidr = plan_deployment(fidr_report, 300 * GB, 500 * TB)
+        baseline = plan_deployment(
+            baseline_report, 300 * GB, 500 * TB, use_cache_engine=False
+        )
+        assert baseline.sockets >= 2 * fidr.sockets
+
+    def test_capacity_drives_ssds(self, fidr_report):
+        small = plan_deployment(fidr_report, 50 * GB, 100 * TB)
+        large = plan_deployment(fidr_report, 50 * GB, 1000 * TB)
+        assert large.data_ssds > 5 * small.data_ssds
+        # Reduction: 1000 TB effective needs ~250 one-TB drives.
+        assert large.data_ssds == pytest.approx(250, rel=0.1)
+
+    def test_write_bandwidth_can_dominate_ssd_count(self, fidr_report):
+        # 10 TB stored at 0.25 is 3 drives of capacity, but sustaining
+        # 500 GB/s of (well-reduced) ingest needs ~11 drives of write BW.
+        plan = plan_deployment(fidr_report, 500 * GB, 10 * TB)
+        capacity_only = 3
+        assert plan.data_ssds > capacity_only
+
+    def test_cost_per_tb_falls_with_capacity(self, fidr_report):
+        small = plan_deployment(fidr_report, 75 * GB, 100 * TB)
+        large = plan_deployment(fidr_report, 75 * GB, 1000 * TB)
+        assert large.cost_per_effective_tb < small.cost_per_effective_tb
+
+    def test_summary_rows_render(self, fidr_report):
+        plan = plan_deployment(fidr_report, 75 * GB, 500 * TB)
+        rows = plan.summary_rows()
+        assert any("sockets" in str(row[0]) for row in rows)
+        assert plan.bottleneck
+
+    def test_validation(self, fidr_report):
+        with pytest.raises(ValueError):
+            plan_deployment(fidr_report, 0, 1 * TB)
+        with pytest.raises(ValueError):
+            plan_deployment(fidr_report, 1 * GB, 0)

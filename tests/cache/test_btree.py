@@ -1,0 +1,132 @@
+"""Tests for the software B+-tree (the baseline's cache index)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_search(self):
+        assert BPlusTree().search(5) is None
+        assert 5 not in BPlusTree()
+
+    def test_insert_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(2, "b")
+        assert tree.search(1) == "a"
+        assert tree.search(2) == "b"
+        assert len(tree) == 2
+
+    def test_overwrite_updates_value(self):
+        tree = BPlusTree()
+        tree.insert(1, "old")
+        tree.insert(1, "new")
+        assert tree.search(1) == "new"
+        assert len(tree) == 1
+
+    def test_none_value_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree().insert(1, None)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        for key in range(10):
+            tree.insert(key, key)
+        assert tree.delete(5)
+        assert tree.search(5) is None
+        assert not tree.delete(5)
+        assert len(tree) == 9
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in (5, 1, 9, 3, 7):
+            tree.insert(key, key * 10)
+        assert list(tree.items()) == [(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]
+
+
+class TestStructure:
+    def test_height_grows_with_splits(self):
+        tree = BPlusTree(order=3)
+        assert tree.height == 1
+        for key in range(50):
+            tree.insert(key, key)
+        assert tree.height >= 3
+        tree.check_invariants()
+
+    def test_height_shrinks_after_deletes(self):
+        tree = BPlusTree(order=3)
+        for key in range(50):
+            tree.insert(key, key)
+        tall = tree.height
+        for key in range(50):
+            tree.delete(key)
+        assert tree.height < tall
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_node_visits_accumulate(self):
+        tree = BPlusTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        before = tree.node_visits
+        tree.search(50)
+        assert tree.node_visits - before == tree.height
+
+    def test_sequential_insert_invariants(self):
+        tree = BPlusTree(order=4)
+        for key in range(200):
+            tree.insert(key, key)
+        tree.check_invariants()
+
+    def test_reverse_insert_invariants(self):
+        tree = BPlusTree(order=4)
+        for key in reversed(range(200)):
+            tree.insert(key, key)
+        tree.check_invariants()
+
+
+class TestRandomizedVsDict:
+    @pytest.mark.parametrize("order", [3, 4, 16])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_ops_match_dict(self, order, seed):
+        rng = random.Random(seed)
+        tree = BPlusTree(order=order)
+        model = {}
+        for step in range(2500):
+            key = rng.randrange(300)
+            action = rng.random()
+            if action < 0.55:
+                tree.insert(key, key * 2)
+                model[key] = key * 2
+            elif action < 0.9:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert tree.search(key) == model.get(key)
+            if step % 500 == 499:
+                tree.check_invariants()
+        assert dict(tree.items()) == model
+        tree.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 60), max_size=100),
+           st.lists(st.integers(0, 60), max_size=100))
+    def test_insert_then_delete_subset(self, inserts, deletes):
+        tree = BPlusTree(order=3)
+        model = {}
+        for key in inserts:
+            tree.insert(key, key)
+            model[key] = key
+        for key in deletes:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        tree.check_invariants()
+        assert dict(tree.items()) == model

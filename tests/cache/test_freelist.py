@@ -1,0 +1,62 @@
+"""Tests for the circular-buffer free list."""
+
+import pytest
+
+from repro.cache.freelist import CircularFreeList
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        free_list = CircularFreeList(4)
+        for slot in (3, 1, 2):
+            free_list.push(slot)
+        assert [free_list.pop() for _ in range(3)] == [3, 1, 2]
+
+    def test_full_boot_state(self):
+        free_list = CircularFreeList.full(5)
+        assert len(free_list) == 5
+        assert free_list.is_full
+        assert [free_list.pop() for _ in range(5)] == list(range(5))
+
+    def test_empty_pop_rejected(self):
+        with pytest.raises(IndexError):
+            CircularFreeList(2).pop()
+
+    def test_overfill_rejected(self):
+        free_list = CircularFreeList(1)
+        free_list.push(0)
+        with pytest.raises(OverflowError):
+            free_list.push(1)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            CircularFreeList(2).push(-1)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CircularFreeList(0)
+
+    def test_wraparound(self):
+        free_list = CircularFreeList(3)
+        for round_number in range(5):
+            for slot in range(3):
+                free_list.push(slot + round_number * 10)
+            popped = [free_list.pop() for _ in range(3)]
+            assert popped == [slot + round_number * 10 for slot in range(3)]
+        assert free_list.is_empty
+
+
+class TestDdrAccounting:
+    def test_bursts_amortize_sixteen_pops(self):
+        free_list = CircularFreeList.full(64)
+        for _ in range(16):
+            free_list.pop()
+        assert free_list.ddr_bursts == 1
+        free_list.pop()
+        assert free_list.ddr_bursts == 2
+
+    def test_partial_burst_counts_once(self):
+        free_list = CircularFreeList.full(8)
+        for _ in range(3):
+            free_list.pop()
+        assert free_list.ddr_bursts == 1

@@ -1,0 +1,106 @@
+"""Tests for the LRU recency list."""
+
+import pytest
+
+from repro.cache.lru import LruList
+
+
+class TestOrdering:
+    def test_touch_inserts(self):
+        lru = LruList()
+        lru.touch("a")
+        lru.touch("b")
+        assert list(lru.keys_hot_to_cold()) == ["b", "a"]
+        assert len(lru) == 2
+
+    def test_touch_promotes(self):
+        lru = LruList()
+        for key in ("a", "b", "c"):
+            lru.touch(key)
+        lru.touch("a")
+        assert list(lru.keys_hot_to_cold()) == ["a", "c", "b"]
+
+    def test_coldest(self):
+        lru = LruList()
+        for key in ("a", "b", "c"):
+            lru.touch(key)
+        assert lru.coldest() == "a"
+
+    def test_empty_coldest(self):
+        assert LruList().coldest() is None
+
+    def test_remove(self):
+        lru = LruList()
+        lru.touch("a")
+        lru.touch("b")
+        assert lru.remove("a")
+        assert not lru.remove("a")
+        assert list(lru.keys_hot_to_cold()) == ["b"]
+
+    def test_contains(self):
+        lru = LruList()
+        lru.touch("x")
+        assert "x" in lru
+        assert "y" not in lru
+
+    def test_remove_head_and_tail(self):
+        lru = LruList()
+        for key in ("a", "b", "c"):
+            lru.touch(key)
+        lru.remove("c")  # head
+        lru.remove("a")  # tail
+        assert list(lru.keys_hot_to_cold()) == ["b"]
+
+
+class TestEvictBatch:
+    def test_takes_coldest_first(self):
+        lru = LruList()
+        for key in ("a", "b", "c", "d"):
+            lru.touch(key)
+        assert lru.evict_batch(2) == ["a", "b"]
+        assert list(lru.keys_hot_to_cold()) == ["d", "c"]
+
+    def test_batch_larger_than_list(self):
+        lru = LruList()
+        lru.touch("only")
+        assert lru.evict_batch(10) == ["only"]
+        assert len(lru) == 0
+
+    def test_zero_batch(self):
+        lru = LruList()
+        lru.touch("a")
+        assert lru.evict_batch(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LruList().evict_batch(-1)
+
+
+class TestPinning:
+    def test_pinned_keys_skipped(self):
+        lru = LruList()
+        for key in ("a", "b", "c"):
+            lru.touch(key)
+        lru.pin("a")
+        assert lru.coldest() == "b"
+        assert lru.evict_batch(2) == ["b", "c"]
+        assert "a" in lru
+
+    def test_unpin_restores_evictability(self):
+        lru = LruList()
+        lru.touch("a")
+        lru.pin("a")
+        lru.unpin("a")
+        assert lru.evict_batch(1) == ["a"]
+
+    def test_pin_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            LruList().pin("ghost")
+
+    def test_remove_clears_pin(self):
+        lru = LruList()
+        lru.touch("a")
+        lru.pin("a")
+        lru.remove("a")
+        lru.touch("a")
+        assert lru.evict_batch(1) == ["a"]  # pin did not survive removal

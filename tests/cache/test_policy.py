@@ -1,0 +1,142 @@
+"""Tests for the tenant-aware prioritized LRU."""
+
+import pytest
+
+from repro.cache.policy import PartitionedLru
+from repro.cache.table_cache import TableCache
+from repro.datared.hash_pbn import InMemoryBucketStore
+
+
+def make_policy(a=1.0, b=1.0):
+    return PartitionedLru({"a": a, "b": b}, default_tenant="a")
+
+
+class TestBasics:
+    def test_weights_normalized(self):
+        policy = PartitionedLru({"a": 3.0, "b": 1.0})
+        assert policy.weights["a"] == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedLru({})
+        with pytest.raises(ValueError):
+            PartitionedLru({"a": 0.0})
+        with pytest.raises(KeyError):
+            make_policy().set_active("ghost")
+
+    def test_touch_attributes_to_active_tenant(self):
+        policy = make_policy()
+        policy.touch(1)
+        policy.set_active("b")
+        policy.touch(2)
+        assert policy.tenant_of(1) == "a"
+        assert policy.tenant_of(2) == "b"
+        assert len(policy) == 2
+
+    def test_retouch_reattributes(self):
+        policy = make_policy()
+        policy.touch(1)
+        policy.set_active("b")
+        policy.touch(1)
+        assert policy.tenant_of(1) == "b"
+        assert policy.tenant_size("a") == 0
+
+    def test_remove(self):
+        policy = make_policy()
+        policy.touch(1)
+        assert policy.remove(1)
+        assert not policy.remove(1)
+        assert 1 not in policy
+
+    def test_pin_protects(self):
+        policy = make_policy()
+        policy.touch(1)
+        policy.touch(2)
+        policy.pin(1)
+        assert policy.evict_batch(2) == [2]
+
+
+class TestWeightedEviction:
+    def test_over_share_tenant_evicted_first(self):
+        policy = make_policy(a=3.0, b=1.0)  # a deserves 75%
+        policy.set_active("a")
+        for key in range(3):
+            policy.touch(("a", key))
+        policy.set_active("b")
+        for key in range(3):
+            policy.touch(("b", key))
+        # b holds 50% but deserves 25%: victims come from b first.
+        victims = policy.evict_batch(2)
+        assert all(policy_key[0] == "b" for policy_key in victims)
+
+    def test_equal_weights_balance(self):
+        policy = make_policy()
+        policy.set_active("a")
+        for key in range(4):
+            policy.touch(("a", key))
+        policy.set_active("b")
+        policy.touch(("b", 0))
+        victims = policy.evict_batch(2)
+        assert all(key[0] == "a" for key in victims)
+
+    def test_eviction_counters(self):
+        policy = make_policy(a=1.0, b=1.0)
+        policy.set_active("b")
+        for key in range(4):
+            policy.touch(key)
+        policy.evict_batch(3)
+        assert policy.evictions_by_tenant["b"] == 3
+
+    def test_lru_within_tenant(self):
+        policy = make_policy()
+        for key in (1, 2, 3):
+            policy.touch(key)
+        policy.touch(1)  # promote
+        assert policy.evict_batch(1) == [2]
+
+    def test_empty_eviction(self):
+        assert make_policy().evict_batch(5) == []
+        assert make_policy().coldest() is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy().evict_batch(-1)
+
+
+class TestWithTableCache:
+    def test_drop_in_replacement(self):
+        policy = PartitionedLru({"a": 2.0, "b": 1.0})
+        cache = TableCache(
+            InMemoryBucketStore(), capacity_lines=8, lru=policy,
+            eviction_batch=2,
+        )
+        policy.set_active("a")
+        for bucket in range(6):
+            cache.read_bucket(bucket)
+        policy.set_active("b")
+        for bucket in range(100, 110):
+            cache.read_bucket(bucket)
+        cache.check_invariants()
+        # Tenant a's protected share keeps some of its lines resident
+        # despite b's scan.
+        assert policy.tenant_size("a") > 0
+
+    def test_scan_tenant_cannot_flush_protected_tenant(self):
+        policy = PartitionedLru({"hot": 3.0, "scan": 1.0})
+        cache = TableCache(
+            InMemoryBucketStore(), capacity_lines=16, lru=policy,
+            eviction_batch=1,
+        )
+        policy.set_active("hot")
+        hot_buckets = list(range(8))
+        for bucket in hot_buckets:
+            cache.read_bucket(bucket)
+        policy.set_active("scan")
+        for bucket in range(1000, 1200):
+            cache.read_bucket(bucket)
+        # Re-read the hot set under its own tenancy: mostly still cached.
+        policy.set_active("hot")
+        hits_before = cache.stats.hits
+        for bucket in hot_buckets:
+            cache.read_bucket(bucket)
+        assert cache.stats.hits - hits_before >= 6

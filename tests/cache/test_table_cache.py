@@ -1,0 +1,184 @@
+"""Tests for the table cache (write-back LRU over table SSDs)."""
+
+import pytest
+
+from repro.cache.table_cache import BTreeIndex, HwTreeIndex, TableCache
+from repro.datared.hash_pbn import (
+    BUCKET_SIZE,
+    Bucket,
+    HashPbnTable,
+    InMemoryBucketStore,
+)
+from repro.datared.hashing import fingerprint
+
+
+def page_with(value: int) -> bytes:
+    bucket = Bucket()
+    bucket.insert(fingerprint(str(value).encode()), value)
+    return bucket.to_bytes()
+
+
+def make_cache(lines=4, index=None, batch=2):
+    backing = InMemoryBucketStore()
+    cache = TableCache(backing, capacity_lines=lines, index=index,
+                       eviction_batch=batch)
+    return backing, cache
+
+
+class TestHitMiss:
+    def test_first_read_misses_then_hits(self):
+        _, cache = make_cache()
+        cache.read_bucket(1)
+        assert cache.stats.misses == 1
+        # A different bucket in between defeats the warm-access memo.
+        cache.read_bucket(2)
+        cache.read_bucket(1)
+        assert cache.stats.hits == 1
+        assert cache.stats.fetches == 2
+
+    def test_warm_reaccess_is_free(self):
+        _, cache = make_cache()
+        cache.read_bucket(1)
+        scans_before = cache.stats.content_scans
+        bytes_before = cache.stats.host_bytes_read
+        cache.read_bucket(1)  # same bucket, back to back
+        assert cache.stats.warm_hits == 1
+        assert cache.stats.content_scans == scans_before
+        assert cache.stats.host_bytes_read == bytes_before
+
+    def test_hit_rate_counts_warm_reads(self):
+        _, cache = make_cache()
+        cache.read_bucket(1)  # miss
+        cache.read_bucket(1)  # warm
+        assert cache.stats.accesses == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestWriteBack:
+    def test_write_through_read(self):
+        backing, cache = make_cache()
+        page = page_with(7)
+        cache.write_bucket(3, page)
+        assert cache.read_bucket(3) == page
+
+    def test_dirty_flushes_on_eviction(self):
+        backing, cache = make_cache(lines=2, batch=1)
+        cache.write_bucket(1, page_with(1))
+        cache.write_bucket(2, page_with(2))
+        assert backing.writes == 0  # write-back: nothing flushed yet
+        cache.write_bucket(3, page_with(3))  # evicts bucket 1
+        assert backing.writes == 1
+        assert cache.stats.flushes == 1
+        assert Bucket.from_bytes(backing.read_bucket(1)).entries
+
+    def test_clean_eviction_skips_flush(self):
+        backing, cache = make_cache(lines=2, batch=1)
+        cache.read_bucket(1)
+        cache.read_bucket(2)
+        cache.read_bucket(3)  # evicts 1, which is clean
+        assert cache.stats.flushes == 0
+        assert cache.stats.evictions == 1
+
+    def test_flush_all(self):
+        backing, cache = make_cache()
+        cache.write_bucket(1, page_with(1))
+        cache.write_bucket(2, page_with(2))
+        assert cache.flush_all() == 2
+        assert backing.writes == 2
+        assert cache.flush_all() == 0  # now clean
+
+    def test_in_place_write_charges_a_cache_line(self):
+        _, cache = make_cache()
+        cache.read_bucket(1)
+        written_before = cache.stats.host_bytes_written
+        cache.write_bucket(1, page_with(9))  # warm in-place update
+        delta = cache.stats.host_bytes_written - written_before
+        assert delta == TableCache.IN_PLACE_WRITE_BYTES
+
+    def test_page_size_enforced(self):
+        _, cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.write_bucket(0, b"small")
+
+
+class TestEviction:
+    def test_lru_victim_selection(self):
+        _, cache = make_cache(lines=2, batch=1)
+        cache.read_bucket(1)
+        cache.read_bucket(2)
+        cache.read_bucket(1)  # 2 is now coldest
+        cache.read_bucket(3)
+        assert cache.index.search(2) is None
+        assert cache.index.search(1) is not None
+
+    def test_batched_eviction(self):
+        _, cache = make_cache(lines=4, batch=4)
+        for bucket in range(1, 5):
+            cache.read_bucket(bucket)
+        cache.read_bucket(5)
+        assert cache.stats.evictions == 4
+        assert cache.resident_lines == 1  # all 4 evicted, #5 installed
+
+    def test_invariants_hold_through_churn(self):
+        _, cache = make_cache(lines=8, batch=2)
+        for step in range(200):
+            bucket = (step * 7) % 40
+            if step % 3:
+                cache.read_bucket(bucket)
+            else:
+                cache.write_bucket(bucket, page_with(bucket))
+        cache.check_invariants()
+
+    def test_validation(self):
+        backing = InMemoryBucketStore()
+        with pytest.raises(ValueError):
+            TableCache(backing, capacity_lines=0)
+        with pytest.raises(ValueError):
+            TableCache(backing, capacity_lines=2, eviction_batch=3)
+
+
+class TestIndexes:
+    def test_btree_index_counts_visits(self):
+        index = BTreeIndex()
+        _, cache = make_cache(lines=4, index=index)
+        for bucket in range(4):
+            cache.read_bucket(bucket)
+        assert index.searches >= 4
+        assert index.node_visits > 0
+
+    def test_hwtree_index_behaves_identically(self):
+        results = []
+        for index in (BTreeIndex(), HwTreeIndex(window=4)):
+            _, cache = make_cache(lines=4, index=index, batch=2)
+            trace = [(step * 5) % 23 for step in range(150)]
+            for bucket in trace:
+                cache.read_bucket(bucket)
+            results.append((cache.stats.hits, cache.stats.misses,
+                            cache.stats.evictions))
+            cache.check_invariants()
+        assert results[0] == results[1]
+
+
+class TestWithHashPbnTable:
+    def test_cached_table_is_transparent(self):
+        backing, cache = make_cache(lines=8, batch=2)
+        table = HashPbnTable(64, store=cache)
+        digests = [fingerprint(str(i).encode()) for i in range(300)]
+        for position, digest in enumerate(digests):
+            assert table.lookup(digest) is None
+            table.insert(digest, position)
+        cache.flush_all()
+        for position, digest in enumerate(digests):
+            assert table.lookup(digest) == position
+        cache.check_invariants()
+
+    def test_dirty_data_survives_eviction_pressure(self):
+        backing, cache = make_cache(lines=2, batch=1)
+        table = HashPbnTable(32, store=cache)
+        digests = [fingerprint(str(i).encode()) for i in range(100)]
+        for position, digest in enumerate(digests):
+            table.insert(digest, position)
+        # Plenty of evictions happened; every entry must still resolve.
+        assert cache.stats.evictions > 0
+        for position, digest in enumerate(digests):
+            assert table.lookup(digest) == position

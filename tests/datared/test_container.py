@@ -1,0 +1,136 @@
+"""Tests for compressed-chunk containers."""
+
+import pytest
+
+from repro.datared.container import (
+    CONTAINER_SIZE,
+    OFFSET_GRANULE,
+    Container,
+    ContainerStore,
+)
+
+
+class TestContainer:
+    def test_append_and_read(self):
+        container = Container(0, capacity=4096)
+        placement = container.append(b"payload", stored_size=7)
+        assert placement.offset == 0
+        assert container.read(placement.offset) == b"payload"
+
+    def test_offsets_advance_by_granules(self):
+        container = Container(0, capacity=4096)
+        first = container.append(b"a" * 100, 100)
+        second = container.append(b"b" * 10, 10)
+        assert first.offset == 0
+        assert second.offset == (100 + OFFSET_GRANULE - 1) // OFFSET_GRANULE == 2
+
+    def test_offsets_fit_two_byte_field(self):
+        container = Container(0)  # 4 MB default
+        assert container.capacity // OFFSET_GRANULE <= 0x10000
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Container(0, capacity=100)  # not granule-aligned
+        with pytest.raises(ValueError):
+            Container(0, capacity=8 * 1024 * 1024)  # exceeds offset field
+
+    def test_has_room(self):
+        container = Container(0, capacity=128)
+        assert container.has_room(128)
+        container.append(b"x" * 64, 64)
+        assert container.has_room(64)
+        assert not container.has_room(65)
+
+    def test_sealed_rejects_append(self):
+        container = Container(0, capacity=4096)
+        container.seal()
+        with pytest.raises(ValueError):
+            container.append(b"x", 1)
+
+    def test_garbage_accounting(self):
+        container = Container(0, capacity=4096)
+        placement = container.append(b"x" * 100, 100)
+        container.append(b"y" * 100, 100)
+        assert container.garbage_fraction == 0.0
+        container.mark_dead(placement.offset, placement.stored_size)
+        assert container.garbage_fraction == pytest.approx(0.5)
+        assert container.live_bytes == 100
+
+    def test_double_free_rejected(self):
+        container = Container(0, capacity=4096)
+        placement = container.append(b"x" * 10, 10)
+        container.mark_dead(placement.offset, 10)
+        with pytest.raises(KeyError):
+            container.mark_dead(placement.offset, 10)
+
+    def test_fill_bytes_includes_padding(self):
+        container = Container(0, capacity=4096)
+        container.append(b"x", 1)  # 1 byte occupies a full granule
+        assert container.fill_bytes == OFFSET_GRANULE
+
+    def test_chunks_lists_live_only(self):
+        container = Container(0, capacity=4096)
+        keep = container.append(b"keep", 4)
+        drop = container.append(b"drop", 4)
+        container.mark_dead(drop.offset, 4)
+        assert container.chunks() == [(keep.offset, b"keep")]
+
+
+class TestContainerStore:
+    def test_append_rolls_to_new_container_when_full(self):
+        sealed = []
+        store = ContainerStore(container_size=128, on_seal=sealed.append)
+        first = store.append(b"a" * 100, 100)
+        second = store.append(b"b" * 100, 100)
+        assert first.container_id != second.container_id
+        assert [c.container_id for c in sealed] == [first.container_id]
+
+    def test_read_across_containers(self):
+        store = ContainerStore(container_size=128)
+        a = store.append(b"aaa", 3)
+        b = store.append(b"b" * 100, 100)
+        assert store.read(a.container_id, a.offset) == b"aaa"
+        assert store.read(b.container_id, b.offset) == b"b" * 100
+
+    def test_seal_open_flushes(self):
+        sealed = []
+        store = ContainerStore(on_seal=sealed.append)
+        store.append(b"x", 1)
+        container = store.seal_open()
+        assert container is not None and container.sealed
+        assert sealed == [container]
+        assert store.seal_open() is None  # nothing open now
+
+    def test_unknown_container_read_rejected(self):
+        with pytest.raises(KeyError):
+            ContainerStore().read(99, 0)
+
+    def test_garbage_victims(self):
+        store = ContainerStore(container_size=128)
+        placement = store.append(b"x" * 100, 100)
+        store.append(b"y" * 100, 100)  # seals first container
+        store.mark_dead(placement.container_id, placement.offset, 100)
+        victims = store.garbage_victims(threshold=0.5)
+        assert [v.container_id for v in victims] == [placement.container_id]
+
+    def test_drop_requires_empty(self):
+        store = ContainerStore(container_size=128)
+        placement = store.append(b"x" * 100, 100)
+        store.append(b"y" * 100, 100)
+        with pytest.raises(ValueError):
+            store.drop(placement.container_id)
+        store.mark_dead(placement.container_id, placement.offset, 100)
+        store.drop(placement.container_id)
+        with pytest.raises(KeyError):
+            store.read(placement.container_id, placement.offset)
+
+    def test_live_and_total_bytes(self):
+        store = ContainerStore()
+        placement = store.append(b"x" * 50, 50)
+        store.append(b"y" * 30, 30)
+        store.mark_dead(placement.container_id, placement.offset, 50)
+        assert store.total_bytes == 80
+        assert store.live_bytes == 30
+
+    def test_default_threshold_is_4mb(self):
+        assert ContainerStore().container_size == CONTAINER_SIZE == 4 * 1024 * 1024

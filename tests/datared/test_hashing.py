@@ -1,0 +1,88 @@
+"""Tests for chunk fingerprinting and encodings."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datared.hashing import (
+    FINGERPRINT_SIZE,
+    MAX_PBN,
+    PBN_SIZE,
+    bucket_index,
+    decode_pbn,
+    encode_pbn,
+    fingerprint,
+    fingerprint_many,
+)
+
+
+class TestFingerprint:
+    def test_matches_sha256(self):
+        data = b"hello world"
+        assert fingerprint(data) == hashlib.sha256(data).digest()
+
+    def test_width(self):
+        assert len(fingerprint(b"x")) == FINGERPRINT_SIZE == 32
+
+    def test_deterministic(self):
+        assert fingerprint(b"abc") == fingerprint(b"abc")
+
+    def test_content_sensitivity(self):
+        assert fingerprint(b"a" * 4096) != fingerprint(b"a" * 4095 + b"b")
+
+    def test_batch_matches_individual(self):
+        chunks = [b"one", b"two", b"three"]
+        assert fingerprint_many(chunks) == [fingerprint(c) for c in chunks]
+
+
+class TestBucketIndex:
+    def test_in_range(self):
+        for i in range(100):
+            index = bucket_index(fingerprint(str(i).encode()), 37)
+            assert 0 <= index < 37
+
+    def test_deterministic(self):
+        digest = fingerprint(b"stable")
+        assert bucket_index(digest, 1024) == bucket_index(digest, 1024)
+
+    def test_roughly_uniform(self):
+        buckets = 16
+        counts = [0] * buckets
+        for i in range(4000):
+            counts[bucket_index(fingerprint(str(i).encode()), buckets)] += 1
+        expected = 4000 / buckets
+        assert all(0.7 * expected < count < 1.3 * expected for count in counts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bucket_index(fingerprint(b"x"), 0)
+        with pytest.raises(ValueError):
+            bucket_index(b"short", 10)
+
+    @given(st.binary(min_size=32, max_size=32), st.integers(1, 1 << 20))
+    def test_always_in_range(self, digest, buckets):
+        assert 0 <= bucket_index(digest, buckets) < buckets
+
+
+class TestPbnEncoding:
+    @given(st.integers(min_value=0, max_value=MAX_PBN))
+    def test_roundtrip(self, pbn):
+        assert decode_pbn(encode_pbn(pbn)) == pbn
+
+    def test_width(self):
+        assert len(encode_pbn(0)) == PBN_SIZE == 6
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_pbn(-1)
+        with pytest.raises(ValueError):
+            encode_pbn(MAX_PBN + 1)
+
+    def test_decode_validates_width(self):
+        with pytest.raises(ValueError):
+            decode_pbn(b"\x00" * 5)
+
+    def test_pbn_space_covers_petabytes(self):
+        # 2^48 chunks x 4 KB each is far beyond PB scale (§2.1.3).
+        assert (MAX_PBN + 1) * 4096 >= 10**15

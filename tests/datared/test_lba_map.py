@@ -1,0 +1,149 @@
+"""Tests for the two-level LBA-PBA mapping and reference counting."""
+
+import pytest
+
+from repro.datared.lba_map import (
+    LBA_PBN_ENTRY_SIZE,
+    PBN_PBA_ENTRY_SIZE,
+    LbaMap,
+    PbnAllocator,
+    PbnMap,
+    PbnRecord,
+    mapping_bytes_for_capacity,
+)
+
+
+def record(container=0, offset=0, size=100, refcount=1) -> PbnRecord:
+    return PbnRecord(
+        container_id=container,
+        offset=offset,
+        stored_size=size,
+        fingerprint=b"\x01" * 32,
+        refcount=refcount,
+    )
+
+
+class TestLbaMap:
+    def test_set_get(self):
+        lba_map = LbaMap()
+        assert lba_map.set(10, 5) is None
+        assert lba_map.get(10) == 5
+        assert 10 in lba_map
+
+    def test_remap_returns_previous(self):
+        lba_map = LbaMap()
+        lba_map.set(10, 5)
+        assert lba_map.set(10, 7) == 5
+        assert lba_map.get(10) == 7
+
+    def test_unmap(self):
+        lba_map = LbaMap()
+        lba_map.set(1, 2)
+        assert lba_map.unmap(1) == 2
+        assert lba_map.get(1) is None
+        assert lba_map.unmap(1) is None
+
+    def test_metadata_bytes(self):
+        lba_map = LbaMap()
+        for i in range(10):
+            lba_map.set(i, i)
+        assert lba_map.metadata_bytes == 10 * LBA_PBN_ENTRY_SIZE
+
+    def test_items_iterates_all(self):
+        lba_map = LbaMap()
+        lba_map.set(1, 10)
+        lba_map.set(2, 20)
+        assert dict(lba_map.items()) == {1: 10, 2: 20}
+
+
+class TestPbnAllocator:
+    def test_sequential(self):
+        allocator = PbnAllocator()
+        assert [allocator.allocate() for _ in range(3)] == [0, 1, 2]
+
+    def test_free_reuse(self):
+        allocator = PbnAllocator()
+        first = allocator.allocate()
+        allocator.allocate()
+        allocator.free(first)
+        assert allocator.allocate() == first
+
+    def test_free_unallocated_rejected(self):
+        allocator = PbnAllocator()
+        with pytest.raises(ValueError):
+            allocator.free(0)
+
+    def test_allocated_count(self):
+        allocator = PbnAllocator()
+        a = allocator.allocate()
+        allocator.allocate()
+        allocator.free(a)
+        assert allocator.allocated == 1
+
+
+class TestPbnMap:
+    def test_add_get(self):
+        pbn_map = PbnMap()
+        pbn_map.add(1, record())
+        assert pbn_map.get(1).stored_size == 100
+
+    def test_duplicate_add_rejected(self):
+        pbn_map = PbnMap()
+        pbn_map.add(1, record())
+        with pytest.raises(ValueError):
+            pbn_map.add(1, record())
+
+    def test_missing_get_raises(self):
+        with pytest.raises(KeyError):
+            PbnMap().get(9)
+
+    def test_ref_unref_lifecycle(self):
+        pbn_map = PbnMap()
+        pbn_map.add(1, record())
+        assert pbn_map.ref(1) == 2
+        assert pbn_map.unref(1) is None  # still one reference
+        dead = pbn_map.unref(1)
+        assert dead is not None and dead.stored_size == 100
+        assert 1 not in pbn_map
+
+    def test_unref_dead_rejected(self):
+        pbn_map = PbnMap()
+        pbn_map.add(1, record())
+        pbn_map.unref(1)
+        with pytest.raises(KeyError):
+            pbn_map.unref(1)
+
+    def test_live_stored_bytes(self):
+        pbn_map = PbnMap()
+        pbn_map.add(1, record(size=100))
+        pbn_map.add(2, record(size=250))
+        assert pbn_map.live_stored_bytes == 350
+
+    def test_metadata_bytes(self):
+        pbn_map = PbnMap()
+        pbn_map.add(1, record())
+        assert pbn_map.metadata_bytes == PBN_PBA_ENTRY_SIZE
+
+    def test_records_iteration(self):
+        pbn_map = PbnMap()
+        pbn_map.add(3, record())
+        assert [pbn for pbn, _ in pbn_map.records()] == [3]
+
+
+class TestPbnRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            record(refcount=-1)
+        with pytest.raises(ValueError):
+            record(size=0)
+
+
+class TestSizing:
+    def test_mapping_is_multi_tb_at_pb_scale(self):
+        # §2.1.4: the LBA-PBA table is multi-TB for PB-scale storage.
+        size = mapping_bytes_for_capacity(10**15)
+        assert size > 2e12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mapping_bytes_for_capacity(-1)

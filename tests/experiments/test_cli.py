@@ -1,0 +1,33 @@
+"""Tests for the experiments command-line entry point."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["tab04"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "paper" in out
+
+    def test_unknown_name(self, capsys):
+        assert main(["figure-999"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_json_export(self, tmp_path, capsys):
+        path = str(tmp_path / "out.json")
+        assert main(["tab04", "--json", path]) == 0
+        payload = json.loads(open(path).read())
+        assert "tab04" in payload
+        record = payload["tab04"]
+        assert record["title"] == "Table 4"
+        assert record["comparisons"]
+        first = record["comparisons"][0]
+        assert {"metric", "paper", "measured", "relative_error"} <= set(first)
+
+    def test_json_requires_path(self, capsys):
+        assert main(["tab04", "--json"]) == 2

@@ -1,0 +1,59 @@
+"""Tests for the shared experiment harness."""
+
+import pytest
+
+from repro.experiments.common import (
+    SMOKE_SCALE,
+    ExperimentResult,
+    Scale,
+    clear_report_cache,
+    get_report,
+)
+
+
+class TestScale:
+    def test_hashable_and_frozen(self):
+        assert hash(Scale()) == hash(Scale())
+        with pytest.raises(Exception):
+            Scale().num_chunks = 5
+
+
+class TestReportCache:
+    def test_same_key_returns_same_object(self):
+        clear_report_cache()
+        first = get_report("fidr", "write-h", SMOKE_SCALE)
+        second = get_report("fidr", "write-h", SMOKE_SCALE)
+        assert first is second
+
+    def test_distinct_flavours_distinct_reports(self):
+        fidr = get_report("fidr", "write-h", SMOKE_SCALE)
+        baseline = get_report("baseline", "write-h", SMOKE_SCALE)
+        assert fidr is not baseline
+        assert baseline.memory_amplification() > fidr.memory_amplification()
+
+    def test_server_choice_changes_spec(self):
+        prototype = get_report("fidr", "write-h", SMOKE_SCALE, server="prototype")
+        target = get_report("fidr", "write-h", SMOKE_SCALE, server="target")
+        assert target.server.cpu.cores == 22
+        assert prototype.server.cpu.cores == 12
+
+    def test_unknown_flavour_rejected(self):
+        with pytest.raises(ValueError):
+            get_report("gpu-only", "write-h", SMOKE_SCALE)
+
+    def test_clear_cache(self):
+        first = get_report("fidr", "write-h", SMOKE_SCALE)
+        clear_report_cache()
+        second = get_report("fidr", "write-h", SMOKE_SCALE)
+        assert first is not second
+
+
+class TestExperimentResult:
+    def test_render_contains_sections(self):
+        result = ExperimentResult(
+            name="Demo", headline="something happened",
+            tables=["a table"],
+        )
+        text = result.render()
+        assert "Demo" in text and "something happened" in text
+        assert "a table" in text

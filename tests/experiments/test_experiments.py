@@ -1,0 +1,206 @@
+"""Experiment smoke tests: every table/figure regenerates at small scale
+and its directional claims hold.
+
+These run the full pipeline (workload synthesis → system replay →
+projection) at SMOKE_SCALE, so they assert *directions and orderings*
+(who wins, where the dips are), not the paper's absolute values — the
+benchmarks regenerate those at full scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    SMOKE_SCALE,
+    clear_report_cache,
+    get_report,
+)
+from repro.experiments import (
+    fig03_large_chunking,
+    fig04_membw,
+    fig05_cpu,
+    fig11_membw,
+    fig12_cpu,
+    fig13_tree,
+    fig14_throughput,
+    fig15_cost_scaling,
+    fig16_cost_breakdown,
+    latency,
+    tab01_membw_breakdown,
+    tab02_cpu_breakdown,
+    tab03_workloads,
+    tab04_nic_resources,
+    tab05_cache_engine,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_report_cache()
+    yield
+    clear_report_cache()
+
+
+class TestFig03:
+    def test_amplification_monotone_in_chunk_size(self):
+        result = fig03_large_chunking.run(num_writes=8000)
+        mail = result.data["mail"]
+        sizes = sorted(mail)
+        assert all(mail[a] <= mail[b] for a, b in zip(sizes, sizes[1:]))
+        assert mail[32768] > 5.0  # order-of-magnitude RMW penalty
+        assert result.data["webvm"][32768] < mail[32768]
+
+
+class TestFig04:
+    def test_baseline_exceeds_socket_dram(self):
+        result = fig04_membw.run(SMOKE_SCALE)
+        write_demand = result.data["projections"]["Write-only"]
+        assert write_demand > 170e9  # the paper's wall
+        assert write_demand > result.data["projections"]["Mixed read/write"]
+
+
+class TestFig05:
+    def test_baseline_needs_more_than_a_socket(self):
+        result = fig05_cpu.run(SMOKE_SCALE)
+        write = result.data["Write-only"]
+        assert write["cores"] > 22
+        assert write["mgmt"] > 0.7  # management dominates
+        assert write["mgmt"] > result.data["Mixed read/write"]["mgmt"]
+
+
+class TestTab01:
+    def test_capacity_light_paths_dominate(self):
+        result = tab01_membw_breakdown.run(SMOKE_SCALE)
+        write = result.data["write"]
+        hot = (
+            write["NIC <-> host memory"]
+            + write["host memory (unique prediction)"]
+            + write["host memory <-> FPGAs"]
+        )
+        assert hot > 0.5
+        assert write["host memory <-> data SSD"] < 0.1
+
+
+class TestTab02:
+    def test_small_structures_dominate_caching_cpu(self):
+        result = tab02_cpu_breakdown.run(SMOKE_SCALE)
+        breakdown = result.data["breakdown"]
+        tree = breakdown["table cache tree indexing"]
+        ssd = breakdown["table SSD access"]
+        content = breakdown["table cache content access"]
+        assert tree + ssd > 5 * content
+
+
+class TestTab03:
+    def test_hit_rates_ordered(self):
+        result = tab03_workloads.run(SMOKE_SCALE)
+        hits = {
+            key: get_report("fidr", key, SMOKE_SCALE).cache_stats.hit_rate
+            for key in ("write-h", "write-m", "write-l")
+        }
+        assert hits["write-h"] > hits["write-m"] > hits["write-l"]
+
+    def test_dedup_close_to_targets(self):
+        from repro.workloads.generator import WORKLOADS
+
+        for key in ("write-h", "write-m", "write-l"):
+            report = get_report("fidr", key, SMOKE_SCALE)
+            assert report.reduction.dedup_ratio == pytest.approx(
+                WORKLOADS[key].dedup_target, abs=0.05
+            )
+
+
+class TestFig11:
+    def test_fidr_cuts_memory_everywhere(self):
+        result = fig11_membw.run(SMOKE_SCALE)
+        reductions = result.data["reductions"]
+        assert all(value > 0.4 for value in reductions.values())
+        assert reductions["read-mixed"] == max(reductions.values())
+
+
+class TestFig12:
+    def test_fidr_cuts_cpu_everywhere(self):
+        result = fig12_cpu.run(SMOKE_SCALE)
+        reductions = result.data["reductions"]
+        assert all(value > 0.2 for value in reductions.values())
+        # Mixed benefits least: the data-SSD read stack stays on the CPU.
+        assert reductions["read-mixed"] == min(reductions.values())
+
+
+class TestFig13:
+    def test_window_scaling_and_dram_cap(self):
+        result = fig13_tree.run(SMOKE_SCALE)
+        write_m = result.data["write-m"]["series"]
+        assert write_m[4] > 1.5 * write_m[1]
+        write_h = result.data["write-h"]["series"]
+        assert write_h[4] < 135e9  # board-DRAM ceiling
+
+
+class TestFig14:
+    def test_staged_speedups(self):
+        result = fig14_throughput.run(SMOKE_SCALE)
+        speedups = result.data["speedups"]
+        for key in ("write-h", "write-m"):
+            stages = speedups[key]
+            assert stages["+NIC hash & P2P"] > 1.2
+            assert stages["+multi-update tree"] > stages["+HW cache (single-update)"]
+            assert stages["+multi-update tree"] > 2.0
+        # Single-update tree dips below software caching on low-hit work.
+        write_l = speedups["write-l"]
+        assert write_l["+HW cache (single-update)"] < write_l["+NIC hash & P2P"]
+        # Read-Mixed gains nothing from the tree optimization (CPU-bound).
+        mixed = speedups["read-mixed"]
+        assert mixed["+multi-update tree"] == pytest.approx(
+            mixed["+HW cache (single-update)"], rel=0.01
+        )
+
+
+class TestLatency:
+    def test_fidr_reads_faster(self):
+        result = latency.run()
+        assert result.data["fidr_us"] < result.data["baseline_us"]
+        assert result.data["baseline_us"] == pytest.approx(700, rel=0.05)
+        assert result.data["fidr_us"] == pytest.approx(490, rel=0.05)
+
+
+class TestTab04:
+    def test_mixed_cheaper_than_write_only(self):
+        result = tab04_nic_resources.run()
+        assert result.data["mixed"].luts < result.data["write-only"].luts
+
+
+class TestTab05:
+    def test_table_ssd_is_the_small_config_bottleneck(self):
+        result = tab05_cache_engine.run(SMOKE_SCALE)
+        data = result.data
+        assert data["All"]["throughput"] < data["Except SSD, medium tree"]["throughput"]
+        large = data["Except SSD, large tree"]
+        assert large["resources"].urams > 0
+        assert large["geometry"].on_chip_levels == 13
+
+
+class TestFig15:
+    def test_savings_positive_and_shrinking(self):
+        result = fig15_cost_scaling.run(SMOKE_SCALE)
+        savings = result.data["savings"]
+        assert savings[(500e12, 25e9)] > savings[(500e12, 75e9)] > 0.4
+        # Larger capacity -> better savings at fixed throughput.
+        assert savings[(500e12, 75e9)] > savings[(100e12, 75e9)]
+
+
+class TestFig16:
+    def test_fidr_cheapest_reduction_option(self):
+        result = fig16_cost_breakdown.run(SMOKE_SCALE)
+        totals = result.data["totals"]
+        assert totals["FIDR"] < totals["baseline (partial)"] < totals["no reduction"]
+
+
+class TestHarness:
+    def test_all_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 15
+
+    def test_results_render_to_text(self):
+        result = tab04_nic_resources.run()
+        text = result.render()
+        assert "Table 4" in text
+        assert "paper" in text

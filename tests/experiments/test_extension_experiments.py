@@ -1,0 +1,122 @@
+"""Smoke tests for the beyond-paper studies and ablations."""
+
+import pytest
+
+from repro.experiments import (
+    EXTENSION_EXPERIMENTS,
+    SMOKE_SCALE,
+    ablations,
+    clear_report_cache,
+    ext_cdc,
+    ext_gc,
+    ext_multitenant,
+    ext_read_offload,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_report_cache()
+    yield
+    clear_report_cache()
+
+
+class TestReadOffload:
+    def test_offload_beats_paper_fidr(self):
+        result = ext_read_offload.run(SMOKE_SCALE)
+        throughputs = result.data["throughputs"]
+        assert (
+            throughputs["FIDR + NVMe read offload"]
+            > 1.2 * throughputs["FIDR (paper)"]
+        )
+        assert (
+            throughputs["FIDR + offload + hot read cache"]
+            >= throughputs["FIDR + NVMe read offload"]
+        )
+
+
+class TestMultitenant:
+    def test_prioritized_protects_hot_tenant(self):
+        result = ext_multitenant.run(num_ops=2500)
+        plain, prioritized = result.data["plain"], result.data["prioritized"]
+        assert prioritized["mail"] > plain["mail"] + 0.05
+        # The scan tenant pays far less than the hot tenant gains.
+        assert (plain["scan"] - prioritized["scan"]) < (
+            prioritized["mail"] - plain["mail"]
+        )
+
+
+class TestCdc:
+    def test_cdc_dedups_across_insertions(self):
+        result = ext_cdc.run(num_versions=6, size=80_000)
+        assert result.data["cdc"]["dedup"] > result.data["fixed"]["dedup"] + 0.2
+        # And the cost side: CDC scanned every input byte.
+        assert result.data["cdc"]["scanned"] > 0
+
+
+class TestGc:
+    def test_gc_tradeoff_is_monotone(self):
+        result = ext_gc.run(num_writes=1500, address_space=60)
+        series = result.data["series"]
+        thresholds = sorted(series, reverse=True)  # 1.0 (no GC) .. 0.3
+        dead = [series[t]["dead_fraction"] for t in thresholds]
+        amp = [series[t]["write_amp"] for t in thresholds]
+        assert dead == sorted(dead, reverse=True)  # less dead space ...
+        assert amp == sorted(amp)  # ... costs more flash writes
+        assert series[1.0]["gc_runs"] == 0
+
+
+class TestAblations:
+    def test_cache_size_sweep_monotone(self):
+        result = ablations.cache_size_sweep(SMOKE_SCALE)
+        series = result.data["series"]
+        sizes = sorted(series)
+        hits = [series[size]["hit"] for size in sizes]
+        assert hits == sorted(hits)
+        amps = [series[size]["amp"] for size in sizes]
+        assert amps == sorted(amps, reverse=True)
+
+    def test_eviction_batching_cheap(self):
+        result = ablations.eviction_batch_sweep(SMOKE_SCALE)
+        series = result.data["series"]
+        assert series[1]["hit"] - series[32]["hit"] < 0.03
+
+    def test_compressibility_multiplies_reduction(self):
+        result = ablations.compressibility_sweep(SMOKE_SCALE)
+        series = result.data["series"]
+        assert series[0.25] > series[0.5] > series[1.0] > 1.0
+
+    def test_batch_size_insensitive(self):
+        result = ablations.batch_size_sweep(SMOKE_SCALE)
+        series = result.data["series"]
+        values = list(series.values())
+        assert max(values) < 0.15  # root-complex traffic stays tiny
+        assert max(values) - min(values) < 0.02
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        assert set(EXTENSION_EXPERIMENTS) >= {
+            "ext-read-offload", "ext-multitenant", "ext-cdc",
+            "ext-pipeline-des", "ext-gc", "ablations",
+        }
+
+
+class TestSensitivity:
+    def test_speedup_robust_to_calibration(self):
+        from repro.experiments import ext_sensitivity
+
+        result = ext_sensitivity.run(SMOKE_SCALE)
+        speedups = result.data["speedups"]
+        assert max(speedups.values()) / min(speedups.values()) < 1.5
+        assert all(value > 2.0 for value in speedups.values())
+
+    def test_scaled_costs(self):
+        from repro.experiments.ext_sensitivity import scaled_costs
+
+        doubled = scaled_costs(2.0)
+        from repro.systems.config import CpuCosts
+
+        assert doubled.predictor_per_chunk == 2 * CpuCosts().predictor_per_chunk
+        with pytest.raises(ValueError):
+            scaled_costs(0)

@@ -1,0 +1,94 @@
+"""Tests for the FPGA resource estimator (Tables 4-5)."""
+
+import pytest
+
+from repro.hw.fpga_resources import (
+    ResourceCount,
+    estimate_cache_engine_resources,
+    estimate_nic_resources,
+    tree_geometry,
+)
+from repro.hw.specs import VCU1525
+
+MB = 1024 * 1024
+
+
+class TestResourceCount:
+    def test_addition(self):
+        total = ResourceCount(1, 2, 3, 4) + ResourceCount(10, 20, 30, 40)
+        assert (total.luts, total.flip_flops, total.brams, total.urams) == (
+            11, 22, 33, 44,
+        )
+
+    def test_utilization_fractions(self):
+        count = ResourceCount(luts=VCU1525.luts // 2, flip_flops=0, brams=0)
+        assert count.utilization(VCU1525)["luts"] == pytest.approx(0.5)
+
+
+class TestNicEstimate:
+    def test_write_only_matches_table4(self):
+        rows = estimate_nic_resources(line_rate=8e9, write_fraction=1.0)
+        reduction = rows["data_reduction_support"]
+        assert reduction.luts == pytest.approx(125_000, rel=0.05)
+        assert reduction.brams == pytest.approx(95, rel=0.05)
+        total = rows["total"]
+        assert total.utilization(VCU1525)["luts"] == pytest.approx(0.245, abs=0.01)
+        assert total.utilization(VCU1525)["brams"] == pytest.approx(0.518, abs=0.01)
+
+    def test_mixed_needs_half_the_hash_cores(self):
+        write_only = estimate_nic_resources(8e9, 1.0)["data_reduction_support"]
+        mixed = estimate_nic_resources(8e9, 0.5)["data_reduction_support"]
+        assert mixed.luts < write_only.luts
+        assert mixed.luts == pytest.approx(84_000, rel=0.05)
+
+    def test_scales_with_line_rate(self):
+        slow = estimate_nic_resources(2e9, 1.0)["data_reduction_support"]
+        fast = estimate_nic_resources(16e9, 1.0)["data_reduction_support"]
+        assert fast.luts > slow.luts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_nic_resources(0)
+        with pytest.raises(ValueError):
+            estimate_nic_resources(8e9, 1.5)
+
+
+class TestTreeGeometry:
+    def test_medium_tree_is_8_plus_1(self):
+        geometry = tree_geometry(410 * MB)
+        assert geometry.on_chip_levels == 8
+        assert geometry.off_chip_levels == 1
+
+    def test_large_tree_is_13_plus_1(self):
+        geometry = tree_geometry(99_645 * MB)
+        assert geometry.on_chip_levels == 13
+
+    def test_levels_grow_logarithmically(self):
+        small = tree_geometry(10 * MB).on_chip_levels
+        large = tree_geometry(100_000 * MB).on_chip_levels
+        assert small < large <= small + 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_geometry(0)
+
+
+class TestCacheEngineEstimate:
+    def test_medium_tree_fits_bram(self):
+        result = estimate_cache_engine_resources(410 * MB, with_table_ssd=False)
+        resources = result["resources"]
+        assert resources.urams == 0
+        assert resources.luts == pytest.approx(316_000, rel=0.03)
+
+    def test_large_tree_spills_to_uram(self):
+        result = estimate_cache_engine_resources(99_645 * MB, with_table_ssd=False)
+        resources = result["resources"]
+        assert resources.urams > 0
+        share = resources.urams / VCU1525.urams
+        assert share == pytest.approx(0.788, abs=0.06)  # Table 5: 78.8%
+
+    def test_table_ssd_controllers_add_resources(self):
+        with_ssd = estimate_cache_engine_resources(410 * MB, True)["resources"]
+        without = estimate_cache_engine_resources(410 * MB, False)["resources"]
+        assert with_ssd.luts > without.luts
+        assert with_ssd.brams > without.brams

@@ -1,0 +1,105 @@
+"""Tests for the DRAM and CPU ledgers."""
+
+import pytest
+
+from repro.hw.cpu import CpuLedger
+from repro.hw.memory import MemoryLedger
+from repro.hw.specs import HIGH_END_SOCKET_DRAM, XEON_E5_4669V4
+
+
+class TestMemoryLedger:
+    def test_read_write_accumulate(self):
+        ledger = MemoryLedger()
+        ledger.read("path", 100)
+        ledger.write("path", 50)
+        traffic = ledger.path_traffic("path")
+        assert traffic.bytes_read == 100
+        assert traffic.bytes_written == 50
+        assert ledger.total_bytes == 150
+
+    def test_through_counts_both_directions(self):
+        ledger = MemoryLedger()
+        ledger.through("buffer", 100)
+        assert ledger.total_bytes == 200
+
+    def test_negative_rejected(self):
+        ledger = MemoryLedger()
+        with pytest.raises(ValueError):
+            ledger.read("x", -1)
+
+    def test_breakdown_sums_to_one(self):
+        ledger = MemoryLedger()
+        ledger.read("a", 300)
+        ledger.write("b", 100)
+        breakdown = ledger.breakdown()
+        assert breakdown["a"] == pytest.approx(0.75)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_empty_breakdown(self):
+        assert MemoryLedger().breakdown() == {}
+
+    def test_bandwidth_demand_is_linear(self):
+        ledger = MemoryLedger()
+        ledger.through("x", 1000)  # 2000 bytes of traffic for 1000 logical
+        assert ledger.bandwidth_demand(10e9, 1000) == pytest.approx(20e9)
+        assert ledger.amplification(1000) == pytest.approx(2.0)
+
+    def test_demand_requires_logical_bytes(self):
+        with pytest.raises(ValueError):
+            MemoryLedger().bandwidth_demand(1e9, 0)
+
+    def test_utilization_against_spec(self):
+        ledger = MemoryLedger(HIGH_END_SOCKET_DRAM)
+        ledger.through("x", 1000)
+        utilization = ledger.utilization(85e9, 1000)
+        assert utilization == pytest.approx(170e9 / HIGH_END_SOCKET_DRAM.peak_bw)
+
+    def test_capacity_tracks_peak(self):
+        ledger = MemoryLedger()
+        ledger.require_capacity("cache", 100)
+        ledger.require_capacity("cache", 50)  # lower: ignored
+        assert ledger.path_traffic("cache").capacity_bytes == 100
+        assert ledger.capacity_demand() == 100
+
+
+class TestCpuLedger:
+    def test_charges_accumulate(self):
+        ledger = CpuLedger()
+        ledger.charge("task", 100)
+        ledger.charge("task", 50)
+        assert ledger.tasks()["task"] == 150
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CpuLedger().charge("x", -1)
+
+    def test_breakdown(self):
+        ledger = CpuLedger()
+        ledger.charge("a", 75)
+        ledger.charge("b", 25)
+        assert ledger.breakdown() == {"a": 0.75, "b": 0.25}
+
+    def test_cores_required_projection(self):
+        ledger = CpuLedger(XEON_E5_4669V4)
+        # 2.2 cycles per byte at 2.2 GHz -> 1 core per GB/s.
+        ledger.charge("work", 2.2 * 1000)
+        assert ledger.cores_required(10e9, 1000) == pytest.approx(10.0)
+
+    def test_utilization(self):
+        ledger = CpuLedger(XEON_E5_4669V4)
+        ledger.charge("work", 2.2 * 1000)
+        assert ledger.utilization(22e9, 1000) == pytest.approx(1.0)
+
+    def test_grouped_breakdown_with_other(self):
+        ledger = CpuLedger()
+        ledger.charge("a", 50)
+        ledger.charge("b", 30)
+        ledger.charge("unlisted", 20)
+        groups = ledger.grouped_breakdown({"a": "mgmt", "b": "mgmt"})
+        assert groups == {"mgmt": pytest.approx(0.8), "other": pytest.approx(0.2)}
+
+    def test_requires_spec_for_utilization(self):
+        ledger = CpuLedger()
+        ledger.charge("x", 1)
+        with pytest.raises(ValueError):
+            ledger.utilization(1e9, 1)

@@ -1,0 +1,107 @@
+"""Tests for the PCIe topology and peer-to-peer accounting."""
+
+import pytest
+
+from repro.hw.pcie import HOST, PcieTopology
+from repro.hw.specs import PCIE3_X4
+
+
+def two_switch_topology():
+    topology = PcieTopology(num_switches=2, root_complex_bw=128e9)
+    topology.attach("nic", switch=0)
+    topology.attach("engine", switch=0)
+    topology.attach("ssd", switch=1)
+    return topology
+
+
+class TestConstruction:
+    def test_attach_and_lookup(self):
+        topology = PcieTopology()
+        device = topology.attach("dev", link=PCIE3_X4)
+        assert topology.device("dev") is device
+        assert device.link.lanes == 4
+
+    def test_duplicate_name_rejected(self):
+        topology = PcieTopology()
+        topology.attach("dev")
+        with pytest.raises(ValueError):
+            topology.attach("dev")
+
+    def test_host_name_reserved(self):
+        with pytest.raises(ValueError):
+            PcieTopology().attach(HOST)
+
+    def test_unknown_switch_rejected(self):
+        with pytest.raises(ValueError):
+            PcieTopology(num_switches=1).attach("dev", switch=3)
+
+    def test_unknown_device_lookup(self):
+        with pytest.raises(KeyError):
+            PcieTopology().device("ghost")
+
+
+class TestRouting:
+    def test_same_switch_is_p2p(self):
+        topology = two_switch_topology()
+        topology.transfer("nic", "engine", 1000)
+        assert topology.p2p_bytes == 1000
+        assert topology.root_complex_bytes == 0
+        assert topology.device("nic").bytes_out == 1000
+        assert topology.device("engine").bytes_in == 1000
+
+    def test_cross_switch_crosses_root(self):
+        topology = two_switch_topology()
+        topology.transfer("nic", "ssd", 500)
+        assert topology.p2p_bytes == 0
+        assert topology.root_complex_bytes == 500
+
+    def test_host_transfers_cross_root(self):
+        topology = two_switch_topology()
+        topology.transfer("nic", HOST, 100)
+        topology.transfer(HOST, "ssd", 200)
+        assert topology.root_complex_bytes == 300
+
+    def test_self_transfer_rejected(self):
+        topology = two_switch_topology()
+        with pytest.raises(ValueError):
+            topology.transfer("nic", "nic", 10)
+
+    def test_negative_rejected(self):
+        topology = two_switch_topology()
+        with pytest.raises(ValueError):
+            topology.transfer("nic", "engine", -5)
+
+    def test_p2p_fraction(self):
+        topology = two_switch_topology()
+        topology.transfer("nic", "engine", 900)  # P2P
+        topology.transfer("nic", HOST, 100)  # root
+        assert topology.p2p_fraction() == pytest.approx(0.9)
+
+    def test_p2p_fraction_empty(self):
+        assert two_switch_topology().p2p_fraction() == 0.0
+
+
+class TestUtilization:
+    def test_device_link_utilization(self):
+        topology = two_switch_topology()
+        topology.transfer("nic", "engine", 1000)
+        # 1000 bytes out per 1000 logical bytes at 12.8 GB/s link.
+        utilization = topology.device_utilization("nic", 12.8e9, 1000)
+        assert utilization == pytest.approx(1.0)
+
+    def test_busier_direction_binds(self):
+        topology = two_switch_topology()
+        topology.transfer("nic", "engine", 1000)
+        topology.transfer("engine", "nic", 100)
+        assert topology.device_utilization("nic", 12.8e9, 1000) == pytest.approx(1.0)
+
+    def test_root_complex_utilization(self):
+        topology = two_switch_topology()
+        topology.transfer("nic", HOST, 1000)
+        utilization = topology.root_complex_utilization(128e9, 1000)
+        assert utilization == pytest.approx(1.0)
+
+    def test_requires_logical_bytes(self):
+        topology = two_switch_topology()
+        with pytest.raises(ValueError):
+            topology.device_utilization("nic", 1e9, 0)

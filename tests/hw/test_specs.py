@@ -1,0 +1,58 @@
+"""Tests for the hardware spec constants (paper anchors)."""
+
+import pytest
+
+from repro.hw.specs import (
+    HIGH_END_SOCKET_DRAM,
+    PCIE3_X16,
+    PROTOTYPE_SERVER,
+    SAMSUNG_970_PRO,
+    SOCKET_PCIE_1TBPS,
+    TARGET_SERVER,
+    VCU1525,
+    XEON_E5_2650V4,
+    XEON_E5_4669V4,
+)
+
+
+class TestPaperAnchors:
+    def test_high_end_socket_is_170gbps(self):
+        # §3.2.1: "the theoretical bandwidth that a socket can provide
+        # is only 170 GB/s".
+        assert HIGH_END_SOCKET_DRAM.peak_bw == pytest.approx(170e9)
+        assert HIGH_END_SOCKET_DRAM.channels == 8
+
+    def test_socket_pcie_is_1tbps(self):
+        # §1 footnote: 1 Tbps = 128 GB/s of socket IO.
+        assert SOCKET_PCIE_1TBPS == pytest.approx(128e9)
+
+    def test_target_cpu_is_22_cores(self):
+        assert XEON_E5_4669V4.cores == 22
+
+    def test_prototype_cpu(self):
+        assert XEON_E5_2650V4.cores == 12
+
+    def test_vcu1525_matches_table_percentages(self):
+        # Table 4: 290 K LUTs is 24.5% -> ~1.18 M total.
+        assert 290_000 / VCU1525.luts == pytest.approx(0.245, abs=0.005)
+        # Table 5: 756 URAMs is 78.8% -> 960 total.
+        assert 756 / VCU1525.urams == pytest.approx(0.788, abs=0.005)
+
+    def test_vcu1525_board(self):
+        # §4.3: 64 GB DRAM, 16 GB/s PCIe on the VCU1525.
+        assert VCU1525.board_dram_capacity == 64 * (1 << 30)
+        assert VCU1525.pcie.bw == pytest.approx(12.8e9)
+
+    def test_pcie_x16_usable_bandwidth(self):
+        assert PCIE3_X16.bw == pytest.approx(12.8e9)
+
+    def test_servers_are_consistent(self):
+        for server in (PROTOTYPE_SERVER, TARGET_SERVER):
+            assert server.num_data_ssds >= 1
+            assert server.num_table_ssds >= 1
+            assert server.dram.peak_bw > 0
+            assert server.socket_pcie_bw > 0
+
+    def test_970_pro(self):
+        assert SAMSUNG_970_PRO.read_bw == pytest.approx(3.5e9)
+        assert SAMSUNG_970_PRO.capacity == 1000e9

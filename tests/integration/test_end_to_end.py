@@ -1,0 +1,127 @@
+"""Cross-subsystem integration tests."""
+
+import random
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor, ZlibCompressor
+from repro.systems.baseline import BaselineSystem
+from repro.systems.fidr import FidrSystem
+from repro.systems.server import StorageServer, SystemKind
+from repro.workloads.content import ContentFactory
+from repro.workloads.generator import WORKLOADS, build_workload
+from repro.workloads.runner import replay
+
+CHUNK = 4096
+
+
+class TestCrossSystemDataEquivalence:
+    """Both architectures are the same logical storage system."""
+
+    def test_identical_state_after_identical_workload(self):
+        trace = build_workload(WORKLOADS["write-l"], num_chunks=2000, replicas=2)
+        factory = ContentFactory()
+        base = BaselineSystem(num_buckets=2048, cache_lines=128,
+                              compressor=ModeledCompressor(0.5))
+        fidr = FidrSystem(num_buckets=2048, cache_lines=128,
+                          compressor=ModeledCompressor(0.5))
+        replay(base, trace, factory)
+        replay(fidr, trace, factory)
+
+        assert base.engine.stats.dedup_ratio == fidr.engine.stats.dedup_ratio
+        assert base.engine.stats.stored_bytes == fidr.engine.stats.stored_bytes
+        # And they serve identical reads.
+        rng = random.Random(1)
+        lbas = [request.lba for request in trace.requests]
+        for lba in rng.sample(lbas, 50):
+            assert base.read(lba, 1) == fidr.read(lba, 1)
+
+    def test_cache_behaviour_identical(self):
+        trace = build_workload(WORKLOADS["write-m"], num_chunks=2000, replicas=2)
+        stats = []
+        for cls in (BaselineSystem, FidrSystem):
+            system = cls(num_buckets=2048, cache_lines=128,
+                         compressor=ModeledCompressor(0.5))
+            replay(system, trace)
+            stats.append((system.table_cache.stats.hits,
+                          system.table_cache.stats.misses))
+        assert stats[0] == stats[1]
+
+
+class TestRealCompressionEndToEnd:
+    def test_fidr_with_zlib_over_generated_content(self):
+        factory = ContentFactory(compress_fraction=0.5)
+        server = StorageServer.build(
+            SystemKind.FIDR, num_buckets=2048, cache_lines=128,
+            compressor=ZlibCompressor(),
+        )
+        written = {}
+        for lba in range(0, 400, 2):
+            content_id = lba % 60  # heavy duplication
+            server.write(lba, factory.chunk(content_id))
+            written[lba] = content_id
+        server.flush()
+        for lba, content_id in written.items():
+            assert server.read(lba, 1) == factory.chunk(content_id)
+        stats = server.reduction_stats
+        assert stats.dedup_ratio > 0.5
+        assert 0.4 < stats.compression_ratio < 0.65
+
+
+class TestMultiChunkRequests:
+    @pytest.mark.parametrize("kind", [SystemKind.BASELINE, SystemKind.FIDR])
+    def test_large_writes_and_reads(self, kind, rng):
+        server = StorageServer.build(kind, num_buckets=2048, cache_lines=128,
+                                     compressor=ModeledCompressor(0.5))
+        payload = rng.randbytes(16 * CHUNK)
+        server.write(0, payload)
+        server.flush()
+        assert server.read(0, 16) == payload
+
+    @pytest.mark.parametrize("kind", [SystemKind.BASELINE, SystemKind.FIDR])
+    def test_overlapping_rewrites(self, kind, rng):
+        server = StorageServer.build(kind, num_buckets=2048, cache_lines=128,
+                                     compressor=ModeledCompressor(0.5))
+        first = rng.randbytes(8 * CHUNK)
+        server.write(0, first)
+        patch = rng.randbytes(2 * CHUNK)
+        server.write(2, patch)
+        server.flush()
+        expected = first[: 2 * CHUNK] + patch + first[4 * CHUNK :]
+        assert server.read(0, 8) == expected
+
+
+class TestGarbageAccumulation:
+    def test_overwrites_free_space(self, rng):
+        server = StorageServer.build(
+            SystemKind.FIDR, num_buckets=2048, cache_lines=128,
+            compressor=ModeledCompressor(0.5),
+        )
+        for _ in range(3):
+            for lba in range(0, 80, 8):
+                server.write(lba, rng.randbytes(CHUNK))
+        server.flush()
+        stats = server.reduction_stats
+        assert stats.reclaimed_stored_bytes > 0
+        assert stats.live_stored_bytes < stats.stored_bytes
+        # Live footprint matches the container layer's view.
+        assert (
+            server.system.engine.containers.live_bytes
+            == stats.live_stored_bytes
+        )
+
+
+class TestScaleStability:
+    def test_per_byte_metrics_stable_across_scale(self):
+        """The experiments project from small replays; the per-byte
+        ratios they use must not drift materially with workload size."""
+        amps = []
+        for chunks in (4000, 8000):
+            system = FidrSystem(num_buckets=1 << 14, cache_lines=512,
+                                compressor=ModeledCompressor(0.5))
+            trace = build_workload(
+                WORKLOADS["write-h"], num_chunks=chunks, replicas=2, seed=1
+            )
+            result = replay(system, trace)
+            amps.append(result.report.memory_amplification())
+        assert amps[0] == pytest.approx(amps[1], rel=0.12)

@@ -1,0 +1,158 @@
+"""Hypothesis stateful (model-based) tests for the core stores.
+
+Each machine drives a component with random operation sequences while
+maintaining a plain-dict model; invariants are checked continuously.
+These are the strongest correctness guarantees in the suite — any
+sequence of operations Hypothesis can construct must keep the component
+equivalent to its model.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.cache.btree import BPlusTree
+from repro.cache.table_cache import TableCache
+from repro.datared.compression import ModeledCompressor
+from repro.datared.dedup import DedupEngine
+from repro.datared.hash_pbn import Bucket, HashPbnTable, InMemoryBucketStore
+from repro.datared.hashing import fingerprint
+
+KEYS = st.integers(0, 120)
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """B+-tree ≡ dict under arbitrary insert/delete/search sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=3)  # minimal order: most rebalancing
+        self.model = {}
+
+    @rule(key=KEYS, value=st.integers())
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        assert self.tree.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def search(self, key):
+        assert self.tree.search(key) == self.model.get(key)
+
+    @invariant()
+    def structurally_sound(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+
+
+class TableCacheMachine(RuleBasedStateMachine):
+    """Cached Hash-PBN table ≡ dict, under churn far beyond capacity."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = TableCache(
+            InMemoryBucketStore(), capacity_lines=4, eviction_batch=2
+        )
+        self.table = HashPbnTable(16, store=self.cache)
+        self.model = {}
+
+    def _digest(self, key):
+        return fingerprint(str(key).encode())
+
+    @rule(key=KEYS)
+    def insert(self, key):
+        if key not in self.model:
+            self.table.insert(self._digest(key), key)
+            self.model[key] = key
+
+    @rule(key=KEYS)
+    def remove(self, key):
+        assert self.table.remove(self._digest(key)) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        assert self.table.lookup(self._digest(key)) == self.model.get(key)
+
+    @rule()
+    def flush(self):
+        self.cache.flush_all()
+
+    @invariant()
+    def cache_consistent(self):
+        self.cache.check_invariants()
+
+
+class DedupEngineMachine(RuleBasedStateMachine):
+    """The dedup engine ≡ a plain block device, plus space invariants."""
+
+    LBAS = st.integers(0, 20)
+    CONTENT = st.integers(0, 8)
+
+    def __init__(self):
+        super().__init__()
+        self.engine = DedupEngine(
+            num_buckets=256, compressor=ModeledCompressor(0.5)
+        )
+        self.model = {}
+        base = random.Random(1234)
+        self.pool = [base.randbytes(4096) for _ in range(9)]
+
+    @rule(lba=LBAS, content=CONTENT)
+    def write(self, lba, content):
+        data = self.pool[content]
+        self.engine.write(lba, data)
+        self.model[lba] = data
+
+    @rule(lba=LBAS)
+    def read(self, lba):
+        expected = self.model.get(lba, b"\x00" * 4096)
+        assert self.engine.read(lba, 1).data == expected
+
+    @rule()
+    def flush(self):
+        self.engine.flush()
+
+    @rule()
+    def collect(self):
+        self.engine.collect_garbage(threshold=0.3)
+        for lba, expected in self.model.items():
+            assert self.engine.read(lba, 1).data == expected
+
+    @invariant()
+    def space_accounting_consistent(self):
+        stats = self.engine.stats
+        assert stats.live_stored_bytes >= 0
+        assert stats.live_stored_bytes == self.engine.containers.live_bytes
+        # Live uniques never exceed distinct contents in the pool.
+        assert len(self.engine.pbn_map) <= len(self.pool)
+        # Every mapped LBA has a live PBN record.
+        for lba, pbn in self.engine.lba_map.items():
+            assert pbn in self.engine.pbn_map
+
+
+TestBTreeStateful = BTreeMachine.TestCase
+TestBTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None
+)
+
+TestTableCacheStateful = TableCacheMachine.TestCase
+TestTableCacheStateful.settings = settings(
+    max_examples=20, stateful_step_count=50, deadline=None
+)
+
+TestDedupEngineStateful = DedupEngineMachine.TestCase
+TestDedupEngineStateful.settings = settings(
+    max_examples=15, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,127 @@
+"""Tests for the §6.2 storage protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datared.compression import ModeledCompressor
+from repro.net.protocol import (
+    Frame,
+    FrameDecoder,
+    Op,
+    ProtocolClient,
+    ProtocolError,
+    ProtocolServer,
+    encode_frame,
+)
+from repro.systems.server import StorageServer, SystemKind
+
+CHUNK = 4096
+
+
+def make_stack(kind=SystemKind.FIDR):
+    storage = StorageServer.build(
+        kind, num_buckets=1024, cache_lines=64,
+        compressor=ModeledCompressor(0.5),
+    )
+    endpoint = ProtocolServer(storage)
+    client = ProtocolClient(endpoint.handle_bytes)
+    return storage, endpoint, client
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        raw = encode_frame(Op.WRITE, 42, b"payload", flags=3)
+        frames = FrameDecoder().feed(raw)
+        assert frames == [Frame(op=Op.WRITE, lba=42, payload=b"payload", flags=3)]
+
+    def test_split_delivery(self):
+        raw = encode_frame(Op.READ, 7)
+        decoder = FrameDecoder()
+        assert decoder.feed(raw[:5]) == []
+        assert decoder.feed(raw[5:10]) == []
+        frames = decoder.feed(raw[10:])
+        assert frames[0].op == Op.READ
+
+    def test_coalesced_delivery(self):
+        raw = encode_frame(Op.READ, 1) + encode_frame(Op.READ, 2)
+        frames = FrameDecoder().feed(raw)
+        assert [frame.lba for frame in frames] == [1, 2]
+
+    def test_crc_detects_corruption(self):
+        raw = bytearray(encode_frame(Op.WRITE, 0, b"data"))
+        raw[-1] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(bytes(raw))
+
+    def test_bad_magic_rejected(self):
+        raw = b"\x00" + encode_frame(Op.READ, 0)[1:]
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(raw)
+
+    def test_encode_validation(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(99, 0)
+        with pytest.raises(ProtocolError):
+            encode_frame(Op.READ, -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1000), st.binary(max_size=200)),
+            min_size=1, max_size=10,
+        ),
+        st.integers(1, 17),
+    )
+    def test_arbitrary_stream_chunking(self, messages, step):
+        """Frames survive any transport-level re-segmentation."""
+        stream = b"".join(
+            encode_frame(Op.WRITE, lba, payload or b"x")
+            for lba, payload in messages
+        )
+        decoder = FrameDecoder()
+        decoded = []
+        for start in range(0, len(stream), step):
+            decoded.extend(decoder.feed(stream[start : start + step]))
+        assert len(decoded) == len(messages)
+        assert [frame.lba for frame in decoded] == [m[0] for m in messages]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("kind", [SystemKind.BASELINE, SystemKind.FIDR])
+    def test_write_read_through_protocol(self, kind, rng):
+        _, _, client = make_stack(kind)
+        data = rng.randbytes(CHUNK)
+        client.write(0, data)
+        assert client.read(0, 1) == data
+
+    def test_multi_chunk_read(self, rng):
+        _, _, client = make_stack()
+        payload = rng.randbytes(4 * CHUNK)
+        client.write(0, payload)
+        assert client.read(0, 4) == payload
+
+    def test_write_ack_is_immediate(self, rng):
+        storage, endpoint, client = make_stack()
+        client.write(0, rng.randbytes(CHUNK))
+        # The backend has not flushed (batching), yet the ack arrived.
+        assert storage.system.engine.containers.sealed_count == 0
+
+    def test_empty_write_errors(self):
+        _, _, client = make_stack()
+        with pytest.raises(ProtocolError):
+            client.write(0, b"")
+
+    def test_requests_counted(self, rng):
+        _, endpoint, client = make_stack()
+        client.write(0, rng.randbytes(CHUNK))
+        client.read(0, 1)
+        assert endpoint.requests_served == 2
+
+    def test_many_clients_one_server(self, rng):
+        storage, endpoint, _ = make_stack()
+        clients = [ProtocolClient(endpoint.handle_bytes) for _ in range(3)]
+        data = [rng.randbytes(CHUNK) for _ in range(3)]
+        for index, client in enumerate(clients):
+            client.write(index * 8, data[index])
+        for index, client in enumerate(clients):
+            assert client.read(index * 8, 1) == data[index]

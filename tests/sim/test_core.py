@@ -1,0 +1,263 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_starts_pending(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_delivers_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+        with pytest.raises(SimulationError):
+            event.fail(RuntimeError("late"))
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_callback_after_processing_runs_immediately(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, sim):
+        fired = []
+        timeout = sim.timeout(3.5, value="done")
+        timeout.add_callback(lambda e: fired.append((sim.now, e.value)))
+        sim.run()
+        assert fired == [(3.5, "done")]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+    def test_ordering_among_timeouts(self, sim):
+        order = []
+        for delay in (5, 1, 3):
+            sim.timeout(delay, value=delay).add_callback(
+                lambda e: order.append(e.value)
+            )
+        sim.run()
+        assert order == [1, 3, 5]
+
+    def test_fifo_at_same_timestamp(self, sim):
+        order = []
+        for tag in ("a", "b", "c"):
+            sim.timeout(1.0, value=tag).add_callback(
+                lambda e: order.append(e.value)
+            )
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestProcess:
+    def test_simple_sequence(self, sim):
+        log = []
+
+        def worker():
+            yield sim.timeout(1)
+            log.append(sim.now)
+            yield sim.timeout(2)
+            log.append(sim.now)
+
+        sim.spawn(worker())
+        sim.run()
+        assert log == [1, 3]
+
+    def test_return_value_becomes_event_value(self, sim):
+        def worker():
+            yield sim.timeout(1)
+            return "result"
+
+        process = sim.spawn(worker())
+        sim.run()
+        assert process.value == "result"
+
+    def test_waiting_on_another_process(self, sim):
+        def child():
+            yield sim.timeout(2)
+            return 7
+
+        def parent():
+            value = yield sim.spawn(child())
+            return value * 2
+
+        process = sim.spawn(parent())
+        sim.run()
+        assert process.value == 14
+        assert sim.now == 2
+
+    def test_yielding_generator_autospawns(self, sim):
+        def child():
+            yield sim.timeout(1)
+            return "inner"
+
+        def parent():
+            value = yield child()
+            return value
+
+        process = sim.spawn(parent())
+        sim.run()
+        assert process.value == "inner"
+
+    def test_failed_event_raises_inside_process(self, sim):
+        event = sim.event()
+        caught = []
+
+        def worker():
+            try:
+                yield event
+            except ValueError as error:
+                caught.append(str(error))
+
+        sim.spawn(worker())
+        event.fail(ValueError("boom"))
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_yielding_non_event_is_error(self, sim):
+        def worker():
+            yield 42
+
+        process = sim.spawn(worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_is_alive(self, sim):
+        def worker():
+            yield sim.timeout(5)
+
+        process = sim.spawn(worker())
+        assert process.is_alive
+        sim.run()
+        assert not process.is_alive
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_process(self, sim):
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as interrupt:
+                log.append((sim.now, interrupt.cause))
+
+        process = sim.spawn(sleeper())
+
+        def interrupter():
+            yield sim.timeout(2)
+            process.interrupt("wake up")
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert log == [(2, "wake up")]
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def sleeper():
+            yield sim.timeout(100)
+
+        process = sim.spawn(sleeper())
+
+        def interrupter():
+            yield sim.timeout(1)
+            process.interrupt()
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert process.triggered
+        assert not process.ok
+
+    def test_interrupt_finished_process_rejected(self, sim):
+        def quick():
+            yield sim.timeout(1)
+
+        process = sim.spawn(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+
+class TestComposite:
+    def test_all_of_collects_values(self, sim):
+        events = [sim.timeout(d, value=d) for d in (3, 1, 2)]
+        done = []
+        sim.all_of(events).add_callback(lambda e: done.append((sim.now, e.value)))
+        sim.run()
+        assert done == [(3, [3, 1, 2])]
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        event = sim.all_of([])
+        assert event.triggered
+        assert event.value == []
+
+    def test_all_of_fails_fast(self, sim):
+        bad = sim.event()
+        slow = sim.timeout(10)
+        combo = sim.all_of([bad, slow])
+        bad.fail(RuntimeError("nope"))
+        sim.run(until=1)
+        assert combo.triggered
+        assert not combo.ok
+
+    def test_any_of_first_wins(self, sim):
+        fast = sim.timeout(1, value="fast")
+        slow = sim.timeout(5, value="slow")
+        results = []
+        sim.any_of([slow, fast]).add_callback(lambda e: results.append(e.value))
+        sim.run()
+        assert results[0][1] == "fast"
+
+    def test_any_of_requires_events(self, sim):
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+
+class TestRun:
+    def test_run_until_stops_the_clock(self, sim):
+        fired = []
+        sim.timeout(10).add_callback(lambda e: fired.append(sim.now))
+        sim.run(until=5)
+        assert sim.now == 5
+        assert fired == []
+        sim.run()
+        assert fired == [10]
+
+    def test_run_until_past_last_event_advances_clock(self, sim):
+        sim.timeout(1)
+        sim.run(until=100)
+        assert sim.now == 100
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(5):
+            sim.timeout(1)
+        sim.run()
+        assert sim.events_processed == 5

@@ -1,0 +1,243 @@
+"""Tests for simulation resources (semaphore, store, bandwidth pipe)."""
+
+import pytest
+
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.resources import BandwidthPipe, Resource, Store
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        first = resource.acquire()
+        second = resource.acquire()
+        third = resource.acquire()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert resource.queue_length == 1
+
+    def test_release_wakes_fifo(self, sim):
+        resource = Resource(sim, capacity=1)
+        resource.acquire()
+        waiter_a = resource.acquire()
+        waiter_b = resource.acquire()
+        resource.release()
+        assert waiter_a.triggered
+        assert not waiter_b.triggered
+
+    def test_release_without_acquire_rejected(self, sim):
+        resource = Resource(sim)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_mutual_exclusion_in_processes(self, sim):
+        resource = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            yield resource.acquire()
+            start = sim.now
+            yield sim.timeout(hold)
+            log.append((name, start, sim.now))
+            resource.release()
+
+        sim.spawn(worker("a", 2))
+        sim.spawn(worker("b", 3))
+        sim.run()
+        assert log == [("a", 0, 2), ("b", 2, 5)]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("item")
+        got = store.get()
+        assert got.triggered and got.value == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = store.get()
+        assert not got.triggered
+        store.put("late")
+        assert got.triggered and got.value == "late"
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        values = [store.get().value for _ in range(3)]
+        assert values == [1, 2, 3]
+
+    def test_bounded_put_blocks(self, sim):
+        store = Store(sim, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        assert first.triggered
+        assert not second.triggered
+        got = store.get()
+        assert got.value == "a"
+        assert second.triggered
+        assert store.get().value == "b"
+
+    def test_handoff_to_waiting_getter(self, sim):
+        store = Store(sim, capacity=1)
+        got = store.get()
+        store.put("direct")
+        assert got.value == "direct"
+        assert len(store) == 0
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+
+class TestBandwidthPipe:
+    def test_single_transfer_time(self, sim):
+        pipe = BandwidthPipe(sim, rate_bytes_per_s=100.0)
+        done = []
+        pipe.transfer(50).add_callback(lambda e: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.5)]
+
+    def test_fair_sharing_halves_rate(self, sim):
+        pipe = BandwidthPipe(sim, 100.0)
+        finish = []
+        pipe.transfer(100).add_callback(lambda e: finish.append(sim.now))
+        pipe.transfer(100).add_callback(lambda e: finish.append(sim.now))
+        sim.run()
+        # Two equal transfers sharing 100 B/s finish together at 2 s.
+        assert finish == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_late_joiner_slows_first(self, sim):
+        pipe = BandwidthPipe(sim, 100.0)
+        finish = {}
+        pipe.transfer(100).add_callback(lambda e: finish.setdefault("big", sim.now))
+
+        def join_later():
+            yield sim.timeout(0.5)
+            done = pipe.transfer(25)
+            yield done
+            finish["small"] = sim.now
+
+        sim.spawn(join_later())
+        sim.run()
+        # First half-second: 50 bytes of the big transfer done.  Shared
+        # phase at 50 B/s each: small's 25 bytes finish at 1.0 (big now
+        # has 25 left); big finishes solo at 100 B/s -> 1.25.
+        assert finish["small"] == pytest.approx(1.0)
+        assert finish["big"] == pytest.approx(1.25)
+
+    def test_zero_byte_transfer_completes_instantly(self, sim):
+        pipe = BandwidthPipe(sim, 10.0)
+        done = pipe.transfer(0)
+        assert done.triggered
+
+    def test_negative_transfer_rejected(self, sim):
+        pipe = BandwidthPipe(sim, 10.0)
+        with pytest.raises(SimulationError):
+            pipe.transfer(-1)
+
+    def test_rate_validation(self, sim):
+        with pytest.raises(SimulationError):
+            BandwidthPipe(sim, 0)
+
+    def test_bytes_accounted(self, sim):
+        pipe = BandwidthPipe(sim, 10.0)
+        pipe.transfer(30)
+        pipe.transfer(20)
+        sim.run()
+        assert pipe.bytes_transferred == 50
+
+    def test_utilization_tracks_busy_time(self, sim):
+        pipe = BandwidthPipe(sim, 100.0)
+
+        def usage():
+            yield pipe.transfer(100)  # busy 0..1
+            yield sim.timeout(1.0)  # idle 1..2
+            yield pipe.transfer(100)  # busy 2..3
+
+        sim.spawn(usage())
+        sim.run()
+        assert sim.now == pytest.approx(3.0)
+        assert pipe.utilization() == pytest.approx(2.0 / 3.0)
+
+    def test_many_concurrent_transfers_conserve_throughput(self, sim):
+        pipe = BandwidthPipe(sim, 1000.0)
+        finish = []
+        for _ in range(10):
+            pipe.transfer(100).add_callback(lambda e: finish.append(sim.now))
+        sim.run()
+        # 1000 bytes total at 1000 B/s: everything done at 1 s.
+        assert all(t == pytest.approx(1.0) for t in finish)
+
+
+class TestBandwidthPipeChurn:
+    """Regression tests for the marker-storm bug: heavy join/leave churn
+    once degenerated into sub-nanosecond sweep loops (stale completion
+    markers each spawning a fresh one)."""
+
+    def test_windowed_pipeline_churn_terminates_quickly(self, sim):
+        pipes = [
+            BandwidthPipe(sim, rate, f"stage{i}")
+            for i, rate in enumerate((170e9, 48e9, 128e9, 43e9))
+        ]
+        demands = [2e6, 2e6, 5e5, 2.5e5]
+        window = {"slots": 4, "waiters": []}
+        completed = []
+
+        def batch():
+            for pipe, demand in zip(pipes, demands):
+                yield pipe.transfer(demand)
+            completed.append(sim.now)
+            window["slots"] += 1
+            if window["waiters"]:
+                window["waiters"].pop(0).succeed(None)
+
+        def generator():
+            for _ in range(100):
+                if window["slots"] == 0:
+                    gate = sim.event()
+                    window["waiters"].append(gate)
+                    yield gate
+                window["slots"] -= 1
+                sim.spawn(batch())
+                yield sim.timeout(0.0)
+
+        sim.spawn(generator())
+        sim.run()
+        assert len(completed) == 100
+        # The event count must stay linear in the work, not explode.
+        assert sim.events_processed < 10_000
+
+    def test_epoch_invalidates_stale_markers(self, sim):
+        pipe = BandwidthPipe(sim, 100.0)
+        finish = []
+        # Start a transfer, then join another at a fractional time so the
+        # original completion marker goes stale.
+        pipe.transfer(100).add_callback(lambda e: finish.append(("a", sim.now)))
+
+        def joiner():
+            yield sim.timeout(0.25)
+            yield pipe.transfer(10)
+            finish.append(("b", sim.now))
+
+        sim.spawn(joiner())
+        sim.run()
+        assert dict(finish)["b"] == pytest.approx(0.45)
+        # a: 25 bytes solo (0.25s), 10 bytes shared while b active
+        # (0.2s, 50 B/s), 65 bytes solo (0.65s) -> 1.10s.
+        assert dict(finish)["a"] == pytest.approx(1.10)
+        assert pipe.active_transfers == 0
+
+    def test_many_equal_transfers_complete_in_one_sweep(self, sim):
+        pipe = BandwidthPipe(sim, 100.0)
+        done = []
+        for _ in range(50):
+            pipe.transfer(10).add_callback(lambda e: done.append(sim.now))
+        sim.run()
+        assert len(done) == 50
+        assert all(t == pytest.approx(5.0) for t in done)

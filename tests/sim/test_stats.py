@@ -1,0 +1,141 @@
+"""Tests for the statistics accumulators."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    RateMeter,
+    StreamingSummary,
+    TimeWeighted,
+)
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        counter = Counter()
+        counter.add("reads", 3)
+        counter.add("reads")
+        assert counter.get("reads") == 4
+        assert counter.get("writes") == 0
+
+    def test_negative_rejected(self):
+        counter = Counter()
+        with pytest.raises(ValueError):
+            counter.add("x", -1)
+
+    def test_fractions_sum_to_one(self):
+        counter = Counter()
+        counter.add("a", 1)
+        counter.add("b", 3)
+        fractions = counter.fractions()
+        assert fractions["a"] == pytest.approx(0.25)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        assert Counter().fractions() == {}
+
+    def test_total(self):
+        counter = Counter()
+        counter.add("a", 2)
+        counter.add("b", 5)
+        assert counter.total() == 7
+
+
+class TestTimeWeighted:
+    def test_piecewise_average(self):
+        signal = TimeWeighted()
+        signal.record(2.0, 10.0)  # level 0 for [0,2)
+        signal.record(4.0, 0.0)  # level 10 for [2,4)
+        assert signal.average(4.0) == pytest.approx(5.0)
+
+    def test_average_extends_current_level(self):
+        signal = TimeWeighted(initial=4.0)
+        assert signal.average(10.0) == pytest.approx(4.0)
+
+    def test_peak(self):
+        signal = TimeWeighted()
+        signal.record(1.0, 7.0)
+        signal.record(2.0, 3.0)
+        assert signal.peak == 7.0
+
+    def test_time_backwards_rejected(self):
+        signal = TimeWeighted()
+        signal.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            signal.record(4.0, 1.0)
+
+
+class TestStreamingSummary:
+    def test_mean_and_extremes(self):
+        summary = StreamingSummary()
+        summary.extend([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_variance_matches_textbook(self):
+        summary = StreamingSummary()
+        summary.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary.stdev == pytest.approx(2.138, abs=1e-3)
+
+    def test_empty_is_safe(self):
+        summary = StreamingSummary()
+        assert summary.mean == 0.0
+        assert summary.variance == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_mean_matches_direct_computation(self, values):
+        summary = StreamingSummary()
+        summary.extend(values)
+        assert summary.mean == pytest.approx(
+            sum(values) / len(values), rel=1e-9, abs=1e-6
+        )
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram([1.0, 2.0, 3.0])
+        for value in (0.5, 1.5, 2.5, 99.0):
+            histogram.add(value)
+        assert histogram.counts == [1, 1, 1, 1]
+
+    def test_percentile_interpolates(self):
+        histogram = Histogram([10.0, 20.0])
+        for _ in range(100):
+            histogram.add(5.0)
+        assert 0 < histogram.percentile(50) <= 10.0
+
+    def test_percentile_bounds_checked(self):
+        histogram = Histogram([1.0])
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram([1.0]).percentile(99) == 0.0
+
+
+class TestRateMeter:
+    def test_rate(self):
+        meter = RateMeter()
+        meter.add(100)
+        meter.add(100)
+        assert meter.rate(now=4.0) == pytest.approx(50.0)
+
+    def test_zero_span(self):
+        meter = RateMeter(start_time=5.0)
+        meter.add(10)
+        assert meter.rate(now=5.0) == 0.0
+
+    def test_total(self):
+        meter = RateMeter()
+        meter.add(3)
+        meter.add(4)
+        assert meter.total == 7

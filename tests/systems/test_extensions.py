@@ -1,0 +1,142 @@
+"""Tests for the FIDR extensions (read offload, hot cache)."""
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor
+from repro.systems.accounting import CpuTask, MemPath
+from repro.systems.extensions import ExtendedFidrSystem, HotReadCache
+from repro.systems.fidr import FidrSystem
+
+CHUNK = 4096
+
+
+def build(**kwargs):
+    kwargs.setdefault("num_buckets", 1024)
+    kwargs.setdefault("cache_lines", 64)
+    kwargs.setdefault("compressor", ModeledCompressor(0.5))
+    return ExtendedFidrSystem(**kwargs)
+
+
+class TestHotReadCache:
+    def test_second_read_admits(self, rng):
+        cache = HotReadCache(4)
+        data = rng.randbytes(CHUNK)
+        assert cache.get(1) is None
+        assert not cache.offer(1, data)  # first sight: ghost only
+        assert cache.get(1) is None
+        assert cache.offer(1, data)  # second sight: cached
+        assert cache.get(1) == data
+
+    def test_scan_does_not_pollute(self, rng):
+        cache = HotReadCache(2)
+        hot = rng.randbytes(CHUNK)
+        cache.offer(1, hot)
+        cache.offer(1, hot)
+        assert len(cache) == 1
+        # A long one-touch scan leaves the hot entry resident.
+        for lba in range(100, 200):
+            cache.offer(lba, rng.randbytes(16))
+        assert cache.get(1) == hot
+
+    def test_capacity_evicts_lru(self, rng):
+        cache = HotReadCache(2)
+        for lba in (1, 2, 3):
+            cache.offer(lba, b"x")
+            cache.offer(lba, b"x")
+        assert cache.get(1) is None  # oldest admitted entry evicted
+        assert cache.get(3) == b"x"
+
+    def test_invalidate(self):
+        cache = HotReadCache(2)
+        cache.offer(1, b"x")
+        cache.offer(1, b"x")
+        cache.invalidate(1)
+        assert cache.get(1) is None
+
+    def test_hit_rate(self):
+        cache = HotReadCache(2)
+        cache.offer(1, b"x")
+        cache.offer(1, b"x")
+        cache.get(1)  # hit
+        cache.get(2)  # miss
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotReadCache(0)
+
+
+class TestNvmeReadOffload:
+    def test_offload_removes_read_stack_cycles(self, rng):
+        data = {lba: rng.randbytes(CHUNK) for lba in range(0, 80, 8)}
+
+        def drive(system):
+            for lba, payload in data.items():
+                system.write(lba, payload)
+            system.flush()
+            for lba, payload in data.items():
+                assert system.read(lba, 1) == payload
+            return system.cpu.tasks().get(CpuTask.DATA_SSD, 0.0)
+
+        stock = drive(FidrSystem(num_buckets=1024, cache_lines=64,
+                                 compressor=ModeledCompressor(0.5)))
+        offloaded = drive(build(nvme_read_offload=True))
+        assert offloaded < stock
+        # Container-seal submissions (writes) remain host-side.
+        assert offloaded > 0
+
+    def test_functionally_identical(self, rng):
+        data = {lba: rng.randbytes(CHUNK) for lba in range(0, 64, 8)}
+        system = build(nvme_read_offload=True)
+        for lba, payload in data.items():
+            system.write(lba, payload)
+        system.flush()
+        for lba, payload in data.items():
+            assert system.read(lba, 1) == payload
+
+
+class TestHotCacheIntegration:
+    def test_repeated_reads_hit_dram(self, rng):
+        system = build(hot_read_cache_chunks=16)
+        payload = rng.randbytes(CHUNK)
+        system.write(0, payload)
+        system.flush()
+        for _ in range(5):
+            assert system.read(0, 1) == payload
+        assert system.hot_read_cache.hits >= 3
+        assert system.memory.paths()[MemPath.HOT_READ].total > 0
+
+    def test_write_invalidates_cached_block(self, rng):
+        system = build(hot_read_cache_chunks=16)
+        old = rng.randbytes(CHUNK)
+        system.write(0, old)
+        system.flush()
+        system.read(0, 1)
+        system.read(0, 1)
+        system.read(0, 1)  # now cached and hitting
+        new = rng.randbytes(CHUNK)
+        system.write(0, new)
+        assert system.read(0, 1) == new  # never the stale cached copy
+        system.flush()
+        assert system.read(0, 1) == new
+
+    def test_ssd_reads_drop_on_skewed_workload(self, rng):
+        def ssd_reads(system):
+            payload = rng.randbytes(CHUNK)
+            system.write(0, payload)
+            system.flush()
+            for _ in range(20):
+                system.read(0, 1)
+            return system.data_array.stats.read_ops
+
+        rng_state = rng.getstate()
+        stock = ssd_reads(FidrSystem(num_buckets=1024, cache_lines=64,
+                                     compressor=ModeledCompressor(0.5)))
+        rng.setstate(rng_state)
+        cached = ssd_reads(build(hot_read_cache_chunks=16))
+        assert cached < stock
+
+    def test_disabled_by_default(self):
+        system = build()
+        assert system.hot_read_cache is None
+        assert not system.nvme_read_offload

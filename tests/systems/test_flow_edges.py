@@ -1,0 +1,138 @@
+"""Edge cases in the write/read flow orchestration.
+
+These pin down the hairiest interactions: same-LBA overwrites racing a
+batch in flight, the predictor's correction pass, and the FIDR NIC's
+buffer semantics across batch boundaries.
+"""
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor
+from repro.systems.accounting import CpuTask, MemPath
+from repro.systems.baseline import BaselineSystem
+from repro.systems.config import SystemConfig
+from repro.systems.fidr import FidrSystem
+
+CHUNK = 4096
+
+
+def tiny_batches(cls, batch=4, **kwargs):
+    """A system with a small batch so tests cross batch boundaries."""
+    kwargs.setdefault("num_buckets", 1024)
+    kwargs.setdefault("cache_lines", 64)
+    kwargs.setdefault("compressor", ModeledCompressor(0.5))
+    return cls(config=SystemConfig(batch_chunks=batch), **kwargs)
+
+
+class TestSameLbaChurn:
+    @pytest.mark.parametrize("cls", [BaselineSystem, FidrSystem])
+    def test_rapid_overwrites_within_a_batch(self, cls, rng):
+        system = tiny_batches(cls, batch=8)
+        final = None
+        for _ in range(20):
+            final = rng.randbytes(CHUNK)
+            system.write(0, final)
+        system.flush()
+        assert system.read(0, 1) == final
+
+    def test_fidr_nic_buffer_overwrite_mid_batch(self, rng):
+        """The NIC dedups same-LBA writes in its buffer; the staged batch
+        list can therefore reference an entry the buffer replaced."""
+        system = tiny_batches(FidrSystem, batch=4)
+        first = rng.randbytes(CHUNK)
+        second = rng.randbytes(CHUNK)
+        system.write(0, first)
+        system.write(0, second)  # overwrites in NIC buffer
+        system.write(8, rng.randbytes(CHUNK))
+        system.write(16, rng.randbytes(CHUNK))  # 4 pending -> batch fires
+        system.flush()
+        assert system.read(0, 1) == second
+
+    @pytest.mark.parametrize("cls", [BaselineSystem, FidrSystem])
+    def test_interleaved_read_write_consistency(self, cls, rng):
+        system = tiny_batches(cls, batch=6)
+        history = {}
+        for step in range(60):
+            lba = (step * 8) % 32
+            data = rng.randbytes(CHUNK)
+            system.write(lba, data)
+            history[lba] = data
+            probe = (step * 16) % 32
+            expected = history.get(probe, b"\x00" * CHUNK)
+            assert system.read(probe, 1) == expected
+
+
+class TestPredictorCorrections:
+    def test_false_duplicates_trigger_correction_traffic(self, rng):
+        """Bloom aliasing predicts some fresh chunks duplicate; the
+        baseline must re-ship them to the FPGA (extra host<->FPGA
+        bytes beyond one pass of the data)."""
+        from repro.systems.predictor import UniqueChunkPredictor
+
+        system = tiny_batches(BaselineSystem, batch=8)
+        # A predictor small enough to alias heavily.
+        system.predictor = UniqueChunkPredictor(num_bits=256, num_hashes=2)
+        for lba in range(0, 8 * 40, 8):
+            system.write(lba, rng.randbytes(CHUNK))
+        system.flush()
+        stats = system.predictor.stats
+        assert stats.false_duplicate > 0
+        fpga = system.memory.path_traffic(MemPath.FPGA)
+        # Reads toward the FPGA exceed one pass of the logical stream.
+        assert fpga.bytes_read > system.logical_write_bytes
+
+    def test_accurate_predictor_avoids_corrections(self, rng):
+        system = tiny_batches(BaselineSystem, batch=8)
+        data = rng.randbytes(CHUNK)
+        for lba in range(0, 8 * 20, 8):
+            system.write(lba, data)  # one unique, rest duplicates
+        system.flush()
+        stats = system.predictor.stats
+        assert stats.accuracy > 0.9
+
+
+class TestBatchBoundaries:
+    @pytest.mark.parametrize("cls", [BaselineSystem, FidrSystem])
+    def test_flush_handles_partial_batch(self, cls, rng):
+        system = tiny_batches(cls, batch=64)
+        data = rng.randbytes(CHUNK)
+        system.write(0, data)  # far below the batch threshold
+        system.flush()
+        assert system.read(0, 1) == data
+        assert system.engine.stats.unique_chunks == 1
+
+    @pytest.mark.parametrize("cls", [BaselineSystem, FidrSystem])
+    def test_large_write_spans_batches(self, cls, rng):
+        system = tiny_batches(cls, batch=4)
+        payload = rng.randbytes(10 * CHUNK)  # 10 chunks > 2 batches
+        system.write(0, payload)
+        system.flush()
+        assert system.read(0, 10) == payload
+
+    def test_fidr_pending_count_tracks_nic(self, rng):
+        system = tiny_batches(FidrSystem, batch=8)
+        for lba in range(0, 8 * 5, 8):
+            system.write(lba, rng.randbytes(CHUNK))
+        assert system.nic.pending_chunks() == 5
+        system.flush()
+        assert system.nic.pending_chunks() == 0
+
+
+class TestReadMixedAccounting:
+    def test_fidr_read_misses_charge_nvme_stack(self, rng):
+        system = tiny_batches(FidrSystem, batch=4)
+        data = rng.randbytes(CHUNK)
+        system.write(0, data)
+        system.flush()
+        before = system.cpu.tasks().get(CpuTask.DATA_SSD, 0.0)
+        system.read(0, 1)
+        after = system.cpu.tasks().get(CpuTask.DATA_SSD, 0.0)
+        assert after > before  # §7.5: read stack stays on the CPU
+
+    def test_fidr_nic_buffer_read_is_free_of_host_work(self, rng):
+        system = tiny_batches(FidrSystem, batch=64)
+        data = rng.randbytes(CHUNK)
+        system.write(0, data)  # still buffered
+        cycles_before = system.cpu.total_cycles
+        assert system.read(0, 1) == data
+        assert system.cpu.total_cycles == cycles_before

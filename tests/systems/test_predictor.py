@@ -1,0 +1,65 @@
+"""Tests for the CIDR unique-chunk predictor."""
+
+import pytest
+
+from repro.systems.predictor import PredictionStats, UniqueChunkPredictor
+
+
+class TestPrediction:
+    def test_first_sight_predicted_unique(self, rng):
+        predictor = UniqueChunkPredictor()
+        assert predictor.predict_unique(rng.randbytes(4096))
+
+    def test_repeat_predicted_duplicate(self, rng):
+        predictor = UniqueChunkPredictor()
+        data = rng.randbytes(4096)
+        predictor.predict_unique(data)
+        assert not predictor.predict_unique(data)
+
+    def test_distinct_content_mostly_unique(self, rng):
+        predictor = UniqueChunkPredictor()
+        predictions = [
+            predictor.predict_unique(rng.randbytes(4096)) for _ in range(500)
+        ]
+        # Bloom aliasing may cause a few false duplicates, not many.
+        assert sum(predictions) > 480
+
+    def test_accuracy_on_half_duplicate_stream(self, rng):
+        predictor = UniqueChunkPredictor()
+        pool = [rng.randbytes(4096) for _ in range(50)]
+        seen = set()
+        for step in range(1000):
+            if step % 2:
+                data = pool[step % len(pool)]
+            else:
+                data = rng.randbytes(4096)
+            predicted = predictor.predict_unique(data)
+            actually_unique = data not in seen
+            seen.add(data)
+            predictor.record_outcome(predicted, actually_unique)
+        assert predictor.stats.accuracy > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniqueChunkPredictor(num_bits=100)  # not a power of two
+        with pytest.raises(ValueError):
+            UniqueChunkPredictor(num_hashes=0)
+
+
+class TestStats:
+    def test_confusion_matrix(self):
+        stats = PredictionStats()
+        predictor = UniqueChunkPredictor()
+        predictor.stats = stats
+        predictor.record_outcome(True, True)
+        predictor.record_outcome(True, False)
+        predictor.record_outcome(False, True)
+        predictor.record_outcome(False, False)
+        assert stats.true_unique == 1
+        assert stats.false_unique == 1
+        assert stats.false_duplicate == 1
+        assert stats.true_duplicate == 1
+        assert stats.accuracy == pytest.approx(0.5)
+
+    def test_empty_accuracy(self):
+        assert PredictionStats().accuracy == 0.0

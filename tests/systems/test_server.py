@@ -1,0 +1,84 @@
+"""Tests for the StorageServer facade and latency models."""
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor
+from repro.systems.latency import LatencyConfig, ReadLatencyModel, write_commit_latency
+from repro.systems.server import StorageServer, SystemKind
+
+CHUNK = 4096
+
+
+class TestStorageServer:
+    @pytest.mark.parametrize("kind", [SystemKind.BASELINE, SystemKind.FIDR])
+    def test_build_and_roundtrip(self, kind, rng):
+        server = StorageServer.build(
+            kind, num_buckets=512, cache_lines=32,
+            compressor=ModeledCompressor(0.5),
+        )
+        data = rng.randbytes(CHUNK)
+        server.write(0, data)
+        assert server.read(0, 1) == data
+        assert server.chunk_size == CHUNK
+
+    def test_reduction_stats_exposed(self, rng):
+        server = StorageServer.build(SystemKind.FIDR, num_buckets=512)
+        data = rng.randbytes(CHUNK)
+        server.write(0, data)
+        server.write(8, data)
+        server.flush()  # stats reflect processed (not merely staged) writes
+        assert server.reduction_stats.dedup_ratio == pytest.approx(0.5)
+
+    def test_context_manager_flushes(self, rng):
+        with StorageServer.build(SystemKind.FIDR, num_buckets=512) as server:
+            server.write(0, rng.randbytes(CHUNK))
+        assert server.system.engine.containers.sealed_count >= 1
+
+    def test_report_available(self, rng):
+        server = StorageServer.build(SystemKind.BASELINE, num_buckets=512)
+        server.write(0, rng.randbytes(CHUNK))
+        server.flush()
+        report = server.report()
+        assert report.logical_write_bytes == CHUNK
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            StorageServer.build("not-a-kind")
+
+
+class TestReadLatency:
+    def test_paper_anchor_points(self):
+        model = ReadLatencyModel()
+        baseline = model.baseline_read_latency(64).mean_s * 1e6
+        fidr = model.fidr_read_latency(64).mean_s * 1e6
+        assert baseline == pytest.approx(700, rel=0.03)
+        assert fidr == pytest.approx(490, rel=0.03)
+
+    def test_fidr_always_faster(self):
+        model = ReadLatencyModel()
+        for batch in (1, 16, 128):
+            assert (
+                model.fidr_read_latency(batch).mean_s
+                < model.baseline_read_latency(batch).mean_s
+            )
+
+    def test_larger_batches_increase_queueing(self):
+        model = ReadLatencyModel()
+        small = model.baseline_read_latency(8).max_s
+        large = model.baseline_read_latency(256).max_s
+        assert large >= small
+
+    def test_handoffs_drive_the_gap(self):
+        quick = LatencyConfig(host_handoff_s=0.0, p2p_setup_s=0.0)
+        model = ReadLatencyModel(quick)
+        baseline = model.baseline_read_latency(16).mean_s
+        fidr = model.fidr_read_latency(16).mean_s
+        # Without software handoffs the two paths are nearly identical.
+        assert baseline == pytest.approx(fidr, rel=0.25)
+
+
+class TestWriteCommit:
+    def test_fidr_matches_no_reduction(self):
+        commits = write_commit_latency()
+        assert commits["fidr"] == commits["no-reduction"]
+        assert commits["baseline"] > commits["fidr"]

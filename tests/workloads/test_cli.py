@@ -1,0 +1,56 @@
+"""Tests for the workload command-line tool."""
+
+import pytest
+
+from repro.workloads.__main__ import main
+from repro.workloads.trace import Trace
+
+
+class TestList:
+    def test_lists_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "write-h" in out
+        assert "mail" in out
+
+
+class TestGen:
+    def test_workload_generation(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.txt")
+        assert main(["gen", "--workload", "write-h", "--chunks", "2000",
+                     "-o", path]) == 0
+        trace = Trace.load(path)
+        assert len(trace) == 2000
+        assert trace.content_dedup_ratio() == pytest.approx(0.88, abs=0.04)
+
+    def test_profile_generation(self, tmp_path):
+        path = str(tmp_path / "mail.txt")
+        assert main(["gen", "--profile", "mail", "--writes", "1000",
+                     "-o", path]) == 0
+        assert Trace.load(path).write_count == 1000
+
+    def test_unknown_workload_errors(self, tmp_path, capsys):
+        assert main(["gen", "--workload", "nope",
+                     "-o", str(tmp_path / "x")]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_missing_source_errors(self, tmp_path):
+        assert main(["gen", "-o", str(tmp_path / "x")]) == 2
+
+    def test_read_mixed_contains_reads(self, tmp_path):
+        path = str(tmp_path / "rm.txt")
+        main(["gen", "--workload", "read-mixed", "--chunks", "2000",
+              "-o", path])
+        trace = Trace.load(path)
+        assert trace.read_count > 0
+
+
+class TestInspect:
+    def test_summary_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "t.txt")
+        main(["gen", "--workload", "write-l", "--chunks", "1000", "-o", path])
+        capsys.readouterr()
+        assert main(["inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "content dedup ratio" in out
+        assert "1,000" in out

@@ -1,0 +1,54 @@
+"""Tests for the trace replay driver."""
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor
+from repro.systems.fidr import FidrSystem
+from repro.workloads.content import ContentFactory
+from repro.workloads.generator import WORKLOADS, build_workload
+from repro.workloads.runner import replay
+from repro.workloads.trace import IoRequest, OpKind, Trace
+
+
+def small_system():
+    return FidrSystem(
+        num_buckets=1024, cache_lines=64, compressor=ModeledCompressor(0.5)
+    )
+
+
+class TestReplay:
+    def test_counts_and_report(self):
+        trace = Trace("t", [
+            IoRequest(OpKind.WRITE, 0, 1),
+            IoRequest(OpKind.WRITE, 1, 1),
+            IoRequest(OpKind.READ, 0),
+        ])
+        result = replay(small_system(), trace)
+        assert result.writes == 2
+        assert result.reads == 1
+        assert result.measured_dedup == pytest.approx(0.5)
+        assert result.report.logical_write_bytes == 2 * 4096
+
+    def test_same_content_id_deduplicates(self):
+        trace = Trace("t", [IoRequest(OpKind.WRITE, lba, 7) for lba in range(10)])
+        result = replay(small_system(), trace)
+        assert result.report.reduction.unique_chunks == 1
+        assert result.report.reduction.duplicate_chunks == 9
+
+    def test_chunk_size_mismatch_rejected(self):
+        factory = ContentFactory(chunk_size=8192)
+        with pytest.raises(ValueError):
+            replay(small_system(), Trace("t"), factory=factory)
+
+    def test_flush_optional(self):
+        trace = Trace("t", [IoRequest(OpKind.WRITE, 0, 1)])
+        system = small_system()
+        replay(system, trace, flush=False)
+        assert system.engine.containers.sealed_count == 0
+
+    def test_workload_replay_measures_spec_targets(self):
+        spec = WORKLOADS["write-h"]
+        trace = build_workload(spec, num_chunks=6000, replicas=2, seed=1)
+        result = replay(small_system(), trace)
+        assert result.measured_dedup == pytest.approx(spec.dedup_target, abs=0.03)
+        assert result.measured_comp_ratio == pytest.approx(0.5, abs=0.02)

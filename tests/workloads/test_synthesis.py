@@ -1,0 +1,163 @@
+"""Tests for content generation, trace synthesis, and workload building."""
+
+import zlib
+
+import pytest
+
+from repro.workloads.content import ContentFactory
+from repro.workloads.generator import WORKLOADS, build_workload, cache_sizing
+from repro.workloads.synthetic import (
+    MAIL_PROFILE,
+    WEBVM_PROFILE,
+    TraceProfile,
+    synthesize,
+)
+
+
+class TestContentFactory:
+    def test_deterministic(self):
+        factory = ContentFactory()
+        assert factory.chunk(42) == factory.chunk(42)
+        assert factory.chunk(42) == ContentFactory().chunk(42)
+
+    def test_distinct_ids_distinct_content(self):
+        factory = ContentFactory()
+        assert factory.chunk(1) != factory.chunk(2)
+
+    def test_size(self):
+        assert len(ContentFactory(chunk_size=4096).chunk(0)) == 4096
+
+    def test_compressibility_near_target(self):
+        factory = ContentFactory(compress_fraction=0.5)
+        ratios = [factory.measured_ratio(i) for i in range(20)]
+        mean = sum(ratios) / len(ratios)
+        assert 0.45 < mean < 0.58
+
+    def test_other_targets(self):
+        for target in (0.25, 0.75):
+            factory = ContentFactory(compress_fraction=target)
+            ratio = factory.measured_ratio(0)
+            assert ratio == pytest.approx(target, abs=0.08)
+
+    def test_cache_does_not_change_results(self):
+        factory = ContentFactory(cache_entries=2)
+        first = factory.chunk(1)
+        factory.chunk(2)
+        factory.chunk(3)  # evicts 1 from the memo
+        assert factory.chunk(1) == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentFactory(chunk_size=10)
+        with pytest.raises(ValueError):
+            ContentFactory(compress_fraction=0.0)
+
+
+class TestSynthesize:
+    def test_length(self):
+        trace = synthesize(MAIL_PROFILE, 1000, seed=1)
+        assert len(trace) == 1000
+
+    def test_deterministic_in_seed(self):
+        a = synthesize(MAIL_PROFILE, 500, seed=7)
+        b = synthesize(MAIL_PROFILE, 500, seed=7)
+        assert a.requests == b.requests
+
+    def test_seed_changes_trace(self):
+        a = synthesize(MAIL_PROFILE, 500, seed=1)
+        b = synthesize(MAIL_PROFILE, 500, seed=2)
+        assert a.requests != b.requests
+
+    def test_dedup_ratio_tracks_target(self):
+        for profile in (MAIL_PROFILE, WEBVM_PROFILE):
+            trace = synthesize(profile, 12_000, seed=3)
+            assert trace.content_dedup_ratio() == pytest.approx(
+                profile.dedup_target, abs=0.02
+            )
+
+    def test_lbas_within_address_space(self):
+        trace = synthesize(MAIL_PROFILE, 2000, seed=4)
+        assert all(
+            0 <= request.lba < MAIL_PROFILE.address_blocks
+            for request in trace.requests
+        )
+
+    def test_webvm_runs_longer_than_mail(self):
+        def mean_run(trace):
+            runs, current = [], 1
+            requests = trace.requests
+            for previous, request in zip(requests, requests[1:]):
+                if request.lba == previous.lba + 1:
+                    current += 1
+                else:
+                    runs.append(current)
+                    current = 1
+            runs.append(current)
+            return sum(runs) / len(runs)
+
+        mail = synthesize(MAIL_PROFILE, 5000, seed=5)
+        webvm = synthesize(WEBVM_PROFILE, 5000, seed=5)
+        assert mean_run(webvm) > mean_run(mail)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            TraceProfile("bad", 1.0, 10, 0.5, 100, 1, 4, 0.5)  # dedup = 1
+        with pytest.raises(ValueError):
+            TraceProfile("bad", 0.5, 0, 0.5, 100, 1, 4, 0.5)  # window 0
+        with pytest.raises(ValueError):
+            synthesize(MAIL_PROFILE, 0)
+
+
+class TestBuildWorkload:
+    def test_write_only_volume(self):
+        trace = build_workload(WORKLOADS["write-h"], num_chunks=4000, replicas=2)
+        assert trace.write_count == 4000
+        assert trace.read_count == 0
+
+    def test_read_mixed_is_half_reads(self):
+        trace = build_workload(WORKLOADS["read-mixed"], num_chunks=4000, replicas=2)
+        assert trace.read_count == pytest.approx(trace.write_count, rel=0.05)
+
+    def test_reads_target_written_lbas(self):
+        trace = build_workload(WORKLOADS["read-mixed"], num_chunks=2000, replicas=2)
+        written = set()
+        for request in trace.requests:
+            if request.op == "W":
+                written.add(request.lba)
+            else:
+                assert request.lba in written
+
+    def test_dedup_matches_spec(self):
+        for key in ("write-h", "write-m", "write-l"):
+            spec = WORKLOADS[key]
+            trace = build_workload(spec, num_chunks=8000, replicas=2, seed=2)
+            assert trace.content_dedup_ratio() == pytest.approx(
+                spec.dedup_target, abs=0.025
+            )
+
+    def test_replicas_use_disjoint_lba_ranges(self):
+        spec = WORKLOADS["write-h"]
+        trace = build_workload(spec, num_chunks=2000, replicas=2)
+        half = len(trace.requests) // 2
+        first = {r.lba for r in trace.requests[:half]}
+        second = {r.lba for r in trace.requests[half:]}
+        assert not (first & second)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_workload(WORKLOADS["write-h"], num_chunks=1, replicas=2)
+
+
+class TestCacheSizing:
+    def test_paper_scale(self):
+        sizing = cache_sizing(unique_stored_bytes=500e9, cache_fraction=0.028)
+        # 500 GB stored at 50% compression = 1 TB unique logical.
+        assert sizing["table_bytes"] > 8e9  # multi-GB table
+        assert sizing["cache_bytes"] == pytest.approx(
+            sizing["table_bytes"] * 0.028, rel=0.01
+        )
+
+    def test_fields_consistent(self):
+        sizing = cache_sizing()
+        assert sizing["cache_lines"] <= sizing["num_buckets"]
+        assert sizing["cache_lines"] >= 1

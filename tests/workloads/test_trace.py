@@ -1,0 +1,92 @@
+"""Tests for trace structures and transforms."""
+
+import pytest
+
+from repro.workloads.trace import IoRequest, OpKind, Trace
+
+
+def write(lba, content):
+    return IoRequest(OpKind.WRITE, lba, content)
+
+
+class TestIoRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IoRequest("X", 0)
+        with pytest.raises(ValueError):
+            IoRequest(OpKind.READ, -1)
+
+
+class TestTrace:
+    def test_counts(self):
+        trace = Trace("t", [write(0, 1), IoRequest(OpKind.READ, 0)])
+        assert len(trace) == 2
+        assert trace.write_count == 1
+        assert trace.read_count == 1
+
+    def test_content_dedup_ratio(self):
+        trace = Trace("t", [write(0, 1), write(1, 1), write(2, 2), write(3, 1)])
+        # contents: 1 new, 1 dup, 2 new, 1 dup -> 2 dups of 4 writes.
+        assert trace.content_dedup_ratio() == pytest.approx(0.5)
+
+    def test_dedup_ignores_reads(self):
+        trace = Trace("t", [write(0, 1), IoRequest(OpKind.READ, 0), write(1, 1)])
+        assert trace.content_dedup_ratio() == pytest.approx(0.5)
+
+    def test_address_footprint(self):
+        trace = Trace("t", [write(0, 1), write(0, 2), write(5, 3)])
+        assert trace.address_footprint() == 2
+
+    def test_writes_iterator(self):
+        trace = Trace("t", [write(0, 1), IoRequest(OpKind.READ, 9), write(2, 3)])
+        assert list(trace.writes()) == [(0, 1), (2, 3)]
+
+    def test_empty_dedup_ratio(self):
+        assert Trace("t").content_dedup_ratio() == 0.0
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        trace = Trace("demo", [write(1, 2), IoRequest(OpKind.READ, 3)])
+        restored = Trace.loads(trace.dumps())
+        assert restored.name == "demo"
+        assert restored.requests == trace.requests
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = Trace("file-demo", [write(i, i) for i in range(10)])
+        path = str(tmp_path / "trace.txt")
+        trace.save(path)
+        assert Trace.load(path).requests == trace.requests
+
+    def test_loads_skips_comments_and_blanks(self):
+        text = "# comment\n\nW 1 2\n# more\nR 3 0\n"
+        trace = Trace.loads(text)
+        assert len(trace) == 2
+
+
+class TestReplicate:
+    def test_content_offsets_kill_cross_replica_dedup(self):
+        base = Trace("b", [write(0, 1), write(1, 1)])  # 50% dedup
+        combined = base.replicate(3)
+        assert combined.content_dedup_ratio() == pytest.approx(0.5)
+        assert len(combined) == 6
+
+    def test_lba_stride_separates_address_spaces(self):
+        base = Trace("b", [write(0, 1), write(1, 2)])
+        combined = base.replicate(2, lba_stride=100)
+        lbas = [request.lba for request in combined.requests]
+        assert lbas == [0, 1, 100, 101]
+
+    def test_zero_stride_replays_same_lbas(self):
+        base = Trace("b", [write(5, 1)])
+        combined = base.replicate(2)
+        assert [r.lba for r in combined.requests] == [5, 5]
+
+    def test_reads_keep_lba_offset_only(self):
+        base = Trace("b", [IoRequest(OpKind.READ, 7)])
+        combined = base.replicate(2, lba_stride=10)
+        assert [r.lba for r in combined.requests] == [7, 17]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trace("b").replicate(0)
