@@ -1,0 +1,59 @@
+"""Benchmark of the concurrent asyncio serving layer.
+
+Not a paper figure — this tracks the Python serving stack's own
+throughput: a fleet of pipelined clients driving one
+:class:`~repro.net.aserver.AsyncProtocolServer` over real TCP sockets,
+with every read verified byte-exact.  Reported numbers are the load
+generator's client-side view (ops/s, MB/s, p50/p99 latency).
+"""
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor
+from repro.systems.server import StorageServer, SystemKind
+from repro.workloads.loadgen import LoadGenConfig, run_against
+
+
+def build_storage(kind):
+    return StorageServer.build(
+        kind, num_buckets=4096, cache_lines=256,
+        compressor=ModeledCompressor(0.5),
+    )
+
+
+@pytest.mark.parametrize("kind", [SystemKind.FIDR, SystemKind.BASELINE])
+def test_serving_mixed_workload(regenerate, kind):
+    """16 concurrent clients, 50/50 read/write mix, 4 workers."""
+    config = LoadGenConfig(
+        clients=16, ops_per_client=60, read_fraction=0.5,
+        chunks_per_op=2, lbas_per_client=24, seed=1337,
+    )
+
+    def experiment():
+        result = run_against(
+            build_storage(kind), config, queue_depth=64, workers=4
+        )
+        assert result.verified_reads == result.read_ops
+        return result
+
+    result = regenerate(experiment)
+    assert result.total_ops == 16 * 60
+    assert result.throughput_ops > 0
+
+
+def test_serving_write_burst(regenerate):
+    """Write-only burst against a small queue: exercises backpressure
+    while measuring sustained ingest."""
+    config = LoadGenConfig(
+        clients=8, ops_per_client=80, read_fraction=0.0,
+        chunks_per_op=4, lbas_per_client=32, seed=99,
+    )
+
+    def experiment():
+        return run_against(
+            build_storage(SystemKind.FIDR), config,
+            queue_depth=8, workers=2,
+        )
+
+    result = regenerate(experiment)
+    assert result.write_ops == 8 * 80

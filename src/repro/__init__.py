@@ -41,12 +41,17 @@ Subpackages
 __version__ = "1.0.0"
 
 from .datared import DedupEngine
+from .errors import AlignmentError, CapacityError, ProtocolError, ReproError
 from .systems import BaselineSystem, FidrSystem, StorageServer, SystemKind  # noqa: E501
 
 __all__ = [
+    "AlignmentError",
     "BaselineSystem",
+    "CapacityError",
     "DedupEngine",
     "FidrSystem",
+    "ProtocolError",
+    "ReproError",
     "StorageServer",
     "SystemKind",
     "__version__",

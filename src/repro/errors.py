@@ -1,0 +1,127 @@
+"""The library-wide error model.
+
+Every failure the storage stack reports to a caller is a
+:class:`ReproError` subclass, and every failure the *protocol* reports
+over the wire is a structured ``(code, message)`` pair carried in an
+:data:`~repro.net.protocol.Op.ERROR` payload.  The two sides meet here:
+each exception class maps to an :class:`ErrorCode`, and a received code
+maps back to the exception the client should raise — so a typed error
+survives a trip through the wire format.
+
+The concrete classes double-inherit :class:`ValueError` because the
+pre-v2 codebase raised bare ``ValueError`` everywhere; existing callers
+catching ``ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Tuple, Type
+
+__all__ = [
+    "ReproError",
+    "ProtocolError",
+    "AlignmentError",
+    "CapacityError",
+    "ErrorCode",
+    "error_code_for",
+    "exception_for_code",
+    "encode_error_payload",
+    "decode_error_payload",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error the storage stack raises."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A malformed, corrupt, or semantically invalid protocol frame."""
+
+
+class AlignmentError(ReproError, ValueError):
+    """A request's LBA or length violates chunk alignment."""
+
+
+class CapacityError(ReproError, ValueError):
+    """A resource (cache, container, queue) cannot hold the request."""
+
+
+class ErrorCode(enum.IntEnum):
+    """Structured codes carried in ``Op.ERROR`` payloads."""
+
+    UNKNOWN = 0
+    BAD_REQUEST = 1
+    UNSUPPORTED_OP = 2
+    ALIGNMENT = 3
+    CAPACITY = 4
+    CORRUPT_FRAME = 5
+    INTERNAL = 6
+
+
+_CODE_FOR_EXCEPTION = (
+    (AlignmentError, ErrorCode.ALIGNMENT),
+    (CapacityError, ErrorCode.CAPACITY),
+    (ProtocolError, ErrorCode.BAD_REQUEST),
+    (ReproError, ErrorCode.INTERNAL),
+)
+
+_EXCEPTION_FOR_CODE = {
+    ErrorCode.UNKNOWN: ProtocolError,
+    ErrorCode.BAD_REQUEST: ProtocolError,
+    ErrorCode.UNSUPPORTED_OP: ProtocolError,
+    ErrorCode.ALIGNMENT: AlignmentError,
+    ErrorCode.CAPACITY: CapacityError,
+    ErrorCode.CORRUPT_FRAME: ProtocolError,
+    ErrorCode.INTERNAL: ReproError,
+}
+
+
+def error_code_for(exc: BaseException) -> ErrorCode:
+    """The wire code a server reports for ``exc``."""
+    for klass, code in _CODE_FOR_EXCEPTION:
+        if isinstance(exc, klass):
+            return code
+    if isinstance(exc, ValueError):
+        return ErrorCode.BAD_REQUEST
+    return ErrorCode.UNKNOWN
+
+
+def exception_for_code(code: int) -> Type[ReproError]:
+    """The exception class a client raises for a received ``code``."""
+    try:
+        return _EXCEPTION_FOR_CODE[ErrorCode(code)]
+    except ValueError:
+        return ProtocolError
+
+
+_ERROR_HEADER = struct.Struct(">H")
+
+
+def encode_error_payload(code: ErrorCode, message: str) -> bytes:
+    """Pack a structured error payload: 16-bit code + UTF-8 message."""
+    return _ERROR_HEADER.pack(int(code)) + message.encode("utf-8")
+
+
+def decode_error_payload(payload: bytes) -> Tuple[ErrorCode, str]:
+    """Unpack an error payload; tolerates legacy free-text payloads.
+
+    Pre-v2 servers sent bare ASCII messages.  Those can only collide
+    with a structured payload when their first byte is NUL (no printable
+    text starts that way), so a leading byte ``!= 0`` means legacy.
+    """
+    if len(payload) >= 2 and payload[0] == 0:
+        (raw_code,) = _ERROR_HEADER.unpack_from(payload)
+        try:
+            code = ErrorCode(raw_code)
+        except ValueError:
+            code = ErrorCode.UNKNOWN
+        return code, payload[2:].decode("utf-8", errors="replace")
+    return ErrorCode.UNKNOWN, payload.decode("utf-8", errors="replace")
+
+
+def raise_for_error_payload(payload: bytes, context: str) -> None:
+    """Raise the typed exception a structured error payload describes."""
+    code, message = decode_error_payload(payload)
+    raise exception_for_code(code)(f"{context}: {message}" if message else context)

@@ -1,5 +1,10 @@
-"""The storage network protocol layer (paper §6.2)."""
+"""The storage network protocol layer (paper §6.2).
 
+``protocol`` is the wire format (v1 + v2) with synchronous endpoints;
+``aserver`` is the concurrent asyncio serving layer on top of it.
+"""
+
+from .aserver import AsyncProtocolClient, AsyncProtocolServer, ServerMetrics
 from .protocol import (
     Frame,
     FrameDecoder,
@@ -8,14 +13,21 @@ from .protocol import (
     ProtocolError,
     ProtocolServer,
     encode_frame,
+    encode_frame_v2,
+    encode_reply,
 )
 
 __all__ = [
+    "AsyncProtocolClient",
+    "AsyncProtocolServer",
     "Frame",
     "FrameDecoder",
     "Op",
     "ProtocolClient",
     "ProtocolError",
     "ProtocolServer",
+    "ServerMetrics",
     "encode_frame",
+    "encode_frame_v2",
+    "encode_reply",
 ]

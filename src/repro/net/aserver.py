@@ -1,0 +1,386 @@
+"""Concurrent asyncio serving layer over the §6.2 protocol.
+
+The paper's server front-end is a NIC protocol engine: it terminates
+many client links at line rate, parses the simplified access protocol,
+and hands requests to the reduction pipeline through a bounded buffer
+(the battery-backed NIC DRAM) whose occupancy throttles the clients.
+This module is that front-end rendered in asyncio:
+
+* :class:`AsyncProtocolServer` accepts any number of TCP connections,
+  runs one :class:`~repro.net.protocol.FrameDecoder` session per
+  connection, and funnels every decoded request into one **bounded**
+  queue drained by a configurable pool of worker tasks that serialize
+  access to the shared (non-thread-safe) storage backend.
+
+  Backpressure is structural: a connection's reader coroutine ``await``s
+  the queue slot before reading more bytes, so when the queue is full
+  the server stops consuming from that socket, the TCP window closes,
+  and the client blocks — exactly the NIC-buffer-full behaviour of
+  §7.6.1.  On the response path every write is followed by ``drain()``
+  so slow readers bound the server's write buffers too.
+
+* :class:`AsyncProtocolClient` is the pipelined counterpart: requests
+  are tagged with v2 ``request_id``\\ s and completed by a background
+  reader task, so many calls may be in flight on one connection
+  (``asyncio.gather`` over plain ``read``/``write`` coroutines is the
+  pipelining API).
+
+Neither side spawns threads; the storage stack always executes on the
+event-loop thread, which is what makes a shared mutable backend safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..errors import ErrorCode, ProtocolError, encode_error_payload, \
+    raise_for_error_payload
+from ..systems.server import StorageServer
+from .protocol import (
+    Frame,
+    FrameDecoder,
+    Op,
+    ProtocolServer,
+    encode_frame,
+    encode_frame_v2,
+    encode_reply,
+)
+
+__all__ = ["AsyncProtocolServer", "AsyncProtocolClient", "ServerMetrics"]
+
+#: How many bytes one socket read may return; frames are reassembled by
+#: the per-connection decoder, so this only sizes the read syscalls.
+_READ_CHUNK = 64 * 1024
+
+
+@dataclass
+class ServerMetrics:
+    """Counters the serving layer maintains (all monotonic except
+    ``connections_open``)."""
+
+    connections_total: int = 0
+    connections_open: int = 0
+    requests_enqueued: int = 0
+    responses_sent: int = 0
+    frames_rejected: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: High-water mark of the request queue — never exceeds the
+    #: configured ``queue_depth`` (the backpressure guarantee).
+    max_queue_depth: int = 0
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Per-connection session state (identity-hashed for the registry)."""
+
+    writer: asyncio.StreamWriter
+    decoder: FrameDecoder = field(default_factory=FrameDecoder)
+    pending: int = 0
+    idle: asyncio.Event = field(default_factory=asyncio.Event)
+
+
+class AsyncProtocolServer:
+    """A TCP server multiplexing many clients onto one storage backend.
+
+    Parameters
+    ----------
+    storage:
+        The shared :class:`~repro.systems.server.StorageServer`.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    queue_depth:
+        Bound of the request queue — the NIC-buffer analogue.  Readers
+        pause when it is full.
+    workers:
+        Number of drain tasks.  They interleave requests from different
+        connections but each request executes synchronously on the
+        event loop, so backend access is always serialized.
+    """
+
+    def __init__(
+        self,
+        storage: StorageServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        queue_depth: int = 64,
+        workers: int = 2,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.storage = storage
+        self.endpoint = ProtocolServer(storage)
+        self.host = host
+        self.port = port
+        self.queue_depth = queue_depth
+        self.num_workers = workers
+        self.metrics = ServerMetrics()
+        self._queue: Optional[asyncio.Queue] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._workers: list = []
+        self._connections: set = set()
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self) -> "AsyncProtocolServer":
+        """Bind the listening socket and launch the worker pool."""
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"aserver-worker-{i}")
+            for i in range(self.num_workers)
+        ]
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting, drain queued requests, then flush the backend.
+
+        Live connections are closed server-side; their clients observe
+        EOF and fail any still-pending calls with a
+        :class:`~repro.errors.ProtocolError`.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections):
+            connection.writer.close()
+        if self._queue is not None:
+            await self._queue.join()
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self.storage.flush()
+
+    async def __aenter__(self) -> "AsyncProtocolServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    @property
+    def address(self) -> tuple:
+        return (self.host, self.port)
+
+    # -- connection reader -------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer=writer)
+        connection.idle.set()
+        self._connections.add(connection)
+        self.metrics.connections_total += 1
+        self.metrics.connections_open += 1
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                self.metrics.bytes_in += len(data)
+                for event in connection.decoder.events(data):
+                    await self._enqueue(connection, event)
+            # Answer everything still queued before closing our side.
+            await connection.idle.wait()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(connection)
+            self.metrics.connections_open -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _enqueue(
+        self, connection: _Connection, event: Union[Frame, ProtocolError]
+    ) -> None:
+        connection.pending += 1
+        connection.idle.clear()
+        # Backpressure: this await parks the reader while the queue is
+        # full, which stops the socket reads for this connection.
+        await self._queue.put((connection, event))
+        self.metrics.requests_enqueued += 1
+        depth = self._queue.qsize()
+        if depth > self.metrics.max_queue_depth:
+            self.metrics.max_queue_depth = depth
+
+    # -- worker pool -------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            connection, event = await self._queue.get()
+            try:
+                if isinstance(event, ProtocolError):
+                    self.metrics.frames_rejected += 1
+                    response = encode_frame(
+                        Op.ERROR, 0,
+                        encode_error_payload(
+                            ErrorCode.CORRUPT_FRAME, str(event)
+                        ),
+                    )
+                else:
+                    try:
+                        # Synchronous dispatch on the loop thread — the
+                        # one place backend state is touched.
+                        response = self.endpoint.handle_frame(event)
+                    except Exception as error:  # never kill a worker
+                        response = encode_reply(
+                            event, Op.ERROR, event.lba,
+                            encode_error_payload(
+                                ErrorCode.INTERNAL, str(error)
+                            ),
+                        )
+                try:
+                    connection.writer.write(response)
+                    await connection.writer.drain()
+                    self.metrics.responses_sent += 1
+                    self.metrics.bytes_out += len(response)
+                except (ConnectionResetError, BrokenPipeError):
+                    pass  # client vanished; nothing to answer
+            finally:
+                connection.pending -= 1
+                if connection.pending == 0:
+                    connection.idle.set()
+                self._queue.task_done()
+
+
+class AsyncProtocolClient:
+    """Pipelined client endpoint over one TCP connection.
+
+    Every request carries a fresh v2 ``request_id``; a background reader
+    task matches responses back to their callers, so any number of
+    ``read``/``write`` coroutines may be awaited concurrently
+    (``asyncio.gather``) and completions may arrive out of order.  With
+    ``version=1`` the client emits legacy frames and falls back to
+    FIFO response matching (v1 responses carry no id), which restricts
+    it to in-order completion but exercises the interop path.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        version: int = 2,
+    ):
+        if version not in (1, 2):
+            raise ProtocolError(f"unknown protocol version {version}")
+        self.version = version
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        self._next_request_id = 0
+        self._by_id: Dict[int, asyncio.Future] = {}
+        self._fifo: list = []
+        self._closed = False
+        self._reader_task = asyncio.create_task(
+            self._read_responses(), name="aclient-reader"
+        )
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, *, version: int = 2
+    ) -> "AsyncProtocolClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, version=version)
+
+    async def __aenter__(self) -> "AsyncProtocolClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self._fail_pending(ProtocolError("client closed"))
+
+    # -- response demultiplexer --------------------------------------------------
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    self._fail_pending(ProtocolError("server closed connection"))
+                    return
+                for event in self._decoder.events(data):
+                    if isinstance(event, ProtocolError):
+                        self._fail_pending(event)
+                        return
+                    self._complete(event)
+        except (ConnectionResetError, BrokenPipeError) as error:
+            self._fail_pending(ProtocolError(f"connection lost: {error}"))
+        except asyncio.CancelledError:
+            raise
+
+    def _complete(self, frame: Frame) -> None:
+        if frame.version == 2 and frame.request_id in self._by_id:
+            future = self._by_id.pop(frame.request_id)
+        elif self._fifo:
+            future = self._fifo.pop(0)
+        else:
+            return  # response to a request we no longer track
+        if not future.done():
+            future.set_result(frame)
+
+    def _fail_pending(self, error: ProtocolError) -> None:
+        for future in list(self._by_id.values()) + self._fifo:
+            if not future.done():
+                future.set_exception(error)
+        self._by_id.clear()
+        self._fifo.clear()
+
+    # -- request path ------------------------------------------------------------
+    async def _request(self, op: int, lba: int, payload: bytes = b"",
+                       count: int = 0) -> Frame:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        if self.version == 2:
+            self._next_request_id = (self._next_request_id + 1) % (1 << 32)
+            request_id = self._next_request_id
+            self._by_id[request_id] = future
+            wire = encode_frame_v2(
+                op, lba, payload, request_id=request_id, count=count
+            )
+        else:
+            if count > 255:
+                raise ProtocolError(
+                    f"v1 reads cap at 255 chunks (asked for {count})"
+                )
+            self._fifo.append(future)
+            wire = encode_frame(op, lba, payload, flags=count)
+        self._writer.write(wire)
+        await self._writer.drain()
+        return await future
+
+    async def write(self, lba: int, payload: bytes) -> None:
+        """Write ``payload`` at chunk-aligned ``lba``; awaits the ack."""
+        response = await self._request(Op.WRITE, lba, payload)
+        if response.op != Op.WRITE_ACK:
+            raise_for_error_payload(response.payload, "write failed")
+
+    async def read(self, lba: int, num_chunks: int = 1) -> bytes:
+        """Read ``num_chunks`` chunks starting at chunk-aligned ``lba``."""
+        response = await self._request(Op.READ, lba, count=num_chunks)
+        if response.op != Op.READ_ACK:
+            raise_for_error_payload(response.payload, "read failed")
+        return response.payload

@@ -1,4 +1,4 @@
-"""The simplified storage access protocol (paper §6.2).
+"""The simplified storage access protocol (paper §6.2), versions 1 and 2.
 
 The prototype speaks "a simplified protocol (instead of a complete
 protocol like iSCSI)": requests carry an operation type, an LBA, and
@@ -6,14 +6,25 @@ data; the flow is write→ack and read→ack-with-data.  This module
 implements that wire format and both endpoints:
 
 * frame encoding/decoding with length prefixes and a CRC (corrupt or
-  truncated frames are detected, never mis-parsed),
+  truncated frames are detected, never mis-parsed, and the decoder
+  resynchronizes on the next magic byte so one bad frame cannot wedge
+  a connection),
 * :class:`ProtocolServer` — decodes request frames, drives a
   :class:`~repro.systems.server.StorageServer`, encodes acks,
 * :class:`ProtocolClient` — the mirror side, with a blocking-style API
   over any byte transport.
 
-The encoding is deliberately small (the paper's point): a 16-byte
-header is all the NIC's protocol layer must parse before acting.
+Two header versions coexist on the wire, distinguished by magic byte:
+
+* **v1** (16 bytes, magic ``0xF1``): op, flags, LBA, length, CRC.  Reads
+  smuggle their chunk count through the 1-byte ``flags`` field, so they
+  cap at 255 chunks and responses carry no correlation id.
+* **v2** (28 bytes, magic ``0xF2``): adds a 32-bit ``request_id`` (so a
+  pipelined client can match out-of-order responses) and a dedicated
+  32-bit ``count`` field, freeing ``flags`` to be actual flags.
+
+Endpoints answer in the version the request arrived in, so a v2 server
+is bidirectionally compatible with v1 peers.
 """
 
 from __future__ import annotations
@@ -21,23 +32,43 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
+from ..errors import (
+    ErrorCode,
+    ProtocolError,
+    ReproError,
+    encode_error_payload,
+    error_code_for,
+    raise_for_error_payload,
+)
 from ..systems.server import StorageServer
 
 __all__ = [
     "Op",
     "Frame",
     "encode_frame",
+    "encode_frame_v2",
+    "encode_reply",
     "FrameDecoder",
     "ProtocolError",
     "ProtocolServer",
     "ProtocolClient",
+    "MAX_PAYLOAD",
 ]
 
-#: header: magic, op, flags, reserved, lba, payload length, crc32(payload)
-_HEADER = struct.Struct(">BBBBQII")
-_MAGIC = 0xF1
+#: v1 header: magic, op, flags, reserved, lba, payload length, crc32(payload)
+_HEADER_V1 = struct.Struct(">BBBBQII")
+#: v2 header: magic, op, flags, reserved, request_id, count, lba, length, crc
+_HEADER_V2 = struct.Struct(">BBBBIIQII")
+_MAGIC_V1 = 0xF1
+_MAGIC_V2 = 0xF2
+_MAGICS = (_MAGIC_V1, _MAGIC_V2)
+
+#: Upper bound on a frame payload; a "length" beyond this is treated as
+#: stream corruption rather than waited for (it would stall the decoder
+#: on gigabytes that are never coming).
+MAX_PAYLOAD = 64 * 1024 * 1024
 
 
 class Op:
@@ -48,67 +79,167 @@ class Op:
     ERROR = 5
 
 
-class ProtocolError(ValueError):
-    """A malformed or corrupt frame."""
+_KNOWN_OPS = (Op.WRITE, Op.READ, Op.WRITE_ACK, Op.READ_ACK, Op.ERROR)
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded protocol frame."""
+    """One decoded protocol frame.
+
+    ``count`` is the v2 explicit chunk count; it stays ``None`` on v1
+    frames, where reads encode the count in ``flags`` — use
+    :attr:`read_count` for the version-independent value.
+    """
 
     op: int
     lba: int
     payload: bytes = b""
     flags: int = 0
+    version: int = 1
+    request_id: int = 0
+    count: Optional[int] = None
+
+    @property
+    def read_count(self) -> int:
+        """The chunk count of a READ, whichever header carried it."""
+        if self.count is not None:
+            return max(1, self.count)
+        return max(1, self.flags)
 
 
-def encode_frame(op: int, lba: int, payload: bytes = b"", flags: int = 0) -> bytes:
-    """Serialize one frame."""
-    if op not in (Op.WRITE, Op.READ, Op.WRITE_ACK, Op.READ_ACK, Op.ERROR):
+def _check_frame_fields(op: int, lba: int) -> None:
+    if op not in _KNOWN_OPS:
         raise ProtocolError(f"unknown op {op}")
     if lba < 0:
         raise ProtocolError("negative LBA")
-    header = _HEADER.pack(
-        _MAGIC, op, flags, 0, lba, len(payload), zlib.crc32(payload)
+
+
+def encode_frame(op: int, lba: int, payload: bytes = b"", flags: int = 0) -> bytes:
+    """Serialize one v1 frame (the pre-v2 wire format, unchanged)."""
+    _check_frame_fields(op, lba)
+    header = _HEADER_V1.pack(
+        _MAGIC_V1, op, flags, 0, lba, len(payload), zlib.crc32(payload)
     )
     return header + payload
 
 
+def encode_frame_v2(
+    op: int,
+    lba: int,
+    payload: bytes = b"",
+    *,
+    request_id: int = 0,
+    count: int = 0,
+    flags: int = 0,
+) -> bytes:
+    """Serialize one v2 frame (request id + dedicated count field)."""
+    _check_frame_fields(op, lba)
+    if not 0 <= request_id < 1 << 32:
+        raise ProtocolError(f"request_id {request_id} outside 32 bits")
+    if not 0 <= count < 1 << 32:
+        raise ProtocolError(f"count {count} outside 32 bits")
+    header = _HEADER_V2.pack(
+        _MAGIC_V2, op, flags, 0, request_id, count,
+        lba, len(payload), zlib.crc32(payload),
+    )
+    return header + payload
+
+
+def encode_reply(request: Frame, op: int, lba: int, payload: bytes = b"") -> bytes:
+    """Encode a response in the same version the request arrived in."""
+    if request.version == 2:
+        return encode_frame_v2(op, lba, payload, request_id=request.request_id)
+    return encode_frame(op, lba, payload)
+
+
 class FrameDecoder:
     """Incremental decoder over a byte stream (frames may arrive split
-    or coalesced, as on a real TCP stream)."""
+    or coalesced, as on a real TCP stream).
+
+    Corruption never wedges the stream: a bad magic byte makes the
+    decoder scan forward to the next plausible header, and a CRC
+    mismatch or unknown op discards exactly the offending frame, so the
+    next :meth:`feed` resumes decoding from clean bytes.
+    """
 
     def __init__(self):
         self._buffer = bytearray()
 
     def feed(self, data: bytes) -> List[Frame]:
-        """Append stream bytes; returns every complete frame."""
-        self._buffer += data
+        """Append stream bytes; returns every complete frame.
+
+        Raises :class:`ProtocolError` on the first corrupt frame (after
+        resynchronizing the buffer past it); frames decoded later in the
+        same call are lost to the caller, so servers should prefer
+        :meth:`events`, which reports errors in-line instead of raising.
+        """
         frames: List[Frame] = []
+        for event in self.events(data):
+            if isinstance(event, ProtocolError):
+                raise event
+            frames.append(event)
+        return frames
+
+    def events(self, data: bytes) -> List[Union[Frame, ProtocolError]]:
+        """Append stream bytes; returns frames and decode errors in wire
+        order, resynchronizing after each error."""
+        self._buffer += data
+        out: List[Union[Frame, ProtocolError]] = []
         while True:
-            frame = self._try_decode()
+            try:
+                frame = self._try_decode()
+            except ProtocolError as error:
+                out.append(error)
+                continue
             if frame is None:
-                return frames
-            frames.append(frame)
+                return out
+            out.append(frame)
+
+    def _resync(self, skip: int) -> None:
+        """Drop ``skip`` bytes, then everything up to the next magic."""
+        del self._buffer[:skip]
+        for index, byte in enumerate(self._buffer):
+            if byte in _MAGICS:
+                del self._buffer[:index]
+                return
+        self._buffer.clear()
 
     def _try_decode(self) -> Optional[Frame]:
-        if len(self._buffer) < _HEADER.size:
+        if not self._buffer:
             return None
-        magic, op, flags, _, lba, length, crc = _HEADER.unpack_from(
-            self._buffer, 0
-        )
-        if magic != _MAGIC:
+        magic = self._buffer[0]
+        if magic == _MAGIC_V1:
+            header = _HEADER_V1
+        elif magic == _MAGIC_V2:
+            header = _HEADER_V2
+        else:
+            self._resync(1)
             raise ProtocolError("bad magic: stream out of sync")
-        end = _HEADER.size + length
+        if len(self._buffer) < header.size:
+            return None
+        if magic == _MAGIC_V1:
+            _, op, flags, _, lba, length, crc = header.unpack_from(self._buffer)
+            request_id, count, version = 0, None, 1
+        else:
+            (_, op, flags, _, request_id, count, lba, length, crc
+             ) = header.unpack_from(self._buffer)
+            version = 2
+        if length > MAX_PAYLOAD:
+            self._resync(1)
+            raise ProtocolError(f"implausible payload length {length}")
+        end = header.size + length
         if len(self._buffer) < end:
             return None
-        payload = bytes(self._buffer[_HEADER.size : end])
+        payload = bytes(self._buffer[header.size : end])
+        del self._buffer[:end]
         if zlib.crc32(payload) != crc:
             raise ProtocolError("payload CRC mismatch")
-        del self._buffer[:end]
-        if op not in (Op.WRITE, Op.READ, Op.WRITE_ACK, Op.READ_ACK, Op.ERROR):
+        if op not in _KNOWN_OPS:
             raise ProtocolError(f"unknown op {op}")
-        return Frame(op=op, lba=lba, payload=payload, flags=flags)
+        return Frame(
+            op=op, lba=lba, payload=payload, flags=flags,
+            version=version, request_id=request_id, count=count,
+        )
 
     @property
     def pending_bytes(self) -> int:
@@ -118,37 +249,58 @@ class FrameDecoder:
 class ProtocolServer:
     """Server endpoint: request frames in, ack frames out.
 
-    Reads use the frame's ``flags`` field as the chunk count (the
-    protocol's length field, §6.2: "the requested address (i.e., LBA)
-    and data").
+    :meth:`handle_frame` is the transport-independent dispatch used by
+    both this synchronous endpoint and the asyncio serving layer
+    (:class:`~repro.net.aserver.AsyncProtocolServer`); it answers in the
+    request's own protocol version and converts every storage-stack
+    exception into a structured ``Op.ERROR`` frame.
     """
 
     def __init__(self, server: StorageServer):
         self.server = server
         self._decoder = FrameDecoder()
         self.requests_served = 0
+        self.frames_rejected = 0
 
     def handle_bytes(self, data: bytes) -> bytes:
-        """Feed stream bytes; returns the concatenated response frames."""
+        """Feed stream bytes; returns the concatenated response frames.
+
+        Corrupt frames are answered with an ``Op.ERROR`` frame (code
+        ``CORRUPT_FRAME``) rather than raised, so one bad client cannot
+        crash the serving loop.
+        """
         responses = []
-        for frame in self._decoder.feed(data):
-            responses.append(self._handle(frame))
+        for event in self._decoder.events(data):
+            if isinstance(event, ProtocolError):
+                self.frames_rejected += 1
+                responses.append(encode_frame(
+                    Op.ERROR, 0,
+                    encode_error_payload(ErrorCode.CORRUPT_FRAME, str(event)),
+                ))
+            else:
+                responses.append(self.handle_frame(event))
         return b"".join(responses)
 
-    def _handle(self, frame: Frame) -> bytes:
+    def handle_frame(self, frame: Frame) -> bytes:
+        """Dispatch one request frame; returns the encoded response."""
         self.requests_served += 1
-        if frame.op == Op.WRITE:
-            if not frame.payload:
-                return encode_frame(Op.ERROR, frame.lba, b"empty write")
-            self.server.write(frame.lba, frame.payload)
-            # §7.6.1: the ack is immediate — data is durable in the
-            # (battery-backed) NIC buffer, not yet reduced.
-            return encode_frame(Op.WRITE_ACK, frame.lba)
-        if frame.op == Op.READ:
-            num_chunks = max(1, frame.flags)
-            data = self.server.read(frame.lba, num_chunks)
-            return encode_frame(Op.READ_ACK, frame.lba, data)
-        return encode_frame(Op.ERROR, frame.lba, b"unexpected op")
+        try:
+            if frame.op == Op.WRITE:
+                if not frame.payload:
+                    raise ProtocolError("empty write")
+                self.server.write(frame.lba, frame.payload)
+                # §7.6.1: the ack is immediate — data is durable in the
+                # (battery-backed) NIC buffer, not yet reduced.
+                return encode_reply(frame, Op.WRITE_ACK, frame.lba)
+            if frame.op == Op.READ:
+                data = self.server.read(frame.lba, frame.read_count)
+                return encode_reply(frame, Op.READ_ACK, frame.lba, data)
+            raise ProtocolError(f"unexpected op {frame.op}")
+        except (ReproError, ValueError) as error:
+            return encode_reply(
+                frame, Op.ERROR, frame.lba,
+                encode_error_payload(error_code_for(error), str(error)),
+            )
 
 
 class ProtocolClient:
@@ -156,11 +308,32 @@ class ProtocolClient:
 
     ``transport`` is any callable ``bytes -> bytes`` (e.g. a
     :meth:`ProtocolServer.handle_bytes` bound method, or a socket shim).
+    ``version`` selects the emitted wire format; both are decoded.
+    Error responses raise the typed exception their structured payload
+    names (:mod:`repro.errors`).
     """
 
-    def __init__(self, transport):
+    def __init__(self, transport, version: int = 2):
+        if version not in (1, 2):
+            raise ProtocolError(f"unknown protocol version {version}")
         self._transport = transport
         self._decoder = FrameDecoder()
+        self.version = version
+        self._next_request_id = 0
+
+    def _encode_request(self, op: int, lba: int, payload: bytes = b"",
+                        count: int = 0) -> bytes:
+        if self.version == 1:
+            if count > 255:
+                raise ProtocolError(
+                    f"v1 reads cap at 255 chunks (asked for {count}); "
+                    "use protocol version 2"
+                )
+            return encode_frame(op, lba, payload, flags=count)
+        self._next_request_id = (self._next_request_id + 1) % (1 << 32)
+        return encode_frame_v2(
+            op, lba, payload, request_id=self._next_request_id, count=count
+        )
 
     def _roundtrip(self, request: bytes) -> Frame:
         frames = self._decoder.feed(self._transport(request))
@@ -169,18 +342,14 @@ class ProtocolClient:
         return frames[0]
 
     def write(self, lba: int, payload: bytes) -> None:
-        response = self._roundtrip(encode_frame(Op.WRITE, lba, payload))
+        response = self._roundtrip(self._encode_request(Op.WRITE, lba, payload))
         if response.op != Op.WRITE_ACK:
-            raise ProtocolError(
-                f"write failed: {response.payload.decode(errors='replace')}"
-            )
+            raise_for_error_payload(response.payload, "write failed")
 
     def read(self, lba: int, num_chunks: int = 1) -> bytes:
         response = self._roundtrip(
-            encode_frame(Op.READ, lba, flags=num_chunks)
+            self._encode_request(Op.READ, lba, count=num_chunks)
         )
         if response.op != Op.READ_ACK:
-            raise ProtocolError(
-                f"read failed: {response.payload.decode(errors='replace')}"
-            )
+            raise_for_error_payload(response.payload, "read failed")
         return response.payload

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..cache.table_cache import CacheIndex, TableCache
+from ..errors import AlignmentError
 from ..datared.chunking import Chunk
 from ..datared.compression import Compressor, ZlibCompressor
 from ..datared.container import Container, ContainerStore
@@ -153,10 +154,10 @@ class ReductionSystem:
     def read(self, lba: int, num_chunks: int = 1) -> bytes:
         """Client read of ``num_chunks`` chunks at chunk-aligned ``lba``."""
         if num_chunks < 1:
-            raise ValueError("must read at least one chunk")
+            raise AlignmentError("must read at least one chunk")
         step = self.engine.chunker.blocks_per_chunk
         if lba % step != 0:
-            raise ValueError(f"LBA {lba} is not chunk-aligned")
+            raise AlignmentError(f"LBA {lba} is not chunk-aligned")
         pieces = []
         for position in range(num_chunks):
             piece = self._read_chunk(lba + position * step)

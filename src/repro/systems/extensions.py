@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..errors import CapacityError
 from ..hw.pcie import HOST
 from .accounting import CpuTask, MemPath
 from .fidr import FidrSystem, _DATA_SSD, _DECOMP, _NIC
@@ -42,7 +43,7 @@ class HotReadCache:
 
     def __init__(self, capacity_chunks: int, ghost_entries: Optional[int] = None):
         if capacity_chunks < 1:
-            raise ValueError("capacity must be at least one chunk")
+            raise CapacityError("capacity must be at least one chunk")
         self.capacity = capacity_chunks
         self._data: "OrderedDict[int, bytes]" = OrderedDict()
         self._ghost: "OrderedDict[int, None]" = OrderedDict()

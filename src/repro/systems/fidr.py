@@ -144,6 +144,12 @@ class FidrSystem(ReductionSystem):
             entry = staged_by_lba.get(chunk.lba)
             if entry is None:
                 continue  # superseded by a newer write to the same LBA
+            if entry.data != chunk.data:
+                # The buffer entry is a *newer* write to this LBA that
+                # belongs to a later batch.  It must stay buffered (and
+                # readable via LBA Lookup) until that batch commits, or
+                # reads in between would see the stale mapping.
+                continue
             is_unique = not outcome.duplicate
             flags.append((entry, is_unique))
             if is_unique:

@@ -1,0 +1,254 @@
+"""Tests for the v2 wire format, decoder resync, and the typed error
+model riding the protocol."""
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor
+from repro.errors import (
+    AlignmentError,
+    ErrorCode,
+    ProtocolError,
+    decode_error_payload,
+)
+from repro.net.protocol import (
+    Frame,
+    FrameDecoder,
+    Op,
+    ProtocolClient,
+    ProtocolServer,
+    encode_frame,
+    encode_frame_v2,
+    encode_reply,
+)
+from repro.systems.server import StorageServer, SystemKind
+
+CHUNK = 4096
+
+
+def make_stack(version=2, kind=SystemKind.FIDR, **kwargs):
+    storage = StorageServer.build(
+        kind, num_buckets=1024, cache_lines=64,
+        compressor=ModeledCompressor(0.5), **kwargs,
+    )
+    endpoint = ProtocolServer(storage)
+    client = ProtocolClient(endpoint.handle_bytes, version=version)
+    return storage, endpoint, client
+
+
+def make_wide_chunk_stack(version=2):
+    """A 2-block chunk system, so odd LBAs violate alignment."""
+    from repro.systems.config import SystemConfig
+    return make_stack(version=version, config=SystemConfig(chunk_size=8192))
+
+
+class TestV2Framing:
+    def test_roundtrip_carries_request_id_and_count(self):
+        raw = encode_frame_v2(Op.READ, 16, request_id=7_000_000, count=1000)
+        (frame,) = FrameDecoder().feed(raw)
+        assert frame.version == 2
+        assert frame.request_id == 7_000_000
+        assert frame.count == 1000
+        assert frame.read_count == 1000
+
+    def test_count_beyond_v1_flags_range(self):
+        """The dedicated 32-bit count field breaks the 255-chunk cap."""
+        raw = encode_frame_v2(Op.READ, 0, count=1 << 20)
+        (frame,) = FrameDecoder().feed(raw)
+        assert frame.read_count == 1 << 20
+
+    def test_v1_frame_reports_count_via_flags(self):
+        (frame,) = FrameDecoder().feed(encode_frame(Op.READ, 0, flags=9))
+        assert frame.version == 1
+        assert frame.count is None
+        assert frame.read_count == 9
+
+    def test_field_validation(self):
+        with pytest.raises(ProtocolError):
+            encode_frame_v2(Op.READ, 0, request_id=1 << 32)
+        with pytest.raises(ProtocolError):
+            encode_frame_v2(Op.READ, 0, count=-1)
+        with pytest.raises(ProtocolError):
+            encode_frame_v2(99, 0)
+
+    def test_mixed_version_stream(self):
+        """v1 and v2 frames interleaved on one stream both decode."""
+        stream = (
+            encode_frame(Op.WRITE, 0, b"old")
+            + encode_frame_v2(Op.WRITE, 8, b"new", request_id=3)
+            + encode_frame(Op.READ, 0, flags=2)
+        )
+        frames = FrameDecoder().feed(stream)
+        assert [f.version for f in frames] == [1, 2, 1]
+        assert frames[1].request_id == 3
+
+    def test_v2_split_delivery(self):
+        raw = encode_frame_v2(Op.WRITE, 8, b"payload", request_id=5)
+        decoder = FrameDecoder()
+        collected = []
+        for index in range(0, len(raw), 3):
+            collected.extend(decoder.feed(raw[index : index + 3]))
+        assert len(collected) == 1
+        assert collected[0].payload == b"payload"
+
+    def test_encode_reply_mirrors_version(self):
+        v1_request = FrameDecoder().feed(encode_frame(Op.READ, 0))[0]
+        v2_request = FrameDecoder().feed(
+            encode_frame_v2(Op.READ, 0, request_id=42)
+        )[0]
+        (v1_reply,) = FrameDecoder().feed(
+            encode_reply(v1_request, Op.READ_ACK, 0, b"x")
+        )
+        (v2_reply,) = FrameDecoder().feed(
+            encode_reply(v2_request, Op.READ_ACK, 0, b"x")
+        )
+        assert v1_reply.version == 1
+        assert v2_reply.version == 2
+        assert v2_reply.request_id == 42
+
+
+class TestDecoderResync:
+    def test_bad_magic_then_clean_frame_recovers(self):
+        """One corrupt prefix must not wedge the decoder forever."""
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"\x00\x01\x02garbage")
+        frames = decoder.feed(encode_frame_v2(Op.READ, 8, request_id=1))
+        assert len(frames) == 1 and frames[0].lba == 8
+
+    def test_crc_corruption_consumes_the_frame(self):
+        decoder = FrameDecoder()
+        bad = bytearray(encode_frame(Op.WRITE, 0, b"data"))
+        bad[-1] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decoder.feed(bytes(bad))
+        assert decoder.pending_bytes == 0
+        (frame,) = decoder.feed(encode_frame(Op.WRITE, 16, b"ok"))
+        assert frame.payload == b"ok"
+
+    def test_repeated_feed_does_not_rereraise(self):
+        """The pre-v2 bug: bad magic left the buffer intact, so every
+        later feed() re-raised without making progress."""
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"\x00" * 40)
+        assert decoder.feed(b"") == []  # buffer was reclaimed
+
+    def test_resync_scans_to_embedded_magic(self):
+        """Junk bytes before a clean frame: the resync scan finds the
+        frame's magic and the frame decodes in the same call."""
+        good = encode_frame(Op.READ, 3)
+        events = FrameDecoder().events(b"\x07\x08" + good)
+        assert isinstance(events[0], ProtocolError)
+        assert isinstance(events[1], Frame) and events[1].lba == 3
+
+    def test_events_reports_errors_inline(self):
+        good = encode_frame_v2(Op.READ, 8, request_id=2)
+        events = FrameDecoder().events(b"\xab" + good)
+        assert isinstance(events[0], ProtocolError)
+        assert isinstance(events[1], Frame) and events[1].lba == 8
+
+    def test_implausible_length_is_corruption_not_a_stall(self):
+        import struct
+        header = struct.pack(
+            ">BBBBQII", 0xF1, Op.WRITE, 0, 0, 0, 1 << 31, 0
+        )
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            decoder.feed(header)
+        (frame,) = decoder.feed(encode_frame(Op.READ, 0))
+        assert frame.op == Op.READ
+
+
+class TestServerErrorHandling:
+    def test_corrupt_frame_answered_with_error_frame(self):
+        _, endpoint, _ = make_stack()
+        response = endpoint.handle_bytes(b"\x00\x01\x02")
+        (frame,) = FrameDecoder().feed(response)
+        assert frame.op == Op.ERROR
+        code, _ = decode_error_payload(frame.payload)
+        assert code is ErrorCode.CORRUPT_FRAME
+        assert endpoint.frames_rejected == 1
+
+    def test_corruption_then_valid_request_same_buffer(self):
+        """A corrupt frame and a clean one in the same TCP segment: the
+        server answers both (error frame + real ack)."""
+        _, endpoint, _ = make_stack()
+        data = b"\xab\xcd" + encode_frame_v2(
+            Op.WRITE, 0, b"x" * CHUNK, request_id=1
+        )
+        frames = FrameDecoder().feed(endpoint.handle_bytes(data))
+        assert [f.op for f in frames] == [Op.ERROR, Op.WRITE_ACK]
+
+    def test_unaligned_read_returns_alignment_code(self):
+        _, endpoint, _ = make_wide_chunk_stack()
+        response = endpoint.handle_bytes(
+            encode_frame_v2(Op.READ, 3, request_id=9, count=1)
+        )
+        (frame,) = FrameDecoder().feed(response)
+        assert frame.op == Op.ERROR
+        assert frame.request_id == 9  # error mirrors the request id
+        code, message = decode_error_payload(frame.payload)
+        assert code is ErrorCode.ALIGNMENT
+        assert "chunk-aligned" in message
+
+    def test_client_raises_typed_alignment_error(self):
+        _, _, client = make_wide_chunk_stack()
+        with pytest.raises(AlignmentError):
+            client.read(3, 1)
+
+    def test_client_raises_protocol_error_on_empty_write(self):
+        _, _, client = make_stack()
+        with pytest.raises(ProtocolError):
+            client.write(0, b"")
+
+    def test_ack_op_as_request_is_rejected_not_fatal(self):
+        _, endpoint, _ = make_stack()
+        response = endpoint.handle_bytes(encode_frame(Op.WRITE_ACK, 0))
+        (frame,) = FrameDecoder().feed(response)
+        assert frame.op == Op.ERROR
+        code, _ = decode_error_payload(frame.payload)
+        assert code is ErrorCode.BAD_REQUEST
+
+
+class TestInterop:
+    def test_v1_encode_frame_accepted_by_new_decoder(self):
+        """Acceptance criterion: pre-v2 frames decode unchanged."""
+        raw = encode_frame(Op.WRITE, 42, b"payload", flags=3)
+        frames = FrameDecoder().feed(raw)
+        assert frames == [
+            Frame(op=Op.WRITE, lba=42, payload=b"payload", flags=3)
+        ]
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_roundtrip_both_versions(self, version, rng):
+        _, endpoint, client = make_stack(version=version)
+        data = rng.randbytes(CHUNK)
+        client.write(0, data)
+        assert client.read(0, 1) == data
+
+    def test_server_answers_v1_request_in_v1(self, rng):
+        _, endpoint, _ = make_stack()
+        response = endpoint.handle_bytes(
+            encode_frame(Op.WRITE, 0, rng.randbytes(CHUNK))
+        )
+        (frame,) = FrameDecoder().feed(response)
+        assert frame.version == 1 and frame.op == Op.WRITE_ACK
+
+    def test_server_answers_v2_request_in_v2(self, rng):
+        _, endpoint, _ = make_stack()
+        response = endpoint.handle_bytes(
+            encode_frame_v2(Op.WRITE, 0, rng.randbytes(CHUNK), request_id=77)
+        )
+        (frame,) = FrameDecoder().feed(response)
+        assert frame.version == 2 and frame.request_id == 77
+
+    def test_v1_client_read_cap(self):
+        _, _, client = make_stack(version=1)
+        with pytest.raises(ProtocolError):
+            client.read(0, 256)
+
+    def test_v2_client_large_read(self, rng):
+        _, _, client = make_stack(version=2)
+        data = rng.randbytes(4 * CHUNK)
+        client.write(0, data)
+        assert client.read(0, 4) == data

@@ -109,6 +109,25 @@ class TestBatchBoundaries:
         system.flush()
         assert system.read(0, 10) == payload
 
+    def test_fidr_overwrite_straddling_batch_stays_readable(self, rng):
+        """Regression: an older write to LBA X lands in batch N while its
+        overwrite is still pending for batch N+1.  Processing batch N
+        used to pop X's NIC-buffer entry (which by then held the *new*
+        data), so a read in the window between the batches fell through
+        to the stale on-SSD mapping."""
+        batch = 4
+        system = tiny_batches(FidrSystem, batch=batch)
+        old, new = rng.randbytes(CHUNK), rng.randbytes(CHUNK)
+        system.write(5, old)
+        for index in range(batch - 2):  # leave pending one short of full
+            system.write(100 + index, rng.randbytes(CHUNK))
+        # A two-chunk write at LBAs 4-5: chunk @4 completes batch 1
+        # (which contains the old @5), chunk @5 stays pending.
+        system.write(4, rng.randbytes(CHUNK) + new)
+        assert system.read(5, 1) == new  # served from the NIC buffer
+        system.flush()
+        assert system.read(5, 1) == new  # and after the batch commits
+
     def test_fidr_pending_count_tracks_nic(self, rng):
         system = tiny_batches(FidrSystem, batch=8)
         for lba in range(0, 8 * 5, 8):

@@ -1,0 +1,88 @@
+"""Tests for the concurrent load generator."""
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor
+from repro.systems.server import StorageServer, SystemKind
+from repro.workloads.loadgen import LoadGenConfig, LoadGenResult, run_against
+
+
+def build_storage():
+    return StorageServer.build(
+        SystemKind.FIDR, num_buckets=1024, cache_lines=64,
+        compressor=ModeledCompressor(0.5),
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(clients=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            LoadGenConfig(lbas_per_client=2, chunks_per_op=4)
+
+
+class TestResultMath:
+    def test_percentiles_and_rates(self):
+        result = LoadGenResult(
+            clients=1, total_ops=4, read_ops=2, write_ops=2,
+            verified_reads=2, elapsed_s=2.0,
+            bytes_written=1_000_000, bytes_read=1_000_000,
+            latencies_ms=[1.0, 2.0, 3.0, 4.0],
+        )
+        assert result.throughput_ops == 2.0
+        assert result.throughput_mb_s == 1.0
+        assert result.p50_ms == 3.0
+        assert result.p99_ms == 4.0
+        assert "p50/p99" in result.render()
+
+    def test_empty_result_degrades(self):
+        result = LoadGenResult(
+            clients=1, total_ops=0, read_ops=0, write_ops=0,
+            verified_reads=0, elapsed_s=0.0, bytes_written=0, bytes_read=0,
+        )
+        assert result.throughput_ops == 0.0
+        assert result.p99_ms == 0.0
+
+
+class TestEndToEnd:
+    def test_eight_concurrent_clients_mixed_workload(self):
+        """The acceptance criterion: >= 8 clients, mixed read/write,
+        byte-exact read-back, throughput + percentile reporting."""
+        config = LoadGenConfig(
+            clients=8, ops_per_client=25, read_fraction=0.5, seed=7
+        )
+        result = run_against(build_storage(), config, workers=3)
+        assert result.clients == 8
+        assert result.total_ops == 8 * 25
+        assert result.read_ops > 0 and result.write_ops > 0
+        assert result.verified_reads == result.read_ops
+        assert result.throughput_ops > 0
+        assert result.p99_ms >= result.p50_ms > 0
+
+    def test_multi_chunk_operations(self):
+        config = LoadGenConfig(
+            clients=4, ops_per_client=12, chunks_per_op=3,
+            lbas_per_client=8, seed=3,
+        )
+        result = run_against(build_storage(), config)
+        assert result.verified_reads == result.read_ops
+        storage_bytes = result.bytes_written
+        assert storage_bytes % (3 * 4096) == 0
+
+    def test_deterministic_given_seed(self):
+        config = LoadGenConfig(clients=3, ops_per_client=10, seed=42)
+        first = run_against(build_storage(), config)
+        second = run_against(build_storage(), config)
+        assert (first.read_ops, first.write_ops) == (
+            second.read_ops, second.write_ops
+        )
+        assert first.verified_reads == first.read_ops
+
+    def test_write_only_mix(self):
+        config = LoadGenConfig(clients=2, ops_per_client=10, read_fraction=0.0)
+        result = run_against(build_storage(), config)
+        assert result.read_ops == 0
+        assert result.write_ops == 20
