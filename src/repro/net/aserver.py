@@ -149,10 +149,15 @@ class AsyncProtocolServer:
         """
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Close live connections *before* awaiting wait_closed(): on
+        # Python >= 3.12.1 wait_closed() also waits for every connection
+        # handler, so a handler parked in reader.read() would deadlock
+        # the shutdown unless its socket is closed first.
         for connection in list(self._connections):
             connection.writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
         if self._queue is not None:
             await self._queue.join()
         for task in self._workers:
@@ -326,10 +331,15 @@ class AsyncProtocolClient:
                         self._fail_pending(event)
                         return
                     self._complete(event)
-        except (ConnectionResetError, BrokenPipeError) as error:
+        except OSError as error:
             self._fail_pending(ProtocolError(f"connection lost: {error}"))
         except asyncio.CancelledError:
             raise
+        finally:
+            # Once the reader is gone nothing can ever complete a
+            # future, so the client is effectively closed: later
+            # read()/write() calls must raise instead of hanging.
+            self._closed = True
 
     def _complete(self, frame: Frame) -> None:
         if frame.version == 2 and frame.request_id in self._by_id:
@@ -368,8 +378,17 @@ class AsyncProtocolClient:
                 )
             self._fifo.append(future)
             wire = encode_frame(op, lba, payload, flags=count)
-        self._writer.write(wire)
-        await self._writer.drain()
+        try:
+            self._writer.write(wire)
+            await self._writer.drain()
+        except OSError as error:
+            # Unregister the future we just parked so it is not leaked,
+            # and surface the failure through the module's error type.
+            if self.version == 2:
+                self._by_id.pop(request_id, None)
+            elif future in self._fifo:
+                self._fifo.remove(future)
+            raise ProtocolError(f"send failed: {error}") from error
         return await future
 
     async def write(self, lba: int, payload: bytes) -> None:
