@@ -1,0 +1,221 @@
+"""Throughput baseline for the stage-split parallel data path.
+
+Not a paper figure — this measures the software pipeline itself: batched
+writes through :meth:`~repro.datared.dedup.DedupEngine.write_many` and
+batched reads through the parallel decompression path, serial versus a
+:class:`~repro.parallel.StagePool` at 1/2/4/8 worker threads, with real
+SHA-256 and real zlib (the two stages that release the GIL).
+
+Besides printing the table, the run writes ``BENCH_throughput.json`` at
+the repository root: write/read MB/s and per-batch p50/p99 latency for
+every thread count, plus ``cpu_count`` so the numbers can be judged in
+context — on a single-core host threading cannot beat serial, and the
+honest expectation there is parity (the slice-amortized pool keeps
+overhead low), not speedup.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from repro.datared.compression import ZlibCompressor
+from repro.datared.dedup import DedupEngine
+from repro.parallel import StagePool
+
+CHUNK = 4096
+BATCH_CHUNKS = 64
+PARALLELISMS = [1, 2, 4, 8]
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+NUM_BATCHES = 6 if SMOKE else 48
+DUPLICATE_FRACTION = 0.25
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def make_workload(seed: int = 0xF1D8) -> List[List[bytes]]:
+    """Batches of half-random/half-zero chunks with a duplicate pool —
+    compressible enough that zlib does real work, unique enough that
+    most chunks reach the compressor."""
+    rng = random.Random(seed)
+    pool = [
+        rng.randbytes(CHUNK // 2) + bytes(CHUNK // 2) for _ in range(8)
+    ]
+    batches = []
+    for _ in range(NUM_BATCHES):
+        batch = []
+        for _ in range(BATCH_CHUNKS):
+            if rng.random() < DUPLICATE_FRACTION:
+                batch.append(pool[rng.randrange(len(pool))])
+            else:
+                batch.append(rng.randbytes(CHUNK // 2) + bytes(CHUNK // 2))
+        batches.append(batch)
+    return batches
+
+
+@dataclass
+class PipelineRun:
+    """Measured behaviour of one parallelism setting."""
+
+    parallelism: int
+    write_mb_s: float
+    read_mb_s: float
+    write_p50_ms: float
+    write_p99_ms: float
+    read_p50_ms: float
+    read_p99_ms: float
+    digest: bytes = field(repr=False)
+    stats: tuple = field(repr=False)
+
+
+def run_pipeline(parallelism: int, batches: List[List[bytes]]) -> PipelineRun:
+    with StagePool(parallelism) as pool:
+        engine = DedupEngine(
+            num_buckets=1 << 14, compressor=ZlibCompressor(), pool=pool
+        )
+        # Warm the pool so one-time worker-thread spawn cost (clearly
+        # visible as a first-batch latency spike on small runs) doesn't
+        # pollute the steady-state measurement.
+        pool.map(hashlib.sha256, [b"\0" * 64] * (parallelism * 8))
+        write_latencies = []
+        lba = 0
+        for batch in batches:
+            requests = []
+            for data in batch:
+                requests.append((lba, data))
+                lba += engine.chunker.blocks_per_chunk
+            start = time.perf_counter()
+            engine.write_many(requests)
+            write_latencies.append((time.perf_counter() - start) * 1e3)
+        engine.flush()
+
+        read_latencies = []
+        readback = hashlib.sha256()
+        for batch_index in range(NUM_BATCHES):
+            read_lba = batch_index * BATCH_CHUNKS * engine.chunker.blocks_per_chunk
+            start = time.perf_counter()
+            report = engine.read(read_lba, BATCH_CHUNKS)
+            read_latencies.append((time.perf_counter() - start) * 1e3)
+            readback.update(report.data)
+
+        moved = NUM_BATCHES * BATCH_CHUNKS * CHUNK
+        stats = engine.stats
+        return PipelineRun(
+            parallelism=parallelism,
+            write_mb_s=moved / 1e6 / (sum(write_latencies) / 1e3),
+            read_mb_s=moved / 1e6 / (sum(read_latencies) / 1e3),
+            write_p50_ms=_percentile(write_latencies, 0.50),
+            write_p99_ms=_percentile(write_latencies, 0.99),
+            read_p50_ms=_percentile(read_latencies, 0.50),
+            read_p99_ms=_percentile(read_latencies, 0.99),
+            digest=readback.digest(),
+            stats=(
+                stats.logical_bytes,
+                stats.stored_bytes,
+                stats.unique_chunks,
+                stats.duplicate_chunks,
+            ),
+        )
+
+
+@dataclass
+class ThroughputResult:
+    """All settings' runs plus the serial reference, render-able."""
+
+    runs: List[PipelineRun]
+
+    @property
+    def serial(self) -> PipelineRun:
+        return self.runs[0]
+
+    def speedup(self, run: PipelineRun) -> float:
+        return run.write_mb_s / self.serial.write_mb_s
+
+    def render(self) -> str:
+        lines = [
+            "stage-split pipeline throughput "
+            f"(cpu_count={os.cpu_count()}, "
+            f"{NUM_BATCHES}x{BATCH_CHUNKS} chunks of {CHUNK} B"
+            f"{', smoke' if SMOKE else ''})",
+            "  threads  write MB/s  read MB/s  "
+            "wr p50/p99 ms  rd p50/p99 ms  speedup",
+        ]
+        for run in self.runs:
+            lines.append(
+                f"  {run.parallelism:>7}  {run.write_mb_s:>10.1f}  "
+                f"{run.read_mb_s:>9.1f}  "
+                f"{run.write_p50_ms:>6.2f}/{run.write_p99_ms:<6.2f}  "
+                f"{run.read_p50_ms:>6.2f}/{run.read_p99_ms:<6.2f}  "
+                f"{self.speedup(run):>6.2f}x"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict:
+        return {
+            "benchmark": "parallel-pipeline-throughput",
+            "cpu_count": os.cpu_count(),
+            "smoke": SMOKE,
+            "chunk_size": CHUNK,
+            "batch_chunks": BATCH_CHUNKS,
+            "num_batches": NUM_BATCHES,
+            "duplicate_fraction": DUPLICATE_FRACTION,
+            "note": (
+                "speedup is relative to parallelism=1 on this host; "
+                "thread fan-out only pays off when cpu_count > 1"
+            ),
+            "results": [
+                {
+                    "parallelism": run.parallelism,
+                    "write_mb_s": round(run.write_mb_s, 2),
+                    "read_mb_s": round(run.read_mb_s, 2),
+                    "write_p50_ms": round(run.write_p50_ms, 3),
+                    "write_p99_ms": round(run.write_p99_ms, 3),
+                    "read_p50_ms": round(run.read_p50_ms, 3),
+                    "read_p99_ms": round(run.read_p99_ms, 3),
+                    "write_speedup_vs_serial": round(self.speedup(run), 3),
+                }
+                for run in self.runs
+            ],
+        }
+
+
+def test_pipeline_throughput(regenerate):
+    """Serial vs. 2/4/8-thread stage pools over the identical workload;
+    every setting must produce byte- and stats-identical results."""
+    batches = make_workload()
+
+    def experiment():
+        return ThroughputResult(
+            [run_pipeline(p, batches) for p in PARALLELISMS]
+        )
+
+    result = regenerate(experiment)
+
+    serial = result.serial
+    assert serial.parallelism == 1
+    for run in result.runs[1:]:
+        # The whole point of the design: parallelism changes wall-clock
+        # only.  Bytes read back and reduction stats are identical.
+        assert run.digest == serial.digest
+        assert run.stats == serial.stats
+
+    RESULT_PATH.write_text(json.dumps(result.to_json(), indent=2) + "\n")
+    # Regression floor for the CI gate: the slice-amortized pool must
+    # not make the pipeline materially slower even on one core.
+    slowest = min(result.speedup(run) for run in result.runs)
+    assert slowest > 0.8, (
+        f"parallel pipeline {1 / slowest:.2f}x slower than serial "
+        f"(see {RESULT_PATH.name})"
+    )

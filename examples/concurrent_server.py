@@ -20,6 +20,7 @@ import asyncio
 
 from repro.datared.compression import ModeledCompressor
 from repro.net.aserver import AsyncProtocolClient, AsyncProtocolServer
+from repro.systems.config import SystemConfig
 from repro.systems.server import StorageServer, SystemKind
 from repro.workloads.loadgen import LoadGenConfig, drive
 
@@ -43,6 +44,9 @@ async def main() -> None:
         num_buckets=4096,
         cache_lines=256,
         compressor=ModeledCompressor(0.5),
+        # Fan the GIL-releasing pipeline stages (hashing, compression)
+        # across two worker threads; results are identical at any value.
+        config=SystemConfig(parallelism=2),
     )
     config = LoadGenConfig(
         clients=12, ops_per_client=40, read_fraction=0.5,

@@ -16,14 +16,19 @@ device ledgers from those reports according to their own flow topology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..parallel import StagePool
 from .chunking import BLOCK_SIZE, Chunk, FixedChunker
 from .compression import CompressedChunk, Compressor, ZlibCompressor
 from .container import ContainerStore
 from .hash_pbn import HashPbnTable
-from .hashing import fingerprint
+from .hashing import fingerprint, fingerprint_many
 from .lba_map import LbaMap, PbnAllocator, PbnMap, PbnRecord
+
+#: Distinguishes "LBA never consulted" from "LBA unmapped" in the
+#: batch planner's shadow map.
+_UNSET = object()
 
 __all__ = [
     "ChunkOutcome",
@@ -47,27 +52,52 @@ class ChunkOutcome:
 
 @dataclass
 class WriteReport:
-    """Everything the system layer needs to account one write request."""
+    """Everything the system layer needs to account one write request.
+
+    Aggregates are maintained incrementally as outcomes arrive through
+    :meth:`add` (load generators read them per request, so re-scanning
+    the outcome list on every access was O(chunks) per read).  Appending
+    to :attr:`chunks` directly bypasses the running totals — always go
+    through :meth:`add`.
+    """
 
     chunks: List[ChunkOutcome] = field(default_factory=list)
     containers_sealed: int = 0
     reclaimed_chunks: int = 0  #: chunks whose last reference dropped
+    _logical_bytes: int = field(default=0, init=False, repr=False, compare=False)
+    _stored_bytes: int = field(default=0, init=False, repr=False, compare=False)
+    _unique_chunks: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        for outcome in self.chunks:
+            self._tally(outcome)
+
+    def _tally(self, outcome: ChunkOutcome) -> None:
+        self._logical_bytes += outcome.logical_size
+        self._stored_bytes += outcome.stored_size
+        if not outcome.duplicate:
+            self._unique_chunks += 1
+
+    def add(self, outcome: ChunkOutcome) -> None:
+        """Record one chunk outcome, keeping the aggregates current."""
+        self.chunks.append(outcome)
+        self._tally(outcome)
 
     @property
     def logical_bytes(self) -> int:
-        return sum(outcome.logical_size for outcome in self.chunks)
+        return self._logical_bytes
 
     @property
     def unique_chunks(self) -> int:
-        return sum(1 for outcome in self.chunks if not outcome.duplicate)
+        return self._unique_chunks
 
     @property
     def duplicate_chunks(self) -> int:
-        return sum(1 for outcome in self.chunks if outcome.duplicate)
+        return len(self.chunks) - self._unique_chunks
 
     @property
     def stored_bytes(self) -> int:
-        return sum(outcome.stored_size for outcome in self.chunks)
+        return self._stored_bytes
 
 
 @dataclass
@@ -133,12 +163,16 @@ class DedupEngine:
         num_buckets: int = 1 << 16,
         observer=None,
         lba_map=None,
+        pool: Optional[StagePool] = None,
     ):
         """``observer`` receives metadata-mutation callbacks
         (``on_new_chunk``/``on_map``/``on_free``) — the hook
         :class:`~repro.datared.journal.MetadataJournal` plugs into.
         ``lba_map`` accepts any LbaMap-compatible store, e.g. the paged
-        :class:`~repro.datared.lba_store.PagedLbaStore` (§2.1.4)."""
+        :class:`~repro.datared.lba_store.PagedLbaStore` (§2.1.4).
+        ``pool`` is the shared :class:`~repro.parallel.StagePool` the
+        batched paths (:meth:`write_many`, multi-chunk :meth:`read`)
+        fan hashing/compression out on; the default is a serial pool."""
         self.chunker = FixedChunker(chunk_size)
         self.table = table if table is not None else HashPbnTable(num_buckets)
         self.compressor = compressor if compressor is not None else ZlibCompressor()
@@ -148,9 +182,17 @@ class DedupEngine:
         self.allocator = PbnAllocator()
         self.stats = ReductionStats()
         self.observer = observer
+        self.pool = pool if pool is not None else StagePool(1)
         #: Garbage-collection work counters (see :meth:`collect_garbage`).
         self.gc_containers_reclaimed = 0
         self.gc_bytes_moved = 0
+        #: Batch-planner accuracy counters: ``plan_fallback_compressions``
+        #: counts uniques the planner missed (compressed inline on the
+        #: serial stage), ``plan_wasted_compressions`` counts duplicates
+        #: it compressed needlessly.  Both stay 0 unless the planner's
+        #: shadow walk diverges from execution — a correctness canary.
+        self.plan_fallback_compressions = 0
+        self.plan_wasted_compressions = 0
 
     # -- write path (Figure 1a) ------------------------------------------------
     def write(self, lba: int, payload: bytes) -> WriteReport:
@@ -158,12 +200,174 @@ class DedupEngine:
         report = WriteReport()
         sealed_before = self.containers.sealed_count
         for chunk in self.chunker.split(lba, payload):
-            report.chunks.append(self._write_chunk(chunk, report))
+            report.add(self._write_chunk(chunk, report))
         report.containers_sealed = self.containers.sealed_count - sealed_before
         return report
 
-    def _write_chunk(self, chunk: Chunk, report: WriteReport) -> ChunkOutcome:
-        digest = fingerprint(chunk.data)
+    def write_many(
+        self,
+        requests: Iterable[Tuple[int, bytes]],
+        *,
+        digests: Optional[Sequence[bytes]] = None,
+    ) -> List[WriteReport]:
+        """Write a batch of ``(lba, payload)`` requests, stage-split.
+
+        The batch runs the paper's offload topology in software (§5.2,
+        §5.4): fingerprinting fans out across the shared pool (the NIC
+        SHA-256 core), the Hash-PBN resolution walks serially (the one
+        order-dependent stage), compression of the chunks that will be
+        unique fans out (the FPGA DEFLATE engine), and the final
+        container-append/metadata-publish stage replays the exact serial
+        write path with the precomputed artifacts injected.  Results —
+        bytes, :class:`ReductionStats`, container placements, journal
+        event order — are identical to calling :meth:`write` per
+        request; with a serial pool the code path *is* the serial one.
+
+        ``digests`` optionally supplies precomputed SHA-256 fingerprints
+        (e.g. from a NIC that hashed on ingest), one per 4-KB chunk in
+        flattened request order; the hash stage is then skipped.
+
+        Returns one :class:`WriteReport` per request, in order.
+        """
+        requests = list(requests)
+        reports = [WriteReport() for _ in requests]
+        flat: List[Tuple[int, Chunk]] = []
+        for index, (lba, payload) in enumerate(requests):
+            for chunk in self.chunker.split(lba, payload):
+                flat.append((index, chunk))
+        if not flat:
+            return reports
+
+        # Stage 1 (parallel): fingerprint every chunk.
+        if digests is None:
+            digests = fingerprint_many(
+                [chunk.data for _, chunk in flat], pool=self.pool
+            )
+        else:
+            digests = list(digests)
+            if len(digests) != len(flat):
+                raise ValueError(
+                    f"got {len(digests)} digests for {len(flat)} chunks"
+                )
+
+        # Stage 2 (serial): plan which chunks the serial walk will find
+        # unique — a pure shadow simulation, no engine state is touched.
+        plan = self._plan_batch([chunk for _, chunk in flat], digests)
+
+        # Stage 3 (parallel): compress exactly those chunks.
+        staged: Dict[int, CompressedChunk] = {}
+        if plan:
+            packed = self.pool.map(
+                self.compressor.compress,
+                [flat[position][1].data for position in plan],
+            )
+            staged = dict(zip(plan, packed))
+
+        # Stage 4 (serial): the unmodified per-chunk write path, with
+        # digest and compression injected.  Per-request sealed-container
+        # deltas mirror what per-request write() calls would report.
+        current = -1
+        sealed_before = self.containers.sealed_count
+        for position, ((index, chunk), digest) in enumerate(zip(flat, digests)):
+            if index != current:
+                if current >= 0:
+                    reports[current].containers_sealed = (
+                        self.containers.sealed_count - sealed_before
+                    )
+                current = index
+                sealed_before = self.containers.sealed_count
+            precompressed = staged.pop(position, None)
+            outcome = self._write_chunk(
+                chunk, reports[index],
+                digest=digest, precompressed=precompressed,
+            )
+            reports[index].add(outcome)
+            if outcome.duplicate:
+                if precompressed is not None:
+                    self.plan_wasted_compressions += 1
+            elif precompressed is None:
+                self.plan_fallback_compressions += 1
+        reports[current].containers_sealed = (
+            self.containers.sealed_count - sealed_before
+        )
+        return reports
+
+    def _plan_batch(
+        self, chunks: Sequence[Chunk], digests: Sequence[bytes]
+    ) -> List[int]:
+        """Positions of the chunks the serial walk will compress.
+
+        Replays the write path's metadata effects against *shadow*
+        state: batch-local uniques, reference-count deltas on
+        pre-existing PBNs, retired fingerprints and remapped LBAs are
+        all tracked on the side, so a chunk's classification accounts
+        for every earlier chunk in the batch — duplicates of a unique
+        planned two positions back, fingerprints retired by an
+        overwrite in between, same-LBA rewrites — without touching the
+        table cache (presence probes resolve through
+        :meth:`~repro.datared.lba_map.PbnMap.find_by_fingerprint`).
+        """
+        plan: List[int] = []
+        planned: Dict[bytes, dict] = {}  # digest -> live batch-unique token
+        retired: set = set()  # fingerprints the walk removes from the table
+        ref_delta: Dict[int, int] = {}  # pre-existing pbn -> refcount delta
+        dead: set = set()  # pre-existing pbns fully released
+        shadow_lba: Dict[int, tuple] = {}
+
+        def release(ref: tuple) -> None:
+            kind, target = ref
+            if kind == "new":
+                target["refs"] -= 1
+                if (
+                    target["refs"] == 0
+                    and planned.get(target["digest"]) is target
+                ):
+                    del planned[target["digest"]]
+            else:
+                ref_delta[target] = ref_delta.get(target, 0) - 1
+                record = self.pbn_map.get(target)
+                if record.refcount + ref_delta[target] == 0:
+                    dead.add(target)
+                    retired.add(record.fingerprint)
+
+        for position, (chunk, digest) in enumerate(zip(chunks, digests)):
+            token = planned.get(digest)
+            if token is not None:
+                hit: Optional[tuple] = ("new", token)
+            else:
+                hit = None
+                if digest not in retired:
+                    pbn = self.pbn_map.find_by_fingerprint(digest)
+                    if pbn is not None and pbn not in dead:
+                        hit = ("pre", pbn)
+            if hit is None:
+                token = {"digest": digest, "refs": 1}
+                planned[digest] = token
+                plan.append(position)
+                hit = ("new", token)
+            elif hit[0] == "new":
+                hit[1]["refs"] += 1
+            else:
+                ref_delta[hit[1]] = ref_delta.get(hit[1], 0) + 1
+
+            old = shadow_lba.get(chunk.lba, _UNSET)
+            if old is _UNSET:
+                pre = self.lba_map.get(chunk.lba)
+                old = ("pre", pre) if pre is not None else None
+            shadow_lba[chunk.lba] = hit
+            if old is not None:
+                release(old)
+        return plan
+
+    def _write_chunk(
+        self,
+        chunk: Chunk,
+        report: WriteReport,
+        digest: Optional[bytes] = None,
+        precompressed: Optional[CompressedChunk] = None,
+    ) -> ChunkOutcome:
+        if digest is None:
+            digest = fingerprint(chunk.data)
         existing_pbn = self.table.lookup(digest)
         self.stats.logical_bytes += len(chunk.data)
 
@@ -182,7 +386,11 @@ class DedupEngine:
             return outcome
 
         # Unique: compress, pack, allocate a PBN, publish metadata.
-        compressed = self.compressor.compress(chunk.data)
+        compressed = (
+            precompressed
+            if precompressed is not None
+            else self.compressor.compress(chunk.data)
+        )
         placement = self.containers.append(
             compressed.payload, compressed.stored_size
         )
@@ -245,33 +453,43 @@ class DedupEngine:
         """Read ``num_chunks`` chunks starting at chunk-aligned ``lba``.
 
         Unwritten holes read back as zeros, matching block-device
-        semantics.
+        semantics.  Multi-chunk reads gather every mapped chunk's
+        container payload serially (metadata and container accounting
+        keep their order), then decompress across the shared pool when
+        it is parallel, reassembling in LBA order.
         """
         if num_chunks < 1:
             raise ValueError("must read at least one chunk")
         if lba % self.chunker.blocks_per_chunk != 0:
             raise ValueError(f"LBA {lba} is not chunk-aligned")
         report = ReadReport()
-        pieces = []
         step = self.chunker.blocks_per_chunk
+        fetched: List[Optional[CompressedChunk]] = []  # None = hole
         for position in range(num_chunks):
             chunk_lba = lba + position * step
             pbn = self.lba_map.get(chunk_lba)
             if pbn is None:
-                pieces.append(b"\x00" * self.chunker.chunk_size)
+                fetched.append(None)
                 report.unmapped_chunks += 1
                 continue
             record = self.pbn_map.get(pbn)
             payload = self.containers.read(record.container_id, record.offset)
-            compressed = CompressedChunk(
+            fetched.append(CompressedChunk(
                 payload=payload,
                 logical_size=self.chunker.chunk_size,
                 stored_size=record.stored_size,
-            )
-            pieces.append(self.compressor.decompress(compressed))
+            ))
             report.chunks_read += 1
             report.stored_bytes_read += record.stored_size
-        report.data = b"".join(pieces)
+        mapped = [chunk for chunk in fetched if chunk is not None]
+        if len(mapped) > 1 and self.pool.is_parallel:
+            plain = iter(self.pool.map(self.compressor.decompress, mapped))
+        else:
+            plain = iter([self.compressor.decompress(c) for c in mapped])
+        zero = b"\x00" * self.chunker.chunk_size
+        report.data = b"".join(
+            zero if chunk is None else next(plain) for chunk in fetched
+        )
         return report
 
     # -- maintenance -------------------------------------------------------------
@@ -285,22 +503,27 @@ class DedupEngine:
         Live chunks move to the open container and their PBN records are
         repointed; fingerprints (and hence dedup identity) are unchanged.
         Returns the number of containers reclaimed.
+
+        Placements resolve through the :class:`~repro.datared.lba_map.PbnMap`
+        incremental reverse index, so a collection's work scales with
+        the victims' live chunks — not with the total PBN population.
         """
         reclaimed = 0
         victims = self.containers.garbage_victims(threshold)
-        # Map placements back to PBNs so records can be repointed.
-        by_placement = {
-            (record.container_id, record.offset): pbn
-            for pbn, record in self.pbn_map.records()
-        }
         for victim in victims:
             for offset, payload in victim.chunks():
-                pbn = by_placement[(victim.container_id, offset)]
+                pbn = self.pbn_map.pbn_at(victim.container_id, offset)
+                if pbn is None:
+                    raise KeyError(
+                        f"container {victim.container_id} offset {offset} "
+                        "has no owning PBN"
+                    )
                 record = self.pbn_map.get(pbn)
                 placement = self.containers.append(payload, record.stored_size)
                 victim.mark_dead(offset, record.stored_size)
-                record.container_id = placement.container_id
-                record.offset = placement.offset
+                self.pbn_map.repoint(
+                    pbn, placement.container_id, placement.offset
+                )
                 self.gc_bytes_moved += record.stored_size
             self.containers.drop(victim.container_id)
             reclaimed += 1

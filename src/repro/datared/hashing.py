@@ -42,8 +42,16 @@ def fingerprint(data: bytes) -> bytes:
     return hashlib.sha256(data).digest()
 
 
-def fingerprint_many(chunks: Iterable[bytes]) -> List[bytes]:
-    """Fingerprint a batch of chunks (the NIC hashes per batch, §5.4)."""
+def fingerprint_many(chunks: Iterable[bytes], pool=None) -> List[bytes]:
+    """Fingerprint a batch of chunks (the NIC hashes per batch, §5.4).
+
+    ``pool`` is an optional :class:`~repro.parallel.StagePool`; when it
+    is parallel the batch fans out across its worker threads
+    (``hashlib`` releases the GIL on 4-KB buffers), otherwise the batch
+    is hashed inline.  Results are in input order either way.
+    """
+    if pool is not None:
+        return pool.map(fingerprint, chunks)
     return [fingerprint(data) for data in chunks]
 
 

@@ -136,15 +136,32 @@ class PbnAllocator:
 
 
 class PbnMap:
-    """PBN → placement records with reference counting."""
+    """PBN → placement records with reference counting.
+
+    Two reverse indexes are maintained incrementally alongside the
+    records (every mutation goes through :meth:`add`, :meth:`unref` and
+    :meth:`repoint`, so they can never drift):
+
+    * fingerprint → PBN (:meth:`find_by_fingerprint`) — a read-only
+      mirror of the live Hash-PBN table content, used by the batched
+      write planner to classify chunks without touching the table
+      cache.
+    * ``(container_id, offset)`` → PBN (:meth:`pbn_at`) — used by
+      garbage collection to repoint moved chunks without rescanning
+      every record.
+    """
 
     def __init__(self):
         self._records: Dict[int, PbnRecord] = {}
+        self._by_fingerprint: Dict[bytes, int] = {}
+        self._by_placement: Dict[Tuple[int, int], int] = {}
 
     def add(self, pbn: int, record: PbnRecord) -> None:
         if pbn in self._records:
             raise ValueError(f"PBN {pbn} already present")
         self._records[pbn] = record
+        self._by_fingerprint[record.fingerprint] = pbn
+        self._by_placement[(record.container_id, record.offset)] = pbn
 
     def get(self, pbn: int) -> PbnRecord:
         try:
@@ -170,8 +187,36 @@ class PbnMap:
         record.refcount -= 1
         if record.refcount == 0:
             del self._records[pbn]
+            if self._by_fingerprint.get(record.fingerprint) == pbn:
+                del self._by_fingerprint[record.fingerprint]
+            placement = (record.container_id, record.offset)
+            if self._by_placement.get(placement) == pbn:
+                del self._by_placement[placement]
             return record
         return None
+
+    def repoint(self, pbn: int, container_id: int, offset: int) -> None:
+        """Move a record's placement (garbage-collection compaction)."""
+        record = self.get(pbn)
+        old = (record.container_id, record.offset)
+        if self._by_placement.get(old) == pbn:
+            del self._by_placement[old]
+        record.container_id = container_id
+        record.offset = offset
+        self._by_placement[(container_id, offset)] = pbn
+
+    def find_by_fingerprint(self, digest: bytes) -> Optional[int]:
+        """The live PBN storing ``digest``, if any.
+
+        Mirrors the Hash-PBN table's content (both are mutated in
+        lock-step by the engine), but resolves from a host-memory dict,
+        so probing it never perturbs table-cache state or accounting.
+        """
+        return self._by_fingerprint.get(digest)
+
+    def pbn_at(self, container_id: int, offset: int) -> Optional[int]:
+        """The PBN stored at a container placement, if any."""
+        return self._by_placement.get((container_id, offset))
 
     def __len__(self) -> int:
         return len(self._records)

@@ -1,0 +1,168 @@
+"""Command-line entry points for the serving layer.
+
+``serve`` hosts a :class:`~repro.net.aserver.AsyncProtocolServer` over a
+freshly built storage system until interrupted; ``bench`` spins up the
+same server in-process and drives it with the concurrent load generator,
+printing the client-side throughput/latency summary.  Both expose the
+``--parallelism`` knob that fans the backend's GIL-releasing pipeline
+stages (hashing, compression, decompression) across worker threads.
+
+Examples
+--------
+Run a FIDR-architecture server with a 4-way stage pool::
+
+    python -m repro.net serve --system fidr --parallelism 4 --port 9876
+
+Measure the serving layer end to end::
+
+    python -m repro.net bench --clients 8 --ops 100 --parallelism 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List, Optional
+
+from ..systems.config import SystemConfig
+from ..systems.server import StorageServer, SystemKind
+from .aserver import AsyncProtocolServer
+
+__all__ = ["main"]
+
+
+def _build_storage(args: argparse.Namespace) -> StorageServer:
+    config = SystemConfig(parallelism=args.parallelism)
+    return StorageServer.build(SystemKind(args.system), config=config)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--system",
+        choices=[kind.value for kind in SystemKind],
+        default=SystemKind.FIDR.value,
+        help="which architecture backs the server (default: fidr)",
+    )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="worker threads for the hash/compress pipeline stages "
+        "(1 = fully serial; results are identical at every setting)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="asyncio dispatch workers draining the request queue",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="bound on queued requests before connections block",
+    )
+    parser.add_argument(
+        "--no-offload",
+        action="store_true",
+        help="run storage work on the event loop instead of the "
+        "backend executor (debugging aid; hurts latency under load)",
+    )
+    parser.add_argument(
+        "--write-split-chunks",
+        type=int,
+        default=64,
+        help="split offloaded writes larger than this many chunks so "
+        "queued small requests can interleave",
+    )
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    storage = _build_storage(args)
+    async with AsyncProtocolServer(
+        storage,
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        offload=not args.no_offload,
+        write_split_chunks=args.write_split_chunks,
+    ) as server:
+        print(
+            f"serving {args.system} on {server.host}:{server.port} "
+            f"(parallelism={args.parallelism}, "
+            f"offload={not args.no_offload})",
+            flush=True,
+        )
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+    return 0
+
+
+def _bench(args: argparse.Namespace) -> int:
+    # Imported here so `serve` works even if workloads grows heavier deps.
+    from ..workloads.loadgen import LoadGenConfig, run_against
+
+    storage = _build_storage(args)
+    config = LoadGenConfig(
+        clients=args.clients,
+        ops_per_client=args.ops,
+        read_fraction=args.read_fraction,
+        seed=args.seed,
+    )
+    result = run_against(
+        storage,
+        config,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        offload=not args.no_offload,
+        write_split_chunks=args.write_split_chunks,
+    )
+    print(result.render())
+    stats = storage.reduction_stats
+    total = stats.unique_chunks + stats.duplicate_chunks
+    print(
+        f"  server-side      {stats.unique_chunks} uniques / "
+        f"{total} chunks, dedup {stats.dedup_ratio:.2f}, "
+        f"compression {stats.compression_ratio:.2f}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net",
+        description="Serving-layer entry points for the FIDR reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="host a protocol server")
+    _add_common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+
+    bench = commands.add_parser(
+        "bench", help="drive an in-process server with the load generator"
+    )
+    _add_common(bench)
+    bench.add_argument("--clients", type=int, default=8)
+    bench.add_argument("--ops", type=int, default=50, help="ops per client")
+    bench.add_argument("--read-fraction", type=float, default=0.5)
+    bench.add_argument("--seed", type=lambda v: int(v, 0), default=0xF1D8)
+
+    args = parser.parse_args(argv)
+    if args.parallelism < 1:
+        parser.error("--parallelism must be >= 1")
+    if args.command == "serve":
+        try:
+            return asyncio.run(_serve(args))
+        except KeyboardInterrupt:
+            return 0
+    return _bench(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

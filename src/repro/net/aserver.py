@@ -25,18 +25,30 @@ This module is that front-end rendered in asyncio:
   (``asyncio.gather`` over plain ``read``/``write`` coroutines is the
   pipelining API).
 
-Neither side spawns threads; the storage stack always executes on the
-event-loop thread, which is what makes a shared mutable backend safe.
+Backend execution (``offload=True``, the default) happens on a
+**single-threaded** executor via ``run_in_executor``: the non-thread-safe
+storage stack still sees strictly serialized access, but the event loop
+keeps accepting connections, parsing frames and flushing responses
+while a request crunches SHA-256/DEFLATE.  Large writes are split into
+``write_split_chunks``-sized sub-writes between which queued small
+requests get a turn on the backend thread, so one bulk ingest can no
+longer convoy every other client's latency.  Inside the backend thread
+the engine fans hashing/compression out on its own
+:class:`~repro.parallel.StagePool` when the system was built with
+``parallelism > 1``.  With ``offload=False`` the storage stack executes
+on the event-loop thread exactly as before.
 """
 
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
-from ..errors import ErrorCode, ProtocolError, encode_error_payload, \
-    raise_for_error_payload
+from ..datared.chunking import BLOCK_SIZE
+from ..errors import ErrorCode, ProtocolError, ReproError, \
+    encode_error_payload, error_code_for, raise_for_error_payload
 from ..systems.server import StorageServer
 from .protocol import (
     Frame,
@@ -70,6 +82,11 @@ class ServerMetrics:
     #: High-water mark of the request queue — never exceeds the
     #: configured ``queue_depth`` (the backpressure guarantee).
     max_queue_depth: int = 0
+    #: Requests dispatched to the backend executor (0 when
+    #: ``offload=False``).
+    backend_offloaded: int = 0
+    #: Large writes split into sub-writes so small requests interleave.
+    writes_split: int = 0
 
 
 @dataclass(eq=False)
@@ -97,8 +114,20 @@ class AsyncProtocolServer:
         pause when it is full.
     workers:
         Number of drain tasks.  They interleave requests from different
-        connections but each request executes synchronously on the
-        event loop, so backend access is always serialized.
+        connections; backend access is always serialized (on the event
+        loop with ``offload=False``, on the single backend thread
+        otherwise).
+    offload:
+        Run backend work on a dedicated single-threaded executor so the
+        event loop never blocks on storage-stack CPU time (hashing,
+        compression, table walks).
+    write_split_chunks:
+        With ``offload``, writes spanning more than this many chunks
+        are applied as a sequence of sub-writes; requests queued behind
+        the write get a backend turn between sub-writes.  A concurrent
+        reader of the *same* region may observe a prefix of a split
+        write (block devices promise per-chunk atomicity, not
+        whole-request atomicity).
     """
 
     def __init__(
@@ -109,27 +138,40 @@ class AsyncProtocolServer:
         *,
         queue_depth: int = 64,
         workers: int = 2,
+        offload: bool = True,
+        write_split_chunks: int = 64,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be at least 1")
         if workers < 1:
             raise ValueError("need at least one worker")
+        if write_split_chunks < 1:
+            raise ValueError("write_split_chunks must be at least 1")
         self.storage = storage
         self.endpoint = ProtocolServer(storage)
         self.host = host
         self.port = port
         self.queue_depth = queue_depth
         self.num_workers = workers
+        self.offload = offload
+        self.write_split_chunks = write_split_chunks
         self.metrics = ServerMetrics()
         self._queue: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._workers: list = []
         self._connections: set = set()
+        self._backend: Optional[ThreadPoolExecutor] = None
 
     # -- lifecycle ---------------------------------------------------------------
     async def start(self) -> "AsyncProtocolServer":
         """Bind the listening socket and launch the worker pool."""
         self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        if self.offload:
+            # max_workers=1 is the thread-safety contract: the storage
+            # stack is only ever touched by this one thread.
+            self._backend = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="aserver-backend"
+            )
         self._server = await asyncio.start_server(
             self._serve_connection, self.host, self.port
         )
@@ -164,6 +206,9 @@ class AsyncProtocolServer:
             task.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
+        if self._backend is not None:
+            self._backend.shutdown(wait=True)
+            self._backend = None
         self.storage.flush()
 
     async def __aenter__(self) -> "AsyncProtocolServer":
@@ -234,9 +279,7 @@ class AsyncProtocolServer:
                     )
                 else:
                     try:
-                        # Synchronous dispatch on the loop thread — the
-                        # one place backend state is touched.
-                        response = self.endpoint.handle_frame(event)
+                        response = await self._dispatch(event)
                     except Exception as error:  # never kill a worker
                         response = encode_reply(
                             event, Op.ERROR, event.lba,
@@ -256,6 +299,61 @@ class AsyncProtocolServer:
                 if connection.pending == 0:
                     connection.idle.set()
                 self._queue.task_done()
+
+    # -- backend dispatch --------------------------------------------------------
+    async def _dispatch(self, frame: Frame) -> bytes:
+        """Produce the response bytes for one request frame.
+
+        Without offload this is the synchronous loop-thread dispatch.
+        With offload the frame runs on the backend executor; oversized
+        writes are applied as split sub-writes so queued requests from
+        other connections interleave between the pieces.
+        """
+        if self._backend is None:
+            return self.endpoint.handle_frame(frame)
+        self.metrics.backend_offloaded += 1
+        loop = asyncio.get_running_loop()
+        split_bytes = self.write_split_chunks * self.storage.chunk_size
+        if (
+            frame.op == Op.WRITE
+            and len(frame.payload) > split_bytes
+            # A payload that isn't chunk-aligned takes the unsplit path:
+            # it fails validation there before any sub-write is applied.
+            and len(frame.payload) % self.storage.chunk_size == 0
+        ):
+            return await self._split_write(loop, frame, split_bytes)
+        return await loop.run_in_executor(
+            self._backend, self.endpoint.handle_frame, frame
+        )
+
+    async def _split_write(
+        self, loop, frame: Frame, split_bytes: int
+    ) -> bytes:
+        """Apply one large write as sequential sub-writes.
+
+        The ack is still sent only after the whole payload is applied;
+        what changes is that the backend thread becomes preemptible at
+        sub-write granularity.  On failure the client gets the same
+        typed error frame the unsplit path would produce (sub-writes
+        already applied stay applied — per-chunk atomicity).
+        """
+        self.endpoint.requests_served += 1  # parity with handle_frame
+        self.metrics.writes_split += 1
+        chunk_size = self.storage.chunk_size
+        blocks_per_chunk = chunk_size // BLOCK_SIZE
+        try:
+            for start in range(0, len(frame.payload), split_bytes):
+                piece = frame.payload[start : start + split_bytes]
+                piece_lba = frame.lba + (start // chunk_size) * blocks_per_chunk
+                await loop.run_in_executor(
+                    self._backend, self.storage.write, piece_lba, piece
+                )
+        except (ReproError, ValueError) as error:
+            return encode_reply(
+                frame, Op.ERROR, frame.lba,
+                encode_error_payload(error_code_for(error), str(error)),
+            )
+        return encode_reply(frame, Op.WRITE_ACK, frame.lba)
 
 
 class AsyncProtocolClient:

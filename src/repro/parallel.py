@@ -1,0 +1,133 @@
+"""Shared thread-pool fan-out for the GIL-releasing pipeline stages.
+
+The paper makes fingerprinting and compression fast by moving them off
+the host CPU onto dedicated engines — SHA-256 on the NIC (§5.4) and
+DEFLATE on the compression FPGA (§5.2) — while the Hash-PBN resolution
+stays a serial, order-dependent stage.  The software analogue of those
+engines is a thread pool: CPython's ``hashlib.sha256`` and ``zlib``
+both release the GIL on 4-KB buffers, so hashing and compressing many
+chunks across threads genuinely overlaps on multi-core hosts.
+
+:class:`StagePool` is that pool, shared by every parallel stage of one
+storage stack (the engine's hash fan-out, its compress fan-out, and the
+read path's decompress fan-out).  It is deliberately small:
+
+* ``parallelism <= 1`` builds a *no-op* pool — every ``map`` runs
+  inline, no threads are ever created, and the serial data path is
+  byte-for-byte the pre-existing one.
+* :meth:`map` preserves input order and fans work out in **contiguous
+  slices** rather than one task per item, because dispatching a 4-KB
+  chunk to an executor costs a meaningful fraction of hashing it;
+  slicing amortizes the dispatch over dozens of chunks.
+
+The pool carries no storage state, so it is safe to share across
+engines; all metadata mutation stays on the caller's thread (see the
+"Concurrency model" section of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["StagePool"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _run_slice(fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+    return [fn(item) for item in items]
+
+
+class StagePool:
+    """A bounded worker pool for order-preserving stage fan-out.
+
+    Parameters
+    ----------
+    parallelism:
+        Worker-thread count.  ``1`` (the default) disables threading
+        entirely — the pool becomes a transparent serial executor.
+    slices_per_worker:
+        How many slices each worker should receive per :meth:`map`
+        call; more slices balance uneven work at the cost of dispatch
+        overhead.
+    min_slice_items:
+        Floor on items per dispatched slice.  Small batches pushed
+        through a wide pool would otherwise shatter into slices so thin
+        that submit/wakeup overhead exceeds the work itself (hashing or
+        zlib on a 4-KB chunk is only tens of microseconds).
+    """
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        *,
+        slices_per_worker: int = 4,
+        min_slice_items: int = 8,
+    ):
+        if slices_per_worker < 1:
+            raise ValueError("slices_per_worker must be at least 1")
+        if min_slice_items < 1:
+            raise ValueError("min_slice_items must be at least 1")
+        self.parallelism = max(1, int(parallelism))
+        self.slices_per_worker = slices_per_worker
+        self.min_slice_items = min_slice_items
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix="repro-stage",
+            )
+            if self.parallelism > 1
+            else None
+        )
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this pool actually owns worker threads."""
+        return self._executor is not None
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        ``fn`` must be pure with respect to shared storage state — the
+        pool gives no ordering between items, only between stages.
+        """
+        materialized = items if isinstance(items, list) else list(items)
+        if self._executor is None or len(materialized) <= 1:
+            return [fn(item) for item in materialized]
+        num_slices = min(
+            len(materialized),
+            self.parallelism * self.slices_per_worker,
+            max(1, len(materialized) // self.min_slice_items),
+        )
+        if num_slices <= 1:
+            return [fn(item) for item in materialized]
+        bounds = [
+            (len(materialized) * i) // num_slices for i in range(num_slices + 1)
+        ]
+        futures = [
+            self._executor.submit(_run_slice, fn, materialized[lo:hi])
+            for lo, hi in zip(bounds, bounds[1:])
+            if hi > lo
+        ]
+        results: List[_R] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (idempotent; the pool is unusable
+        afterwards)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "StagePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"StagePool(parallelism={self.parallelism})"

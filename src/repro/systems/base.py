@@ -32,6 +32,7 @@ from ..hw.memory import MemoryLedger
 from ..hw.pcie import PcieTopology
 from ..hw.specs import PROTOTYPE_SERVER, ServerSpec
 from ..hw.ssd import SsdArray, SsdBucketStore
+from ..parallel import StagePool
 from .accounting import SystemReport
 from .config import SystemConfig
 
@@ -96,11 +97,15 @@ class ReductionSystem:
         )
         table = HashPbnTable(num_buckets, store=self.table_cache)
         containers = ContainerStore(on_seal=self._on_container_seal)
+        #: Shared fan-out pool for the GIL-releasing stages; serial (no
+        #: threads) unless ``config.parallelism`` > 1.
+        self.pool = StagePool(self.config.parallelism)
         self.engine = DedupEngine(
             table=table,
             compressor=compressor if compressor is not None else ZlibCompressor(),
             containers=containers,
             chunk_size=self.config.chunk_size,
+            pool=self.pool,
         )
 
         self.logical_write_bytes = 0.0
@@ -207,12 +212,22 @@ class ReductionSystem:
 
     def _dedup_batch(self, chunks: List[Chunk]) -> Tuple[List[ChunkOutcome], CacheDelta]:
         """Run the functional dedup write for a batch, capturing what the
-        table-cache stack did on its behalf."""
+        table-cache stack did on its behalf.
+
+        The batch goes through the stage-split
+        :meth:`~repro.datared.dedup.DedupEngine.write_many`, so hashing
+        and compression fan out on the shared pool while every
+        table-cache access (and hence every ledger charge captured
+        here) happens on this thread, in chunk order, exactly as the
+        serial per-chunk path would issue it.
+        """
         snapshot = self._snapshot()
-        outcomes = []
-        for chunk in chunks:
-            report = self.engine.write(chunk.lba, chunk.data)
-            outcomes.extend(report.chunks)
+        reports = self.engine.write_many(
+            [(chunk.lba, chunk.data) for chunk in chunks]
+        )
+        outcomes = [
+            outcome for report in reports for outcome in report.chunks
+        ]
         return outcomes, self._delta_since(snapshot)
 
     # -- reporting ----------------------------------------------------------------------

@@ -207,17 +207,24 @@ def run_against(
     *,
     queue_depth: int = 64,
     workers: int = 2,
+    offload: bool = True,
+    write_split_chunks: int = 64,
 ) -> LoadGenResult:
     """Start a server on a free port, drive the fleet, tear down.
 
     The synchronous entry point benchmarks and examples use; everything
-    runs in one fresh event loop.
+    runs in one fresh event loop.  ``offload``/``write_split_chunks``
+    pass through to :class:`~repro.net.aserver.AsyncProtocolServer`;
+    backend parallelism is the *storage side's* knob — build the
+    storage with ``SystemConfig(parallelism=N)`` to fan its pipeline
+    stages out.
     """
     config = config if config is not None else LoadGenConfig()
 
     async def _main() -> LoadGenResult:
         async with AsyncProtocolServer(
-            storage, queue_depth=queue_depth, workers=workers
+            storage, queue_depth=queue_depth, workers=workers,
+            offload=offload, write_split_chunks=write_split_chunks,
         ) as server:
             return await drive(
                 server.host,

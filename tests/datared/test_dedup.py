@@ -171,6 +171,74 @@ class TestGarbageCollection:
         assert engine.collect_garbage() == 0
 
 
+class TestGcIndexedPlacement:
+    """Collection resolves placements through the PbnMap's incremental
+    reverse index — never by rescanning the whole PBN population."""
+
+    @staticmethod
+    def engine_with_garbage(rng, *, cold_chunks=0):
+        """An engine whose first post-cold container is 6/8 dead.
+
+        16-KB containers and a 0.5 compressor hold exactly 8 chunks per
+        container, so ``cold_chunks`` (a multiple of 8) seals whole
+        containers of untouched live data before the garbage pattern.
+        """
+        from repro.datared.container import ContainerStore
+
+        engine = DedupEngine(
+            num_buckets=256,
+            compressor=ModeledCompressor(0.5),
+            containers=ContainerStore(container_size=16 * 1024),
+        )
+        for i in range(cold_chunks):
+            engine.write(1000 + i * 8, rng.randbytes(CHUNK))
+        victims = {lba: rng.randbytes(CHUNK) for lba in range(0, 8 * 8, 8)}
+        for lba, data in victims.items():
+            engine.write(lba, data)
+        engine.flush()
+        survivors = dict(list(victims.items())[-2:])
+        for lba in list(victims)[:-2]:
+            data = rng.randbytes(CHUNK)
+            engine.write(lba, data)
+            survivors[lba] = data
+        engine.flush()
+        return engine, survivors
+
+    def test_collect_never_rescans_pbn_records(self, rng, monkeypatch):
+        engine, survivors = self.engine_with_garbage(rng)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("collect_garbage rescanned the PBN map")
+
+        monkeypatch.setattr(engine.pbn_map, "records", boom)
+        assert engine.collect_garbage(threshold=0.5) > 0
+        for lba, data in survivors.items():
+            assert engine.read(lba, 1).data == data
+
+    def test_gc_work_independent_of_pbn_population(self, rng, monkeypatch):
+        """Same garbage, 10x the live PBNs: identical index lookups."""
+        lookups = {}
+        for label, cold in (("small", 0), ("large", 80)):
+            engine, survivors = self.engine_with_garbage(
+                rng, cold_chunks=cold
+            )
+            calls = []
+            original = engine.pbn_map.pbn_at
+            monkeypatch.setattr(
+                engine.pbn_map,
+                "pbn_at",
+                lambda c, o: calls.append((c, o)) or original(c, o),
+            )
+            assert engine.collect_garbage(threshold=0.5) > 0
+            lookups[label] = len(calls)
+            for lba, data in survivors.items():
+                assert engine.read(lba, 1).data == data
+        assert lookups["small"] == lookups["large"]
+        # Exactly the victims' live chunks get looked up: the 2 never-
+        # overwritten survivors in the 6/8-dead container.
+        assert lookups["small"] == 2
+
+
 class TestPropertyRoundtrip:
     @settings(max_examples=20, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])

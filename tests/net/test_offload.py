@@ -1,0 +1,166 @@
+"""Regression tests for backend-executor offload in the asyncio server.
+
+The contract under test: storage work runs off the event loop on the
+single backend thread, and large writes are split into bounded
+sub-writes, so a slow multi-megabyte write cannot park every queued
+small request behind it.  Small-read latency during a concurrent slow
+large write must stay near one sub-write's cost — not the whole write's.
+"""
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.datared.compression import Compressor, ModeledCompressor
+from repro.net.aserver import AsyncProtocolClient, AsyncProtocolServer
+from repro.systems.server import StorageServer, SystemKind
+
+CHUNK = 4096
+
+
+class SlowCompressor(Compressor):
+    """ModeledCompressor plus a fixed per-chunk stall — a deterministic
+    stand-in for an expensive compression stage."""
+
+    def __init__(self, delay_s: float):
+        self.delay_s = delay_s
+        self.inner = ModeledCompressor(0.5)
+
+    def compress(self, data: bytes):
+        time.sleep(self.delay_s)
+        return self.inner.compress(data)
+
+    def decompress(self, chunk) -> bytes:
+        return self.inner.decompress(chunk)
+
+
+def build_storage(delay_s: float) -> StorageServer:
+    from repro.systems.config import SystemConfig
+
+    # batch_chunks matches the server's write_split_chunks below, so one
+    # sub-write triggers exactly one backend batch — the preemption
+    # granularity the latency bound is about.
+    return StorageServer.build(
+        SystemKind.FIDR, num_buckets=1024, cache_lines=64,
+        compressor=SlowCompressor(delay_s),
+        config=SystemConfig(batch_chunks=8),
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_small_read_p99_bounded_during_large_write():
+    """One client streams a 128-chunk write whose compression stalls
+    2 ms/chunk (~256 ms total); another client issues small reads the
+    whole time.  With offload + write splitting, every read slots in
+    between sub-writes, so read p99 stays an order of magnitude below
+    the large write's duration."""
+    storage = build_storage(delay_s=0.002)
+
+    async def body():
+        async with AsyncProtocolServer(
+            storage, workers=2, offload=True, write_split_chunks=8
+        ) as server:
+            async with await AsyncProtocolClient.connect(
+                server.host, server.port
+            ) as writer, await AsyncProtocolClient.connect(
+                server.host, server.port
+            ) as reader:
+                # Seed the region the small reads will hit (fast lane:
+                # LBAs far from the large write's range).
+                seed = bytes(range(256)) * (CHUNK // 256)
+                await writer.write(0, seed)
+
+                # Distinct chunk contents — duplicates would dedup away
+                # and never reach the slow compressor.
+                big = os.urandom(128 * CHUNK)
+                write_started = time.perf_counter()
+                write_task = asyncio.create_task(writer.write(1 << 20, big))
+
+                latencies = []
+                while not write_task.done():
+                    start = time.perf_counter()
+                    data = await reader.read(0, 1)
+                    latencies.append(time.perf_counter() - start)
+                    assert data == seed
+                write_elapsed = time.perf_counter() - write_started
+                await write_task
+                return latencies, write_elapsed, server.metrics
+
+    latencies, write_elapsed, metrics = run(body())
+
+    assert metrics.writes_split >= 1
+    assert metrics.backend_offloaded > 0
+    # The reads really did overlap the slow write...
+    assert len(latencies) >= 5
+    # ...and none of them waited anywhere near the full write duration.
+    ordered = sorted(latencies)
+    p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+    assert write_elapsed > 0.2
+    assert p99 < write_elapsed / 4, (
+        f"small-read p99 {p99 * 1e3:.1f} ms not bounded against "
+        f"{write_elapsed * 1e3:.1f} ms large write"
+    )
+
+
+def test_offload_disabled_still_correct():
+    """``offload=False`` keeps the old inline dispatch path working
+    (correctness only — no latency bound without the backend thread)."""
+    storage = StorageServer.build(
+        SystemKind.FIDR, num_buckets=256, cache_lines=32,
+        compressor=ModeledCompressor(0.5),
+    )
+
+    async def body():
+        async with AsyncProtocolServer(storage, offload=False) as server:
+            assert server.metrics.backend_offloaded == 0
+            async with await AsyncProtocolClient.connect(
+                server.host, server.port
+            ) as client:
+                payload = b"\x5a" * (4 * CHUNK)
+                await client.write(0, payload)
+                assert await client.read(0, 4) == payload
+            assert server.metrics.backend_offloaded == 0
+
+    run(body())
+
+
+def test_split_write_surfaces_same_typed_error_as_unsplit():
+    """A misaligned LBA fails identically whether or not the write is
+    large enough to take the split path — and without applying any
+    sub-write first."""
+    from repro.systems.config import SystemConfig
+
+    # 2-block chunks make odd LBAs misaligned (with 1-block chunks every
+    # LBA is trivially aligned and the error path is unreachable).
+    storage = StorageServer.build(
+        SystemKind.FIDR, num_buckets=256, cache_lines=32,
+        compressor=ModeledCompressor(0.5),
+        config=SystemConfig(chunk_size=2 * CHUNK),
+    )
+    big = b"x" * (8 * storage.chunk_size)
+
+    async def body():
+        async with AsyncProtocolServer(
+            storage, write_split_chunks=2
+        ) as server:
+            async with await AsyncProtocolClient.connect(
+                server.host, server.port
+            ) as client:
+                with pytest.raises(Exception) as unsplit_error:
+                    await client.write(1, b"x" * storage.chunk_size)
+                with pytest.raises(Exception) as split_error:
+                    await client.write(1, big)
+                assert type(split_error.value) is type(unsplit_error.value)
+                assert server.metrics.writes_split >= 1
+                # Nothing was applied by the failed split write...
+                assert await client.read(0, 1) == bytes(storage.chunk_size)
+                # ...and the server still serves.
+                await client.write(0, big)
+                assert await client.read(0, 8) == big
+
+    run(body())
