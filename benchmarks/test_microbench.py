@@ -28,7 +28,9 @@ def test_dedup_write_path(benchmark, rng):
     engine = DedupEngine(num_buckets=1 << 12, compressor=ModeledCompressor(0.5))
     pool = [rng.randbytes(4096) for _ in range(64)]
 
-    def write_block(state={"lba": 0}):
+    state = {"lba": 0}
+
+    def write_block():
         lba = state["lba"]
         state["lba"] += 8
         engine.write(lba, pool[lba % len(pool)])

@@ -38,11 +38,11 @@ Subpackages
     One module per paper table/figure.
 """
 
-__version__ = "1.0.0"
-
 from .datared import DedupEngine
 from .errors import AlignmentError, CapacityError, ProtocolError, ReproError
 from .systems import BaselineSystem, FidrSystem, StorageServer, SystemKind  # noqa: E501
+
+__version__ = "1.0.0"
 
 __all__ = [
     "AlignmentError",

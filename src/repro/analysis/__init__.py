@@ -1,26 +1,73 @@
-"""Analysis: linear projection, throughput solving, and cost modelling."""
+"""Analysis: projection/cost modelling and correctness tooling.
 
-from .cost import CostBreakdown, CostParameters, StorageCostModel
-from .projection import LinearFit, fit_least_squares, fit_two_points, sweep
-from .report import Comparison, format_comparisons, format_table, gbps, pct
-from .scaleout import DeploymentPlan, plan_deployment
-from .throughput import ThroughputCeilings, solve_throughput
+Two families live here:
 
-__all__ = [
-    "Comparison",
-    "CostBreakdown",
-    "CostParameters",
-    "DeploymentPlan",
-    "LinearFit",
-    "plan_deployment",
-    "StorageCostModel",
-    "ThroughputCeilings",
-    "fit_least_squares",
-    "fit_two_points",
-    "format_comparisons",
-    "format_table",
-    "gbps",
-    "pct",
-    "solve_throughput",
-    "sweep",
-]
+* **Performance analysis** — linear projection, throughput solving,
+  scale-out planning, cost modelling (``projection``, ``throughput``,
+  ``scaleout``, ``cost``, ``report``).
+* **Correctness analysis** — the concurrency-discipline suite
+  (``lint``: AST rules R001-R005, ``racecheck``: Eraser-style lock-set
+  race detection, ``invariants``: ledger/index conservation checks).
+  Run ``python -m repro.analysis --help`` for the CLI.
+
+Symbols are resolved lazily (PEP 562) so that importing the lightweight
+correctness tools does not pull in the numpy-backed projection stack,
+and so the storage stack can import ``racecheck`` at runtime without an
+import cycle through ``systems``.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "Comparison": ("report", "Comparison"),
+    "CostBreakdown": ("cost", "CostBreakdown"),
+    "CostParameters": ("cost", "CostParameters"),
+    "DeploymentPlan": ("scaleout", "DeploymentPlan"),
+    "LinearFit": ("projection", "LinearFit"),
+    "plan_deployment": ("scaleout", "plan_deployment"),
+    "StorageCostModel": ("cost", "StorageCostModel"),
+    "ThroughputCeilings": ("throughput", "ThroughputCeilings"),
+    "fit_least_squares": ("projection", "fit_least_squares"),
+    "fit_two_points": ("projection", "fit_two_points"),
+    "format_comparisons": ("report", "format_comparisons"),
+    "format_table": ("report", "format_table"),
+    "gbps": ("report", "gbps"),
+    "pct": ("report", "pct"),
+    "solve_throughput": ("throughput", "solve_throughput"),
+    "sweep": ("projection", "sweep"),
+}
+
+__all__ = sorted(_EXPORTS) + ["invariants", "lint", "racecheck"]
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis convenience only
+    from .cost import CostBreakdown, CostParameters, StorageCostModel  # noqa: F401
+    from .projection import (  # noqa: F401
+        LinearFit,
+        fit_least_squares,
+        fit_two_points,
+        sweep,
+    )
+    from .report import (  # noqa: F401
+        Comparison,
+        format_comparisons,
+        format_table,
+        gbps,
+        pct,
+    )
+    from .scaleout import DeploymentPlan, plan_deployment  # noqa: F401
+    from .throughput import ThroughputCeilings, solve_throughput  # noqa: F401
+
+
+def __getattr__(name: str) -> object:
+    entry = _EXPORTS.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr = entry
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, attr)
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_EXPORTS))

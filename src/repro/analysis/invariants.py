@@ -1,0 +1,191 @@
+"""Cross-structure invariants of the data-reduction stack.
+
+FIDR's evaluation is a byte/cycle *ledger*: savings emerge from removing
+flow edges, so the numbers are only as trustworthy as the accounting.
+This module asserts the conservation laws that must hold between the
+engine's independent records of the same facts — the same discipline
+full-system SSD simulators apply to make results credible:
+
+* **Byte conservation** — every logical byte written is either unique
+  (stored, possibly compressed) or removed by dedup;
+  ``live_stored_bytes`` must agree between :class:`ReductionStats`, the
+  container store, and the sum of live PBN records.
+* **Index consistency** — the :class:`~repro.datared.lba_map.PbnMap`'s
+  incremental reverse indexes (fingerprint→PBN, placement→PBN) must
+  mirror the forward records exactly; every LBA mapping must point at a
+  live PBN; reference counts must equal the number of LBAs referencing
+  each PBN; the Hash-PBN table's entry count must equal the live-chunk
+  population.
+
+``check_engine`` returns the list of violations (empty = healthy) or
+raises :class:`InvariantViolation`; the differential tests and the
+race-stress harness both call it, so a regression that silently corrupts
+stats or bytes fails CI even when no test asserts the exact number it
+corrupted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..datared.dedup import DedupEngine
+    from ..systems.base import ReductionSystem
+
+__all__ = ["InvariantViolation", "check_engine", "check_system"]
+
+
+class InvariantViolation(ReproError):
+    """A conservation law or index-consistency law does not hold."""
+
+
+def _engine_violations(engine: "DedupEngine") -> List[str]:
+    violations: List[str] = []
+    stats = engine.stats
+    chunk_size = engine.chunker.chunk_size
+
+    # -- byte/chunk conservation ---------------------------------------------
+    expected_logical = (stats.unique_chunks + stats.duplicate_chunks) * chunk_size
+    if stats.logical_bytes != expected_logical:
+        violations.append(
+            f"logical_bytes {stats.logical_bytes} != "
+            f"(unique {stats.unique_chunks} + duplicate "
+            f"{stats.duplicate_chunks}) * chunk_size {chunk_size}"
+        )
+    if stats.unique_logical_bytes != stats.unique_chunks * chunk_size:
+        violations.append(
+            f"unique_logical_bytes {stats.unique_logical_bytes} != "
+            f"unique_chunks {stats.unique_chunks} * chunk_size {chunk_size}"
+        )
+    dedup_saved = stats.logical_bytes - stats.unique_logical_bytes
+    if dedup_saved != stats.duplicate_chunks * chunk_size:
+        violations.append(
+            f"dedup-saved bytes {dedup_saved} != duplicate_chunks "
+            f"{stats.duplicate_chunks} * chunk_size {chunk_size}"
+        )
+    if stats.reclaimed_stored_bytes > stats.stored_bytes:
+        violations.append(
+            f"reclaimed_stored_bytes {stats.reclaimed_stored_bytes} exceeds "
+            f"stored_bytes {stats.stored_bytes}"
+        )
+
+    # -- stored-byte agreement across structures ------------------------------
+    live = stats.live_stored_bytes
+    container_live = engine.containers.live_bytes
+    record_live = engine.pbn_map.live_stored_bytes
+    if live != container_live:
+        violations.append(
+            f"stats live_stored_bytes {live} != container live_bytes "
+            f"{container_live}"
+        )
+    if live != record_live:
+        violations.append(
+            f"stats live_stored_bytes {live} != sum of PBN record sizes "
+            f"{record_live}"
+        )
+
+    # -- forward/reverse index consistency ------------------------------------
+    seen_fingerprints = set()
+    seen_placements = set()
+    for pbn, record in engine.pbn_map.records():
+        if record.refcount <= 0:
+            violations.append(f"live PBN {pbn} has refcount {record.refcount}")
+        mirrored = engine.pbn_map.find_by_fingerprint(record.fingerprint)
+        if mirrored != pbn:
+            violations.append(
+                f"fingerprint index maps PBN {pbn}'s fingerprint to {mirrored}"
+            )
+        placed = engine.pbn_map.pbn_at(record.container_id, record.offset)
+        if placed != pbn:
+            violations.append(
+                f"placement index maps PBN {pbn}'s placement "
+                f"({record.container_id}, {record.offset}) to {placed}"
+            )
+        if record.fingerprint in seen_fingerprints:
+            violations.append(
+                f"fingerprint of PBN {pbn} stored by multiple live records"
+            )
+        seen_fingerprints.add(record.fingerprint)
+        placement = (record.container_id, record.offset)
+        if placement in seen_placements:
+            violations.append(f"placement {placement} owned by multiple PBNs")
+        seen_placements.add(placement)
+
+    # -- LBA map vs. reference counts -----------------------------------------
+    refcount_total = 0
+    lba_refs: dict = {}
+    for lba, pbn in engine.lba_map.items():
+        if pbn not in engine.pbn_map:
+            violations.append(f"LBA {lba} maps to dead PBN {pbn}")
+            continue
+        lba_refs[pbn] = lba_refs.get(pbn, 0) + 1
+    for pbn, record in engine.pbn_map.records():
+        refcount_total += record.refcount
+        actual = lba_refs.get(pbn, 0)
+        if record.refcount != actual:
+            violations.append(
+                f"PBN {pbn} refcount {record.refcount} != {actual} "
+                "referencing LBAs"
+            )
+    if refcount_total != len(engine.lba_map):
+        violations.append(
+            f"sum of refcounts {refcount_total} != mapped LBAs "
+            f"{len(engine.lba_map)}"
+        )
+
+    # -- Hash-PBN table population --------------------------------------------
+    if len(engine.table) != len(engine.pbn_map):
+        violations.append(
+            f"Hash-PBN entry count {len(engine.table)} != live PBN records "
+            f"{len(engine.pbn_map)}"
+        )
+    return violations
+
+
+def check_engine(
+    engine: "DedupEngine", *, raise_on_violation: bool = True
+) -> List[str]:
+    """Verify all engine invariants; returns the violation list.
+
+    Takes the engine lock, so it is safe to call while other threads are
+    writing (the stress harness does).  With ``raise_on_violation`` the
+    first call with a non-empty list raises :class:`InvariantViolation`
+    carrying every violation found.
+    """
+    with engine.lock:
+        violations = _engine_violations(engine)
+    if violations and raise_on_violation:
+        raise InvariantViolation(
+            f"{len(violations)} invariant violation(s):\n  "
+            + "\n  ".join(violations)
+        )
+    return violations
+
+
+def check_system(
+    system: "ReductionSystem", *, raise_on_violation: bool = True
+) -> List[str]:
+    """Engine invariants plus the system layer's staging accounting.
+
+    ``logical_write_bytes`` counts client bytes at the front door while
+    the engine's stats count processed bytes, so they must differ by
+    exactly the bytes still staged in the pending batch.
+    """
+    with system.lock:
+        violations = _engine_violations(system.engine)
+        pending_bytes = sum(len(chunk.data) for chunk in system._pending)
+        front_door = system.logical_write_bytes
+        processed = system.engine.stats.logical_bytes
+        if front_door != processed + pending_bytes:
+            violations.append(
+                f"system logical_write_bytes {front_door} != engine "
+                f"logical_bytes {processed} + pending {pending_bytes}"
+            )
+    if violations and raise_on_violation:
+        raise InvariantViolation(
+            f"{len(violations)} invariant violation(s):\n  "
+            + "\n  ".join(violations)
+        )
+    return violations

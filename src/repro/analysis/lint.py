@@ -1,0 +1,785 @@
+"""repro-lint: AST-level concurrency and determinism rules for this repo.
+
+Generic linters check style; this one checks the *contracts* the
+codebase relies on for correctness of its results:
+
+=====  ==============================================================
+Rule   Contract enforced
+=====  ==============================================================
+R001   No blocking calls (``time.sleep``, sync socket/file I/O, bulk
+       ``zlib``) inside ``async def`` in the serving layer — one
+       blocked coroutine stalls every connection on the loop.
+R002   Fields declared ``# guarded-by: <lock|discipline>`` are only
+       mutated with the guard demonstrably held: inside
+       ``with <lock>:``, in a function annotated
+       ``# repro-lint: holds <guard>``, or (for ownership
+       disciplines such as ``single-writer``) in the declaring
+       class/module.
+R003   No wall-clock or process-global randomness (``time.time``,
+       ``random.random``, …) in ``repro.sim`` / ``repro.systems`` —
+       results must be a pure function of inputs and seeds.
+R004   No float-tainted arithmetic assigned to byte/chunk/count
+       ledger fields in ``repro.datared`` — reduction ratios are
+       derived, the ledgers themselves stay integral and exact.
+R005   No bare ``except:`` and no silently swallowed broad excepts in
+       the serving layer — every error must map to a protocol error
+       frame or a typed :class:`~repro.errors.ReproError`.
+=====  ==============================================================
+
+Suppress a single line with ``# repro-lint: disable=R001`` (comma
+list allowed).  Mark a helper that is only called with a lock held
+with ``# repro-lint: holds self.lock`` on its ``def`` line.
+
+Static limits, by design:
+
+* R002 sees attribute *stores* (``self.x = …``, ``+=``, ``del``), not
+  mutating method calls (``self.items.append(…)``); the runtime
+  :mod:`~repro.analysis.racecheck` detector covers method-granularity
+  access.
+* Lock guards are enforced per class hierarchy (``self.lock`` means
+  *that object's* lock); ownership guards (``single-writer``) are
+  additionally enforced by field name across every ``repro.*`` module.
+
+CLI: ``python -m repro.analysis.lint src/ tests/ [--json report.json]``.
+Exit status 1 when findings remain after suppression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = ["Finding", "RULES", "lint_paths", "lint_source", "main"]
+
+RULES: Dict[str, str] = {
+    "R000": "file could not be parsed",
+    "R001": "blocking call inside async def in the serving layer",
+    "R002": "guarded field mutated without its declared guard",
+    "R003": "wall-clock/randomness in deterministic simulation code",
+    "R004": "float-tainted arithmetic on an integral ledger field",
+    "R005": "bare or silently swallowed exception in the serving layer",
+}
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+_HOLDS_RE = re.compile(r"#\s*repro-lint:\s*holds\s+([^#\n]+)")
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][\w.\-]*)")
+
+#: Calls that block the event loop when issued from a coroutine (R001).
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "zlib.compress",
+        "zlib.decompress",
+        "zlib.compressobj",
+        "zlib.decompressobj",
+        "open",
+        "input",
+        "os.system",
+        "os.popen",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.socket",
+    }
+)
+_BLOCKING_PREFIXES = ("socket.", "requests.", "urllib.request.")
+
+#: Wall-clock / process-global entropy sources (R003).
+_NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+    }
+)
+#: ``random.Random(seed)`` instances are deterministic and allowed; the
+#: module-global functions share hidden unseeded state and are not.
+_NONDETERMINISTIC_PREFIXES = ("np.random.", "numpy.random.")
+
+#: Target names R004 treats as integral ledgers.
+_COUNTER_RE = re.compile(
+    r"(?:^|_)(bytes|chunks?|count|counts|refcount|refcounts|cycles|ops|"
+    r"reads|writes|entries|lbas?|pbns?|sealed|evictions|hits|misses)(?:_|$)",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Per-file model
+# ---------------------------------------------------------------------------
+
+
+class _File:
+    def __init__(self, path: str, module: str, source: str):
+        self.path = path
+        self.module = module
+        self.source = source
+        self.lines = source.splitlines()
+        self.parse_error: Optional[Finding] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(source)
+        except SyntaxError as error:
+            self.tree = None
+            self.parse_error = Finding(
+                "R000",
+                path,
+                error.lineno or 1,
+                (error.offset or 1) - 1,
+                f"syntax error: {error.msg}",
+            )
+        self.suppressed: Dict[int, Set[str]] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = _DISABLE_RE.search(text)
+            if match:
+                rules = {
+                    token.strip()
+                    for token in match.group(1).split(",")
+                    if token.strip()
+                }
+                self.suppressed[number] = rules
+
+    def line(self, number: int) -> str:
+        if 1 <= number <= len(self.lines):
+            return self.lines[number - 1]
+        return ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressed.get(finding.line)
+        return bool(rules) and (finding.rule in rules or "all" in rules)
+
+
+def _module_for_path(path: Path) -> str:
+    parts = list(path.parts)
+    name = path.stem if path.suffix == ".py" else path.name
+    for anchor in ("repro", "tests"):
+        if anchor in parts:
+            index = len(parts) - 1 - parts[::-1].index(anchor)
+            pieces = parts[index:-1] + ([] if name == "__init__" else [name])
+            return ".".join(pieces)
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Guard registry (R002, pass one)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: str
+    bases: List[str]
+    #: field name -> guard token (``self.lock`` or a discipline name).
+    guards: Dict[str, str]
+
+
+class _Registry:
+    def __init__(self) -> None:
+        self.classes: Dict[str, _ClassInfo] = {}
+        #: discipline (non-lock) guards, enforced by field name across
+        #: every repro.* module: field -> (guard, declaring module, class).
+        self.discipline_fields: Dict[str, Tuple[str, str, str]] = {}
+
+    def add(self, info: _ClassInfo) -> None:
+        self.classes[info.name] = info
+        for field_name, guard in info.guards.items():
+            if not _is_lock_guard(guard):
+                self.discipline_fields[field_name] = (
+                    guard,
+                    info.module,
+                    info.name,
+                )
+
+    def resolve_guard(
+        self, class_name: Optional[str], field_name: str
+    ) -> Optional[Tuple[str, str]]:
+        """Guard for ``field_name`` on ``class_name`` or an ancestor.
+
+        Returns ``(guard, declaring_class)`` or None.  Ancestry is
+        resolved by simple name — enough for a single codebase, and it
+        keeps the linter free of import machinery.
+        """
+        seen: Set[str] = set()
+        queue = [class_name] if class_name else []
+        while queue:
+            current = queue.pop(0)
+            if current is None or current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if field_name in info.guards:
+                return info.guards[field_name], info.name
+            queue.extend(info.bases)
+        return None
+
+    def is_descendant(self, class_name: Optional[str], ancestor: str) -> bool:
+        seen: Set[str] = set()
+        queue = [class_name] if class_name else []
+        while queue:
+            current = queue.pop(0)
+            if current is None or current in seen:
+                continue
+            seen.add(current)
+            if current == ancestor:
+                return True
+            info = self.classes.get(current)
+            if info is not None:
+                queue.extend(info.bases)
+        return False
+
+
+def _is_lock_guard(guard: str) -> bool:
+    return "." in guard or guard.endswith("lock")
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _collect_classes(file: _File, registry: _Registry) -> None:
+    if file.tree is None:
+        return
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        guards: Dict[str, str] = {}
+
+        def _record(target: ast.expr, line_number: int) -> None:
+            match = _GUARDED_RE.search(file.line(line_number))
+            if not match:
+                return
+            if isinstance(target, ast.Name):
+                guards[target.id] = match.group(1)
+            elif isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ):
+                if target.value.id == "self":
+                    guards[target.attr] = match.group(1)
+
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign):
+                _record(statement.target, statement.lineno)
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    _record(target, statement.lineno)
+            elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(statement):
+                    if isinstance(inner, ast.AnnAssign):
+                        _record(inner.target, inner.lineno)
+                    elif isinstance(inner, ast.Assign):
+                        for target in inner.targets:
+                            _record(target, inner.lineno)
+        bases = [
+            name for name in (_base_name(base) for base in node.bases) if name
+        ]
+        registry.add(_ClassInfo(node.name, file.module, bases, guards))
+
+
+# ---------------------------------------------------------------------------
+# Rule walker (pass two)
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _normalize(expr: str) -> str:
+    return expr.replace(" ", "")
+
+
+def _attr_chain(node: ast.expr) -> Optional[Tuple[str, List[str]]]:
+    """``(root_name, [attr, ...])`` for an attribute store target.
+
+    Unwraps subscripts/stars so ``del self._pending[:n]`` resolves to
+    ``("self", ["_pending"])``.
+    """
+    while isinstance(node, (ast.Subscript, ast.Starred)):
+        node = node.value
+    attrs: List[str] = []
+    while isinstance(node, ast.Attribute):
+        attrs.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and attrs:
+        return node.id, list(reversed(attrs))
+    return None
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    """Whether an expression can taint an integral ledger with a float."""
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        if name in {"int", "len", "round"}:
+            return False
+        if name == "float":
+            return True
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, float):
+            return True
+        if isinstance(inner, ast.BinOp) and isinstance(inner.op, ast.Div):
+            return True
+        if isinstance(inner, ast.Call) and _dotted(inner.func) == "float":
+            return True
+    return False
+
+
+class _RuleWalker(ast.NodeVisitor):
+    def __init__(self, file: _File, registry: _Registry, rules: Set[str]):
+        self.file = file
+        self.registry = registry
+        self.findings: List[Finding] = []
+        module = file.module
+        self.check_blocking = "R001" in rules and module.startswith("repro.net")
+        self.check_guards = "R002" in rules
+        self.check_determinism = "R003" in rules and module.startswith(
+            ("repro.sim", "repro.systems")
+        )
+        self.check_ledgers = "R004" in rules and module.startswith(
+            "repro.datared"
+        )
+        self.check_excepts = "R005" in rules and (
+            module.startswith("repro.net") or module == "repro.systems.server"
+        )
+        self.name_based_guards = module.startswith("repro")
+        self.class_stack: List[str] = []
+        #: (function name, held guards, body-is-directly-async)
+        self.func_stack: List[Tuple[str, Set[str], bool]] = []
+        self.with_stack: List[str] = []
+
+    # -- helpers ----------------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule,
+                self.file.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                message,
+            )
+        )
+
+    def _holds(self) -> Set[str]:
+        held: Set[str] = set()
+        for _, guards, _ in self.func_stack:
+            held |= guards
+        return held
+
+    def _in_async(self) -> bool:
+        return bool(self.func_stack) and self.func_stack[-1][2]
+
+    def _current_function(self) -> Optional[str]:
+        return self.func_stack[-1][0] if self.func_stack else None
+
+    def _enter_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef], is_async: bool
+    ) -> None:
+        held: Set[str] = set()
+        match = _HOLDS_RE.search(self.file.line(node.lineno))
+        if match:
+            held = {
+                _normalize(token)
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+        self.func_stack.append((node.name, held, is_async))
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    # -- structure --------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node, is_async=False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node, is_async=True)
+
+    def _visit_with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        contexts = []
+        for item in node.items:
+            try:
+                contexts.append(_normalize(ast.unparse(item.context_expr)))
+            except Exception:  # pragma: no cover - unparse is total on 3.9+
+                continue
+        self.with_stack.extend(contexts)
+        self.generic_visit(node)
+        del self.with_stack[len(self.with_stack) - len(contexts):]
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    # -- R001 / R003 ------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name:
+            if self.check_blocking and self._in_async():
+                if name in _BLOCKING_CALLS or name.startswith(
+                    _BLOCKING_PREFIXES
+                ):
+                    self._emit(
+                        "R001",
+                        node,
+                        f"blocking call {name}() inside async def "
+                        f"{self._current_function()}; move it to the "
+                        "backend executor (run_in_executor)",
+                    )
+            if self.check_determinism:
+                nondeterministic = name in _NONDETERMINISTIC_CALLS or (
+                    name.startswith("random.") and name != "random.Random"
+                )
+                nondeterministic = nondeterministic or name.startswith(
+                    _NONDETERMINISTIC_PREFIXES
+                )
+                if nondeterministic:
+                    self._emit(
+                        "R003",
+                        node,
+                        f"nondeterministic call {name}(); use the simulator "
+                        "clock or an injected random.Random(seed)",
+                    )
+        self.generic_visit(node)
+
+    # -- R005 -------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.check_excepts:
+            if node.type is None:
+                self._emit(
+                    "R005",
+                    node,
+                    "bare except: catches SystemExit/KeyboardInterrupt; "
+                    "name the exceptions (or ReproError)",
+                )
+            elif self._catches_broad(node.type) and self._body_is_silent(node):
+                self._emit(
+                    "R005",
+                    node,
+                    "except Exception with a pass-only body swallows "
+                    "errors; map them to a protocol error or re-raise",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _catches_broad(node: ast.expr) -> bool:
+        names = []
+        if isinstance(node, ast.Tuple):
+            names = [_dotted(element) for element in node.elts]
+        else:
+            names = [_dotted(node)]
+        return any(name in {"Exception", "BaseException"} for name in names)
+
+    @staticmethod
+    def _body_is_silent(node: ast.ExceptHandler) -> bool:
+        for statement in node.body:
+            if isinstance(statement, ast.Pass):
+                continue
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant
+            ):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+    # -- R002 / R004 ------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        floaty = _is_floaty(node.value) or isinstance(node.op, ast.Div)
+        self._check_store(node.target, node, node.value, aug_floaty=floaty)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store(node.target, node, node.value)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store(target, node, None)
+        self.generic_visit(node)
+
+    def _check_store(
+        self,
+        target: ast.expr,
+        node: ast.stmt,
+        value: Optional[ast.expr],
+        aug_floaty: Optional[bool] = None,
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store(element, node, value, aug_floaty)
+            return
+        chain = _attr_chain(target)
+        if self.check_ledgers and value is not None:
+            self._check_ledger(target, chain, node, value, aug_floaty)
+        if not self.check_guards or not self.func_stack:
+            return
+        if chain is None:
+            return
+        root, attrs = chain
+        if root == "self" and self.class_stack:
+            resolved = self.registry.resolve_guard(self.class_stack[-1], attrs[0])
+            if resolved is not None:
+                guard, declaring = resolved
+                self._enforce_guard(node, attrs[0], guard, declaring)
+                return
+        # Ownership disciplines travel with the field name: a
+        # ``single-writer`` field is single-writer no matter which
+        # variable holds the object.
+        if self.name_based_guards:
+            entry = self.registry.discipline_fields.get(attrs[-1])
+            if entry is not None:
+                guard, module, class_name = entry
+                if self._discipline_ok(guard, module, class_name):
+                    return
+                self._emit(
+                    "R002",
+                    node,
+                    f"field '{attrs[-1]}' is guarded by '{guard}' "
+                    f"(declared on {class_name} in {module}); mutate it "
+                    "from the owning context or annotate the function "
+                    f"'# repro-lint: holds {guard}'",
+                )
+
+    def _enforce_guard(
+        self, node: ast.stmt, field_name: str, guard: str, declaring: str
+    ) -> None:
+        if not _is_lock_guard(guard):
+            return  # self-stores in the hierarchy own the discipline
+        function = self._current_function()
+        if function in {"__init__", "__post_init__", "__new__"}:
+            return  # construction is single-threaded by definition
+        normalized = _normalize(guard)
+        if normalized in self.with_stack or normalized in self._holds():
+            return
+        self._emit(
+            "R002",
+            node,
+            f"field '{field_name}' is guarded by {guard} (declared on "
+            f"{declaring}) but mutated without it; wrap the mutation in "
+            f"'with {guard}:' or annotate the function "
+            f"'# repro-lint: holds {guard}'",
+        )
+
+    def _discipline_ok(self, guard: str, module: str, class_name: str) -> bool:
+        if self.file.module == module:
+            return True
+        if _normalize(guard) in self._holds():
+            return True
+        current = self.class_stack[-1] if self.class_stack else None
+        return self.registry.is_descendant(current, class_name)
+
+    def _check_ledger(
+        self,
+        target: ast.expr,
+        chain: Optional[Tuple[str, List[str]]],
+        node: ast.stmt,
+        value: ast.expr,
+        aug_floaty: Optional[bool],
+    ) -> None:
+        if chain is not None:
+            name = chain[1][-1]
+        elif isinstance(target, ast.Name):
+            name = target.id
+        else:
+            return
+        if not _COUNTER_RE.search(name):
+            return
+        floaty = aug_floaty if aug_floaty is not None else _is_floaty(value)
+        if floaty:
+            self._emit(
+                "R004",
+                node,
+                f"float-tainted arithmetic assigned to ledger '{name}'; "
+                "byte/chunk counters stay integral — derive ratios at "
+                "report time instead",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def _analyze(files: Sequence[_File], rules: Set[str]) -> List[Finding]:
+    registry = _Registry()
+    for file in files:
+        _collect_classes(file, registry)
+    findings: List[Finding] = []
+    for file in files:
+        if file.parse_error is not None:
+            findings.append(file.parse_error)
+            continue
+        assert file.tree is not None
+        walker = _RuleWalker(file, registry, rules)
+        walker.visit(file.tree)
+        findings.extend(
+            finding
+            for finding in walker.findings
+            if not file.is_suppressed(finding)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str = "repro.fixture",
+    path: str = "<string>",
+    rules: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one in-memory source blob (used by the rule unit tests)."""
+    selected = set(rules) if rules is not None else set(RULES)
+    return _analyze([_File(path, module, source)], selected)
+
+
+def _iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    result: List[Path] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            result.extend(
+                candidate
+                for candidate in sorted(root.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+                and not any(part.startswith(".") for part in candidate.parts)
+            )
+        elif root.suffix == ".py":
+            result.append(root)
+    return result
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    *,
+    rules: Optional[Iterable[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint files/directories; returns ``(findings, files_scanned)``."""
+    selected = set(rules) if rules is not None else set(RULES)
+    files = [
+        _File(str(path), _module_for_path(path), path.read_text())
+        for path in _iter_python_files(paths)
+    ]
+    return _analyze(files, selected), len(files)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Concurrency/determinism contract linter (rules R001-R005).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule subset (default: all rules)",
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default=None, help="write a JSON report"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+    if not options.paths:
+        parser.error("no paths given (try: src/ tests/)")
+
+    rules = (
+        {token.strip() for token in options.select.split(",") if token.strip()}
+        if options.select
+        else None
+    )
+    findings, files_scanned = lint_paths(options.paths, rules=rules)
+    for finding in findings:
+        print(finding.format())
+    if options.json_path:
+        report = {
+            "tool": "repro-lint",
+            "rules": RULES,
+            "files_scanned": files_scanned,
+            "findings": [finding.as_dict() for finding in findings],
+        }
+        Path(options.json_path).write_text(json.dumps(report, indent=2) + "\n")
+    status = "FAIL" if findings else "OK"
+    print(
+        f"repro-lint: {files_scanned} file(s), {len(findings)} finding(s) "
+        f"[{status}]"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

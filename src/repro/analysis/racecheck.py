@@ -1,0 +1,405 @@
+"""Eraser-style lock-set race detection for the storage stack.
+
+The stack's concurrency contract (DESIGN.md §5.2) says every piece of
+shared metadata is mutated either under the engine's
+:class:`~repro.sync.DisciplinedLock` or by exactly one thread.  This
+module *checks* that contract at runtime, following the classic Eraser
+algorithm (Savage et al., 1997): every access to a watched object
+records ``(thread, lock-set)``; per field the detector maintains a
+candidate lock set — the intersection of the lock sets of all accesses
+since the field became shared — and reports a race when a **write**
+happens while the candidate set is empty (two threads touched the field
+with no lock in common, and at least one of them wrote).
+
+Usage
+-----
+Opt in with the environment variable (zero wrappers are installed when
+it is unset)::
+
+    REPRO_RACE_DETECT=1 python -m pytest tests/analysis/test_race_stress.py
+
+or explicitly in a harness::
+
+    from repro.analysis import racecheck
+    racecheck.enable()
+    racecheck.watch(engine.pbn_map, mutators=racecheck.MUTATORS["PbnMap"])
+    ...
+    assert racecheck.reports() == []
+
+Watching swaps the object's class for an instrumented subclass that
+records attribute reads (``__getattribute__`` on instance data),
+attribute writes (``__setattr__``/``__delattr__``), and — because
+containers like ``dict`` are mutated in place without any attribute
+store — *method calls*, classified read or write by the per-class
+``mutators`` set (a call to ``PbnMap.add`` is a write access; a call to
+``PbnMap.get`` is a read).  Method-call accesses share one pseudo-field
+(:data:`METHODS_FIELD`) per object, giving object-granularity conflict
+detection on top of field-granularity attribute tracking.
+
+:class:`~repro.datared.dedup.DedupEngine` and the system layer
+self-register their shared structures at construction when
+``REPRO_RACE_DETECT`` is set (see ``watch_engine`` / ``watch_system``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple, Type
+
+from ..errors import ReproError
+from ..sync import held_locks
+
+__all__ = [
+    "METHODS_FIELD",
+    "MUTATORS",
+    "RaceError",
+    "RaceReport",
+    "enable",
+    "disable",
+    "enabled",
+    "reports",
+    "reset",
+    "set_raise_on_race",
+    "dump_json",
+    "watch",
+    "unwatch",
+    "watch_engine",
+    "watch_system",
+]
+
+#: Pseudo-field under which method-call accesses are recorded (the
+#: object's in-place-mutated internals, e.g. a ``dict`` of records).
+METHODS_FIELD = "<methods>"
+
+#: Attribute carrying per-object watch metadata; never tracked.
+_META_ATTR = "_racecheck_meta_"
+
+#: Mutating-method sets for the storage stack's shared classes.  A
+#: method not listed here counts as a read access.
+MUTATORS: Dict[str, FrozenSet[str]] = {
+    "PbnMap": frozenset({"add", "ref", "unref", "repoint"}),
+    "LbaMap": frozenset({"set", "unmap"}),
+    "HashPbnTable": frozenset({"insert", "remove", "update"}),
+    "PbnAllocator": frozenset({"allocate", "free", "ensure_allocated"}),
+    "Container": frozenset({"append", "mark_dead", "seal"}),
+    "ContainerStore": frozenset({"append", "seal_open", "mark_dead", "drop"}),
+    "WriteReport": frozenset({"add"}),
+    "MemoryLedger": frozenset({"read", "write", "through", "require_capacity"}),
+    "CpuLedger": frozenset({"charge"}),
+    "PcieTopology": frozenset({"attach", "transfer"}),
+}
+
+
+class RaceError(ReproError):
+    """Raised at the racing access when ``raise_on_race`` is set."""
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One detected lock-discipline violation on one field."""
+
+    object_name: str
+    field: str
+    first_thread: str
+    second_thread: str
+    candidate_locks: Tuple[str, ...]  #: intersection just before it emptied
+    access: str  #: "write" — races are only reported on writes
+
+    def describe(self) -> str:
+        return (
+            f"race on {self.object_name}.{self.field}: threads "
+            f"{self.first_thread!r} and {self.second_thread!r} wrote with "
+            f"disjoint lock sets (candidate was {list(self.candidate_locks)})"
+        )
+
+
+# Eraser field states.
+_EXCLUSIVE = 0  #: touched by one thread only so far
+_SHARED = 1  #: multiple threads, reads only since sharing began
+_SHARED_MOD = 2  #: multiple threads and at least one write
+
+
+@dataclass
+class _FieldState:
+    state: int = _EXCLUSIVE
+    first_thread_id: int = 0
+    first_thread_name: str = ""
+    #: Candidate lock set; ``None`` until the field becomes shared.
+    candidate: Optional[FrozenSet[Any]] = None
+    reported: bool = False
+
+
+@dataclass
+class _WatchMeta:
+    name: str
+    mutators: FrozenSet[str] = frozenset()
+    original_class: Optional[type] = None
+
+
+class _Detector:
+    """Global access recorder (thread-safe; shared by all watched objects)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._fields: Dict[Tuple[int, str], _FieldState] = {}
+        #: Strong refs: keeps ids stable and watched objects alive.
+        self._watched: Dict[int, Any] = {}
+        self.reports: List[RaceReport] = []
+        self.raise_on_race = False
+
+    def register(self, obj: Any) -> None:
+        with self._lock:
+            self._watched[id(obj)] = obj
+
+    def unregister(self, obj: Any) -> None:
+        with self._lock:
+            self._watched.pop(id(obj), None)
+            for key in [k for k in self._fields if k[0] == id(obj)]:
+                del self._fields[key]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._fields.clear()
+            self._watched.clear()
+            self.reports = []
+
+    def record(self, meta: _WatchMeta, obj_id: int, field_name: str,
+               is_write: bool) -> None:
+        thread_id = threading.get_ident()
+        thread_name = threading.current_thread().name
+        locks = held_locks()
+        report: Optional[RaceReport] = None
+        with self._lock:
+            key = (obj_id, field_name)
+            state = self._fields.get(key)
+            if state is None:
+                self._fields[key] = _FieldState(
+                    first_thread_id=thread_id, first_thread_name=thread_name
+                )
+                return
+            if state.state == _EXCLUSIVE and thread_id == state.first_thread_id:
+                return
+            if state.candidate is None:
+                # Field just became shared: candidate starts as this
+                # access's lock set and only shrinks from here.
+                state.candidate = locks
+            else:
+                state.candidate = state.candidate & locks
+            if is_write:
+                state.state = _SHARED_MOD
+            elif state.state == _EXCLUSIVE:
+                state.state = _SHARED
+            if (
+                state.state == _SHARED_MOD
+                and is_write
+                and not state.candidate
+                and not state.reported
+            ):
+                state.reported = True
+                report = RaceReport(
+                    object_name=meta.name,
+                    field=field_name,
+                    first_thread=state.first_thread_name,
+                    second_thread=thread_name,
+                    candidate_locks=tuple(
+                        sorted(getattr(lock, "name", repr(lock))
+                               for lock in locks)
+                    ),
+                    access="write",
+                )
+                self.reports.append(report)
+        if report is not None and self.raise_on_race:
+            raise RaceError(report.describe())
+
+
+_detector = _Detector()
+_enabled = bool(os.environ.get("REPRO_RACE_DETECT"))
+_instrumented: Dict[type, type] = {}
+
+
+def enabled() -> bool:
+    """Whether watching is active (env ``REPRO_RACE_DETECT`` or :func:`enable`)."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Stop watching *new* objects (already-watched objects keep recording)."""
+    global _enabled
+    _enabled = False
+
+
+def reports() -> List[RaceReport]:
+    """All races detected since the last :func:`reset`."""
+    return list(_detector.reports)
+
+
+def reset() -> None:
+    """Forget all access history, reports, and watched-object refs."""
+    _detector.clear()
+
+
+def set_raise_on_race(flag: bool) -> None:
+    """Raise :class:`RaceError` at the racing access instead of collecting."""
+    _detector.raise_on_race = flag
+
+
+def dump_json(path: str) -> None:
+    """Write the collected race reports as a JSON artifact."""
+    payload = {
+        "version": 1,
+        "races": [
+            {
+                "object": r.object_name,
+                "field": r.field,
+                "first_thread": r.first_thread,
+                "second_thread": r.second_thread,
+                "candidate_locks": list(r.candidate_locks),
+                "access": r.access,
+            }
+            for r in _detector.reports
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def _meta_of(obj: Any) -> Optional[_WatchMeta]:
+    try:
+        return object.__getattribute__(obj, _META_ATTR)
+    except AttributeError:
+        return None
+
+
+def _instrumented_class(cls: type) -> type:
+    sub = _instrumented.get(cls)
+    if sub is not None:
+        return sub
+
+    def __getattribute__(self: Any, attr: str) -> Any:
+        value = super(sub, self).__getattribute__(attr)  # type: ignore[arg-type]
+        if attr.startswith("__") or attr == _META_ATTR:
+            return value
+        meta = _meta_of(self)
+        if meta is None:
+            return value
+        instance_dict = object.__getattribute__(self, "__dict__")
+        if attr in instance_dict:
+            _detector.record(meta, id(self), attr, is_write=False)
+        else:
+            # Class-level attribute: a bound method or property result.
+            # Classify by the per-class mutator set; the access is
+            # recorded at call-lookup time, so the lock set observed is
+            # the caller's at the moment it invoked the method.
+            _detector.record(
+                meta, id(self), METHODS_FIELD,
+                is_write=attr in meta.mutators,
+            )
+        return value
+
+    def __setattr__(self: Any, attr: str, value: Any) -> None:
+        meta = _meta_of(self)
+        if meta is not None and not attr.startswith("__") and attr != _META_ATTR:
+            _detector.record(meta, id(self), attr, is_write=True)
+        super(sub, self).__setattr__(attr, value)  # type: ignore[arg-type]
+
+    def __delattr__(self: Any, attr: str) -> None:
+        meta = _meta_of(self)
+        if meta is not None and not attr.startswith("__") and attr != _META_ATTR:
+            _detector.record(meta, id(self), attr, is_write=True)
+        super(sub, self).__delattr__(attr)  # type: ignore[arg-type]
+
+    sub = type(
+        f"Watched{cls.__name__}",
+        (cls,),
+        {
+            "__getattribute__": __getattribute__,
+            "__setattr__": __setattr__,
+            "__delattr__": __delattr__,
+            "__module__": cls.__module__,
+        },
+    )
+    _instrumented[cls] = sub
+    return sub
+
+
+def watch(
+    obj: Any,
+    *,
+    name: Optional[str] = None,
+    mutators: Optional[Iterable[str]] = None,
+) -> Any:
+    """Instrument ``obj`` for lock-set tracking; returns ``obj``.
+
+    No-op (and no wrapper class is installed) while the detector is
+    disabled.  ``mutators`` is the set of method names that count as
+    write accesses; it defaults to the entry for the object's class in
+    :data:`MUTATORS` (empty set if unknown: attribute tracking only).
+    """
+    if not _enabled:
+        return obj
+    if _meta_of(obj) is not None:
+        return obj  # already watched
+    cls: Type[Any] = type(obj)
+    if mutators is None:
+        muts = MUTATORS.get(cls.__name__, frozenset())
+    else:
+        muts = frozenset(mutators)
+    meta = _WatchMeta(
+        name=name if name is not None else f"{cls.__name__}@{id(obj):x}",
+        mutators=muts,
+        original_class=cls,
+    )
+    object.__setattr__(obj, _META_ATTR, meta)
+    obj.__class__ = _instrumented_class(cls)
+    _detector.register(obj)
+    return obj
+
+
+def unwatch(obj: Any) -> Any:
+    """Remove instrumentation from ``obj`` (restores its original class)."""
+    meta = _meta_of(obj)
+    if meta is None:
+        return obj
+    if meta.original_class is not None:
+        obj.__class__ = meta.original_class
+    object.__delattr__(obj, _META_ATTR)
+    _detector.unregister(obj)
+    return obj
+
+
+def watch_engine(engine: Any) -> None:
+    """Watch a :class:`~repro.datared.dedup.DedupEngine`'s shared state.
+
+    Called by the engine's constructor when ``REPRO_RACE_DETECT`` is
+    set.  The engine object itself is watched with *no* method-level
+    mutators: its public entry points serialize internally, so two
+    threads calling ``write_many`` concurrently is legal — what must
+    never happen is the guarded structures underneath seeing disjoint
+    lock sets.
+    """
+    if not _enabled:
+        return
+    watch(engine, name="engine", mutators=())
+    watch(engine.table, name="engine.table")
+    watch(engine.pbn_map, name="engine.pbn_map")
+    watch(engine.lba_map, name="engine.lba_map")
+    watch(engine.allocator, name="engine.allocator")
+    watch(engine.containers, name="engine.containers")
+    watch(engine.stats, name="engine.stats")
+
+
+def watch_system(system: Any) -> None:
+    """Watch a :class:`~repro.systems.base.ReductionSystem`'s ledgers."""
+    if not _enabled:
+        return
+    watch(system.memory, name="system.memory")
+    watch(system.cpu, name="system.cpu")
+    watch(system.pcie, name="system.pcie")

@@ -110,7 +110,6 @@ class CacheEngineModel:
             raise ValueError("window must be >= 1")
         cfg = self.config
         updates_per_request = miss_rate * cfg.updates_per_miss
-        bytes_per_cycle = cfg.board_dram_bw / cfg.clock_hz
 
         caps: Dict[str, float] = {}
         # 1. Search pipeline: one request per clock.

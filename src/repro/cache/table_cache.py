@@ -23,7 +23,7 @@ the :class:`CacheStats` event counts it maintains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Set
 
 from ..datared.hash_pbn import BUCKET_SIZE, BucketStore

@@ -53,7 +53,7 @@ class GearChunker:
         avg_size: int = 4096,
         max_size: int = 16384,
         seed: int = 0x9E3779B9,
-    ):
+    ) -> None:
         if not (0 < min_size <= avg_size <= max_size):
             raise ValueError("need 0 < min <= avg <= max")
         if avg_size & (avg_size - 1):
@@ -137,7 +137,7 @@ class CdcDedupStore:
         table: Optional[HashPbnTable] = None,
         compressor: Optional[Compressor] = None,
         containers: Optional[ContainerStore] = None,
-    ):
+    ) -> None:
         self.chunker = chunker if chunker is not None else GearChunker()
         self.table = table if table is not None else HashPbnTable(1 << 14)
         self.compressor = compressor if compressor is not None else ZlibCompressor()
@@ -183,7 +183,7 @@ class CdcDedupStore:
             raise KeyError(f"unknown stream {name!r}")
         from .compression import CompressedChunk
 
-        pieces = []
+        pieces: List[bytes] = []
         for pbn in recipe:
             container_id, offset, logical, stored = self._chunks[pbn]
             payload = self.containers.read(container_id, offset)

@@ -63,7 +63,7 @@ class FixedChunker:
     that do not fill the final chunk are zero-padded.
     """
 
-    def __init__(self, chunk_size: int = BLOCK_SIZE):
+    def __init__(self, chunk_size: int = BLOCK_SIZE) -> None:
         if chunk_size <= 0 or chunk_size % BLOCK_SIZE != 0:
             raise ValueError(
                 f"chunk_size must be a positive multiple of {BLOCK_SIZE}, "
@@ -86,7 +86,7 @@ class FixedChunker:
             )
         if not payload:
             return []
-        chunks = []
+        chunks: List[Chunk] = []
         for offset in range(0, len(payload), self.chunk_size):
             piece = payload[offset : offset + self.chunk_size]
             if len(piece) < self.chunk_size:
@@ -140,7 +140,9 @@ class LargeChunkAssembler:
     paper describes.
     """
 
-    def __init__(self, chunk_size: int = BLOCK_SIZE, buffer_blocks: int = 1024):
+    def __init__(
+        self, chunk_size: int = BLOCK_SIZE, buffer_blocks: int = 1024
+    ) -> None:
         if chunk_size <= 0 or chunk_size % BLOCK_SIZE != 0:
             raise ValueError("chunk_size must be a multiple of 4 KB")
         if buffer_blocks < 1:
@@ -186,7 +188,7 @@ class LargeChunkAssembler:
 
     def _assemble(self, base: int, written: Dict[int, int]) -> Tuple[int, ...]:
         """Build the chunk's content signature, fetching missing blocks."""
-        signature = []
+        signature: List[int] = []
         for lba in range(base, base + self.blocks_per_chunk):
             if lba in written:
                 signature.append(written[lba])

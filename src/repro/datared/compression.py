@@ -46,7 +46,7 @@ class CompressedChunk:
     logical_size: int
     stored_size: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.logical_size <= 0:
             raise ValueError("logical_size must be positive")
         if not 0 < self.stored_size <= 0xFFFF:
@@ -77,7 +77,7 @@ class ZlibCompressor(Compressor):
     _RAW = b"\x00"
     _DEFLATE = b"\x01"
 
-    def __init__(self, level: int = 1):
+    def __init__(self, level: int = 1) -> None:
         if not 0 <= level <= 9:
             raise ValueError(f"zlib level must be 0-9, got {level}")
         self.level = level
@@ -121,7 +121,7 @@ class ModeledCompressor(Compressor):
     compression ratio" stores half the bytes, i.e. ``ratio=0.5``.
     """
 
-    def __init__(self, ratio: float = 0.5):
+    def __init__(self, ratio: float = 0.5) -> None:
         if not 0.0 < ratio <= 1.0:
             raise ValueError(f"ratio must be in (0, 1], got {ratio}")
         self.ratio = ratio

@@ -16,7 +16,7 @@ reclaim space when overwrites drop the last reference to a chunk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
@@ -57,7 +57,9 @@ class Container:
     reads back exactly; space accounting always uses ``stored_size``.
     """
 
-    def __init__(self, container_id: int, capacity: int = CONTAINER_SIZE):
+    def __init__(
+        self, container_id: int, capacity: int = CONTAINER_SIZE
+    ) -> None:
         if capacity <= 0 or capacity % OFFSET_GRANULE != 0:
             raise ValueError("capacity must be a positive multiple of the granule")
         if capacity // OFFSET_GRANULE > 0x10000:
@@ -137,7 +139,7 @@ class ContainerStore:
         self,
         container_size: int = CONTAINER_SIZE,
         on_seal: Optional[Callable[[Container], None]] = None,
-    ):
+    ) -> None:
         self.container_size = container_size
         self.on_seal = on_seal
         self._containers: Dict[int, Container] = {}

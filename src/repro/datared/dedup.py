@@ -15,10 +15,24 @@ device ledgers from those reports according to their own flow topology.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..parallel import StagePool
+from ..sync import DisciplinedLock
 from .chunking import BLOCK_SIZE, Chunk, FixedChunker
 from .compression import CompressedChunk, Compressor, ZlibCompressor
 from .container import ContainerStore
@@ -28,7 +42,7 @@ from .lba_map import LbaMap, PbnAllocator, PbnMap, PbnRecord
 
 #: Distinguishes "LBA never consulted" from "LBA unmapped" in the
 #: batch planner's shadow map.
-_UNSET = object()
+_UNSET: Any = object()
 
 __all__ = [
     "ChunkOutcome",
@@ -36,7 +50,42 @@ __all__ = [
     "ReadReport",
     "ReductionStats",
     "DedupEngine",
+    "LbaStore",
+    "MetadataObserver",
 ]
+
+
+class MetadataObserver(Protocol):
+    """Receiver of the engine's metadata-mutation callbacks.
+
+    :class:`~repro.datared.journal.MetadataJournal` is the canonical
+    implementation; anything structurally compatible can plug in.
+    """
+
+    def on_new_chunk(
+        self, pbn: int, digest: bytes, container_id: int, offset: int,
+        stored_size: int, logical_size: int,
+    ) -> None: ...
+
+    def on_map(self, lba: int, pbn: int) -> None: ...
+
+    def on_free(self, pbn: int) -> None: ...
+
+
+class LbaStore(Protocol):
+    """LBA→PBN mapping interface the engine requires.
+
+    Satisfied by the in-memory :class:`~repro.datared.lba_map.LbaMap`
+    and the paged :class:`~repro.datared.lba_store.PagedLbaStore`.
+    """
+
+    def get(self, lba: int) -> Optional[int]: ...
+
+    def set(self, lba: int, pbn: int) -> Optional[int]: ...
+
+    def __len__(self) -> int: ...
+
+    def items(self) -> Iterator[Tuple[int, int]]: ...
 
 
 @dataclass(frozen=True)
@@ -61,14 +110,14 @@ class WriteReport:
     through :meth:`add`.
     """
 
-    chunks: List[ChunkOutcome] = field(default_factory=list)
-    containers_sealed: int = 0
-    reclaimed_chunks: int = 0  #: chunks whose last reference dropped
-    _logical_bytes: int = field(default=0, init=False, repr=False, compare=False)
-    _stored_bytes: int = field(default=0, init=False, repr=False, compare=False)
-    _unique_chunks: int = field(default=0, init=False, repr=False, compare=False)
+    chunks: List[ChunkOutcome] = field(default_factory=list)  # guarded-by: single-writer
+    containers_sealed: int = 0  # guarded-by: single-writer
+    reclaimed_chunks: int = 0  # guarded-by: single-writer  (last refs dropped)
+    _logical_bytes: int = field(default=0, init=False, repr=False, compare=False)  # guarded-by: single-writer
+    _stored_bytes: int = field(default=0, init=False, repr=False, compare=False)  # guarded-by: single-writer
+    _unique_chunks: int = field(default=0, init=False, repr=False, compare=False)  # guarded-by: single-writer
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for outcome in self.chunks:
             self._tally(outcome)
 
@@ -161,10 +210,10 @@ class DedupEngine:
         containers: Optional[ContainerStore] = None,
         chunk_size: int = BLOCK_SIZE,
         num_buckets: int = 1 << 16,
-        observer=None,
-        lba_map=None,
+        observer: Optional[MetadataObserver] = None,
+        lba_map: Optional[LbaStore] = None,
         pool: Optional[StagePool] = None,
-    ):
+    ) -> None:
         """``observer`` receives metadata-mutation callbacks
         (``on_new_chunk``/``on_map``/``on_free``) — the hook
         :class:`~repro.datared.journal.MetadataJournal` plugs into.
@@ -173,36 +222,64 @@ class DedupEngine:
         ``pool`` is the shared :class:`~repro.parallel.StagePool` the
         batched paths (:meth:`write_many`, multi-chunk :meth:`read`)
         fan hashing/compression out on; the default is a serial pool."""
+        #: Guards every piece of mutable metadata below.  Concurrent
+        #: callers (the race-stress harness, any future multi-threaded
+        #: front end) serialize on it; the single-threaded serving
+        #: backend pays one uncontended RLock acquire per request.  The
+        #: StagePool workers never touch guarded state (they run pure
+        #: hash/compress/decompress), so holding the lock across a
+        #: fan-out cannot deadlock.
+        self.lock = DisciplinedLock("dedup-engine")
         self.chunker = FixedChunker(chunk_size)
-        self.table = table if table is not None else HashPbnTable(num_buckets)
+        self.table = table if table is not None else HashPbnTable(num_buckets)  # guarded-by: self.lock
         self.compressor = compressor if compressor is not None else ZlibCompressor()
-        self.containers = containers if containers is not None else ContainerStore()
-        self.lba_map = lba_map if lba_map is not None else LbaMap()
-        self.pbn_map = PbnMap()
-        self.allocator = PbnAllocator()
-        self.stats = ReductionStats()
+        self.containers = containers if containers is not None else ContainerStore()  # guarded-by: self.lock
+        self.lba_map: LbaStore = lba_map if lba_map is not None else LbaMap()  # guarded-by: self.lock
+        self.pbn_map = PbnMap()  # guarded-by: self.lock
+        self.allocator = PbnAllocator()  # guarded-by: self.lock
+        self.stats = ReductionStats()  # guarded-by: self.lock
         self.observer = observer
         self.pool = pool if pool is not None else StagePool(1)
         #: Garbage-collection work counters (see :meth:`collect_garbage`).
-        self.gc_containers_reclaimed = 0
-        self.gc_bytes_moved = 0
+        self.gc_containers_reclaimed = 0  # guarded-by: self.lock
+        self.gc_bytes_moved = 0  # guarded-by: self.lock
         #: Batch-planner accuracy counters: ``plan_fallback_compressions``
         #: counts uniques the planner missed (compressed inline on the
         #: serial stage), ``plan_wasted_compressions`` counts duplicates
         #: it compressed needlessly.  Both stay 0 unless the planner's
         #: shadow walk diverges from execution — a correctness canary.
-        self.plan_fallback_compressions = 0
-        self.plan_wasted_compressions = 0
+        self.plan_fallback_compressions = 0  # guarded-by: self.lock
+        self.plan_wasted_compressions = 0  # guarded-by: self.lock
+        #: When race detection is armed, every WriteReport this engine
+        #: creates is wrapped too (their aggregates are single-writer).
+        self._watch_report: Optional[Callable[..., Any]] = None
+        if os.environ.get("REPRO_RACE_DETECT"):
+            # Opt-in runtime race detection: wrap the shared metadata
+            # structures so every access records (thread, lock-set).
+            # When the variable is unset this costs one dict lookup at
+            # construction and installs nothing.
+            from ..analysis import racecheck
+
+            racecheck.watch_engine(self)
+            self._watch_report = racecheck.watch
+
+    def _new_report(self) -> WriteReport:
+        """A fresh WriteReport, race-instrumented when detection is on."""
+        report = WriteReport()
+        if self._watch_report is not None:
+            report = self._watch_report(report, name="write-report")
+        return report
 
     # -- write path (Figure 1a) ------------------------------------------------
     def write(self, lba: int, payload: bytes) -> WriteReport:
         """Write ``payload`` at chunk-aligned ``lba``; dedupe + compress."""
-        report = WriteReport()
-        sealed_before = self.containers.sealed_count
-        for chunk in self.chunker.split(lba, payload):
-            report.add(self._write_chunk(chunk, report))
-        report.containers_sealed = self.containers.sealed_count - sealed_before
-        return report
+        with self.lock:
+            report = self._new_report()
+            sealed_before = self.containers.sealed_count
+            for chunk in self.chunker.split(lba, payload):
+                report.add(self._write_chunk(chunk, report))
+            report.containers_sealed = self.containers.sealed_count - sealed_before
+            return report
 
     def write_many(
         self,
@@ -229,8 +306,16 @@ class DedupEngine:
 
         Returns one :class:`WriteReport` per request, in order.
         """
+        with self.lock:
+            return self._write_many_locked(requests, digests)
+
+    def _write_many_locked(  # repro-lint: holds self.lock
+        self,
+        requests: Iterable[Tuple[int, bytes]],
+        digests: Optional[Sequence[bytes]],
+    ) -> List[WriteReport]:
         requests = list(requests)
-        reports = [WriteReport() for _ in requests]
+        reports = [self._new_report() for _ in requests]
         flat: List[Tuple[int, Chunk]] = []
         for index, (lba, payload) in enumerate(requests):
             for chunk in self.chunker.split(lba, payload):
@@ -292,7 +377,7 @@ class DedupEngine:
         )
         return reports
 
-    def _plan_batch(
+    def _plan_batch(  # repro-lint: holds self.lock
         self, chunks: Sequence[Chunk], digests: Sequence[bytes]
     ) -> List[int]:
         """Positions of the chunks the serial walk will compress.
@@ -308,13 +393,13 @@ class DedupEngine:
         :meth:`~repro.datared.lba_map.PbnMap.find_by_fingerprint`).
         """
         plan: List[int] = []
-        planned: Dict[bytes, dict] = {}  # digest -> live batch-unique token
-        retired: set = set()  # fingerprints the walk removes from the table
+        planned: Dict[bytes, Dict[str, Any]] = {}  # digest -> live batch-unique token
+        retired: Set[bytes] = set()  # fingerprints the walk removes from the table
         ref_delta: Dict[int, int] = {}  # pre-existing pbn -> refcount delta
-        dead: set = set()  # pre-existing pbns fully released
-        shadow_lba: Dict[int, tuple] = {}
+        dead: Set[int] = set()  # pre-existing pbns fully released
+        shadow_lba: Dict[int, Tuple[str, Any]] = {}
 
-        def release(ref: tuple) -> None:
+        def release(ref: Tuple[str, Any]) -> None:
             kind, target = ref
             if kind == "new":
                 target["refs"] -= 1
@@ -333,7 +418,7 @@ class DedupEngine:
         for position, (chunk, digest) in enumerate(zip(chunks, digests)):
             token = planned.get(digest)
             if token is not None:
-                hit: Optional[tuple] = ("new", token)
+                hit: Optional[Tuple[str, Any]] = ("new", token)
             else:
                 hit = None
                 if digest not in retired:
@@ -359,7 +444,7 @@ class DedupEngine:
                 release(old)
         return plan
 
-    def _write_chunk(
+    def _write_chunk(  # repro-lint: holds self.lock
         self,
         chunk: Chunk,
         report: WriteReport,
@@ -422,7 +507,9 @@ class DedupEngine:
             stored_size=compressed.stored_size,
         )
 
-    def _remap(self, lba: int, new_pbn: int, report: WriteReport) -> None:
+    def _remap(  # repro-lint: holds self.lock
+        self, lba: int, new_pbn: int, report: WriteReport
+    ) -> None:
         """Point the LBA at its new chunk, releasing the old one."""
         old_pbn = self.lba_map.set(lba, new_pbn)
         if self.observer is not None:
@@ -433,7 +520,9 @@ class DedupEngine:
             # Same content rewritten in place: undo the extra reference.
             self._release(old_pbn, report)
 
-    def _release(self, pbn: int, report: WriteReport) -> None:
+    def _release(  # repro-lint: holds self.lock
+        self, pbn: int, report: WriteReport
+    ) -> None:
         dead = self.pbn_map.unref(pbn)
         if dead is None:
             return
@@ -462,6 +551,12 @@ class DedupEngine:
             raise ValueError("must read at least one chunk")
         if lba % self.chunker.blocks_per_chunk != 0:
             raise ValueError(f"LBA {lba} is not chunk-aligned")
+        with self.lock:
+            return self._read_locked(lba, num_chunks)
+
+    def _read_locked(  # repro-lint: holds self.lock
+        self, lba: int, num_chunks: int
+    ) -> ReadReport:
         report = ReadReport()
         step = self.chunker.blocks_per_chunk
         fetched: List[Optional[CompressedChunk]] = []  # None = hole
@@ -495,7 +590,8 @@ class DedupEngine:
     # -- maintenance -------------------------------------------------------------
     def flush(self) -> None:
         """Seal the open container (batch boundary / shutdown)."""
-        self.containers.seal_open()
+        with self.lock:
+            self.containers.seal_open()
 
     def collect_garbage(self, threshold: float = 0.5) -> int:
         """Compact sealed containers above the garbage threshold.
@@ -508,24 +604,25 @@ class DedupEngine:
         incremental reverse index, so a collection's work scales with
         the victims' live chunks — not with the total PBN population.
         """
-        reclaimed = 0
-        victims = self.containers.garbage_victims(threshold)
-        for victim in victims:
-            for offset, payload in victim.chunks():
-                pbn = self.pbn_map.pbn_at(victim.container_id, offset)
-                if pbn is None:
-                    raise KeyError(
-                        f"container {victim.container_id} offset {offset} "
-                        "has no owning PBN"
+        with self.lock:
+            reclaimed = 0
+            victims = self.containers.garbage_victims(threshold)
+            for victim in victims:
+                for offset, payload in victim.chunks():
+                    pbn = self.pbn_map.pbn_at(victim.container_id, offset)
+                    if pbn is None:
+                        raise KeyError(
+                            f"container {victim.container_id} offset {offset} "
+                            "has no owning PBN"
+                        )
+                    record = self.pbn_map.get(pbn)
+                    placement = self.containers.append(payload, record.stored_size)
+                    victim.mark_dead(offset, record.stored_size)
+                    self.pbn_map.repoint(
+                        pbn, placement.container_id, placement.offset
                     )
-                record = self.pbn_map.get(pbn)
-                placement = self.containers.append(payload, record.stored_size)
-                victim.mark_dead(offset, record.stored_size)
-                self.pbn_map.repoint(
-                    pbn, placement.container_id, placement.offset
-                )
-                self.gc_bytes_moved += record.stored_size
-            self.containers.drop(victim.container_id)
-            reclaimed += 1
-        self.gc_containers_reclaimed += reclaimed
-        return reclaimed
+                    self.gc_bytes_moved += record.stored_size
+                self.containers.drop(victim.container_id)
+                reclaimed += 1
+            self.gc_containers_reclaimed += reclaimed
+            return reclaimed

@@ -96,7 +96,7 @@ class Bucket:
         count, flags = _HEADER.unpack_from(raw, 0)
         if count > BUCKET_CAPACITY:
             raise ValueError(f"corrupt bucket: {count} entries")
-        entries = []
+        entries: List[Tuple[bytes, int]] = []
         offset = _HEADER.size
         for _ in range(count):
             digest = raw[offset : offset + FINGERPRINT_SIZE]
@@ -122,7 +122,7 @@ class InMemoryBucketStore(BucketStore):
 
     _EMPTY = Bucket().to_bytes()
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._pages: Dict[int, bytes] = {}
         self.reads = 0
         self.writes = 0
@@ -145,7 +145,9 @@ class HashPbnTable:
     table itself holds no pages, so a cached store sees every access.
     """
 
-    def __init__(self, num_buckets: int, store: Optional[BucketStore] = None):
+    def __init__(
+        self, num_buckets: int, store: Optional[BucketStore] = None
+    ) -> None:
         if num_buckets < 1:
             raise ValueError("need at least one bucket")
         self.num_buckets = num_buckets

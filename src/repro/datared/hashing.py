@@ -13,7 +13,10 @@ needs: 32-byte fingerprints and 6-byte physical block numbers (§2.1.3).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..parallel import StagePool
 
 __all__ = [
     "FINGERPRINT_SIZE",
@@ -42,7 +45,9 @@ def fingerprint(data: bytes) -> bytes:
     return hashlib.sha256(data).digest()
 
 
-def fingerprint_many(chunks: Iterable[bytes], pool=None) -> List[bytes]:
+def fingerprint_many(
+    chunks: Iterable[bytes], pool: Optional["StagePool"] = None
+) -> List[bytes]:
     """Fingerprint a batch of chunks (the NIC hashes per batch, §5.4).
 
     ``pool`` is an optional :class:`~repro.parallel.StagePool`; when it

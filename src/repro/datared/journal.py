@@ -74,7 +74,7 @@ class MetadataJournal:
     :class:`~repro.datared.dedup.DedupEngine` as its observer.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._buffer = bytearray()
         self.records_written = 0
 

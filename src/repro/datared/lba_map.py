@@ -53,7 +53,7 @@ class PbnRecord:
     fingerprint: bytes
     refcount: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.refcount < 0:
             raise ValueError("refcount cannot be negative")
         if self.stored_size <= 0:
@@ -68,7 +68,7 @@ class LbaMap:
     functional model uses a dict keyed by chunk-aligned LBA.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._map: Dict[int, int] = {}
 
     def get(self, lba: int) -> Optional[int]:
@@ -102,7 +102,7 @@ class LbaMap:
 class PbnAllocator:
     """Sequential PBN allocation with free-list reuse."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._next = 0
         self._free: List[int] = []
 
@@ -151,7 +151,7 @@ class PbnMap:
       every record.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._records: Dict[int, PbnRecord] = {}
         self._by_fingerprint: Dict[bytes, int] = {}
         self._by_placement: Dict[Tuple[int, int], int] = {}

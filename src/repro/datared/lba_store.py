@@ -35,7 +35,7 @@ ENTRIES_PER_PAGE = BUCKET_SIZE // LBA_PBN_ENTRY_SIZE
 class PagedLbaStore:
     """LBA → PBN map as cached 4-KB array pages."""
 
-    def __init__(self, store: Optional[BucketStore] = None):
+    def __init__(self, store: Optional[BucketStore] = None) -> None:
         self.store = store if store is not None else InMemoryBucketStore()
         self._size = 0
         self.page_reads = 0

@@ -16,7 +16,7 @@ Write-H column:
 
 from __future__ import annotations
 
-from dataclasses import fields, replace
+from dataclasses import fields
 from typing import Dict, List
 
 from ..analysis.report import Comparison, format_table, gbps

@@ -13,7 +13,6 @@ constants — the ledger itself is policy-free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .specs import CpuSpec

@@ -65,7 +65,7 @@ class StagePool:
         *,
         slices_per_worker: int = 4,
         min_slice_items: int = 8,
-    ):
+    ) -> None:
         if slices_per_worker < 1:
             raise ValueError("slices_per_worker must be at least 1")
         if min_slice_items < 1:
@@ -126,7 +126,12 @@ class StagePool:
     def __enter__(self) -> "StagePool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[object],
+    ) -> None:
         self.shutdown()
 
     def __repr__(self) -> str:

@@ -27,7 +27,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+#: Process body: a generator yielding events (or sub-generators to spawn).
+ProcGen = Generator[Any, Any, Any]
 
 __all__ = [
     "Event",
@@ -51,7 +54,7 @@ class Interrupt(Exception):
     The ``cause`` attribute carries the value supplied by the interrupter.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -68,7 +71,7 @@ class Event:
     TRIGGERED = "triggered"
     PROCESSED = "processed"
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.state = Event.PENDING
         self.value: Any = None
@@ -123,7 +126,9 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after a simulated delay."""
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(
+        self, sim: "Simulator", delay: float, value: Any = None
+    ) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         super().__init__(sim)
@@ -140,7 +145,9 @@ class Process(Event):
     value) when the generator finishes, so other processes can wait on it.
     """
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+    def __init__(
+        self, sim: "Simulator", generator: ProcGen, name: str = ""
+    ) -> None:
         super().__init__(sim)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
@@ -202,7 +209,7 @@ class AllOf(Event):
     soon as any child fails.
     """
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self._children = list(events)
         self._pending = len(self._children)
@@ -229,7 +236,7 @@ class AnyOf(Event):
     The value is a ``(event, value)`` pair identifying the winner.
     """
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self._children = list(events)
         if not self._children:
@@ -249,9 +256,9 @@ class AnyOf(Event):
 class Simulator:
     """The event loop: a time-ordered heap of triggered events."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._ids = itertools.count()
         self._processed = 0
 
@@ -264,7 +271,7 @@ class Simulator:
         """Create an event that fires ``delay`` simulated units from now."""
         return Timeout(self, delay, value)
 
-    def spawn(self, generator: Generator, name: str = "") -> Process:
+    def spawn(self, generator: ProcGen, name: str = "") -> Process:
         """Start a generator as a process and return its Process handle."""
         return Process(self, generator, name=name)
 

@@ -14,7 +14,7 @@ Three resource shapes cover every device in the FIDR model:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from .core import Event, SimulationError, Simulator
 
@@ -28,7 +28,7 @@ class Resource:
     ``resource.release()`` frees one unit and wakes the next waiter.
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -67,7 +67,7 @@ class Store:
     staging buffers between pipeline stages in device models.
     """
 
-    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -122,13 +122,16 @@ class BandwidthPipe:
     simulation.
     """
 
-    def __init__(self, sim: Simulator, rate_bytes_per_s: float, name: str = "pipe"):
+    def __init__(
+        self, sim: Simulator, rate_bytes_per_s: float, name: str = "pipe"
+    ) -> None:
         if rate_bytes_per_s <= 0:
             raise SimulationError("rate must be positive")
         self.sim = sim
         self.rate = float(rate_bytes_per_s)
         self.name = name
-        self._active = {}  # id -> [remaining_bytes, last_update_time, done_event]
+        #: id -> [remaining_bytes, last_update_time, done_event]
+        self._active: Dict[int, List[Any]] = {}
         self._ids = 0
         self.bytes_transferred = 0.0
         self._busy_since: Optional[float] = None

@@ -23,7 +23,7 @@ __all__ = [
 class Counter:
     """A named family of monotonically increasing counters."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counts: Dict[str, float] = {}
 
     def add(self, name: str, amount: float = 1.0) -> None:
@@ -59,7 +59,7 @@ class TimeWeighted:
     the level changes, then read :meth:`average` over the observed window.
     """
 
-    def __init__(self, start_time: float = 0.0, initial: float = 0.0):
+    def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
         self._last_time = start_time
         self._level = initial
         self._area = 0.0
@@ -88,7 +88,7 @@ class TimeWeighted:
 class StreamingSummary:
     """Single-pass mean/variance/min/max (Welford's algorithm)."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.count = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -127,7 +127,7 @@ class Histogram:
     edge is >= the sample.  Percentiles interpolate within the bucket.
     """
 
-    def __init__(self, boundaries: Sequence[float]):
+    def __init__(self, boundaries: Sequence[float]) -> None:
         edges = list(boundaries)
         if edges != sorted(edges):
             raise ValueError("boundaries must be sorted ascending")
@@ -166,7 +166,7 @@ class Histogram:
 class RateMeter:
     """Tracks a quantity delivered over simulated time (e.g. GB/s)."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0) -> None:
         self._start = start_time
         self._amount = 0.0
 

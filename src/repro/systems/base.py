@@ -17,6 +17,7 @@ from their staging buffer).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -76,10 +77,12 @@ class ReductionSystem:
         self.server = server if server is not None else PROTOTYPE_SERVER
         self.config = config if config is not None else SystemConfig()
 
-        # Device ledgers.
-        self.memory = MemoryLedger(self.server.dram)
-        self.cpu = CpuLedger(self.server.cpu)
-        self.pcie = self._build_topology()
+        # Device ledgers.  Charged only while the engine lock is held
+        # (every client entry point below takes it), so byte/cycle
+        # accounting stays exact under concurrent callers.
+        self.memory = MemoryLedger(self.server.dram)  # guarded-by: self.lock
+        self.cpu = CpuLedger(self.server.cpu)  # guarded-by: self.lock
+        self.pcie = self._build_topology()  # guarded-by: self.lock
 
         # Functional storage stack.
         self.table_array = SsdArray(
@@ -108,9 +111,19 @@ class ReductionSystem:
             pool=self.pool,
         )
 
-        self.logical_write_bytes = 0.0
-        self.logical_read_bytes = 0.0
-        self._pending: List[Chunk] = []
+        #: One lock for the whole stack: the engine's.  It is reentrant,
+        #: so system entry points lock once and the engine's own locked
+        #: entry points nest for free.
+        self.lock = self.engine.lock
+        self.logical_write_bytes = 0.0  # guarded-by: self.lock
+        self.logical_read_bytes = 0.0  # guarded-by: self.lock
+        self._pending: List[Chunk] = []  # guarded-by: self.lock
+        if os.environ.get("REPRO_RACE_DETECT"):
+            # The engine wrapped its own metadata already (it saw the
+            # same environment variable); add the device ledgers.
+            from ..analysis import racecheck
+
+            racecheck.watch_system(self)
 
     # -- subclass hooks --------------------------------------------------------------
     def _build_topology(self) -> PcieTopology:
@@ -140,21 +153,23 @@ class ReductionSystem:
         """Client write at chunk-aligned ``lba`` (ack is immediate;
         the backend runs when a batch fills)."""
         chunks = self.engine.chunker.split(lba, payload)
-        for chunk in chunks:
-            self.logical_write_bytes += len(chunk.data)
-            self._enqueue(chunk)
-            self._pending.append(chunk)
-        while len(self._pending) >= self.config.batch_chunks:
-            batch = self._pending[: self.config.batch_chunks]
-            del self._pending[: self.config.batch_chunks]
-            self._process_batch(batch)
+        with self.lock:
+            for chunk in chunks:
+                self.logical_write_bytes += len(chunk.data)
+                self._enqueue(chunk)
+                self._pending.append(chunk)
+            while len(self._pending) >= self.config.batch_chunks:
+                batch = self._pending[: self.config.batch_chunks]
+                del self._pending[: self.config.batch_chunks]
+                self._process_batch(batch)
 
     def flush(self) -> None:
         """Drain staged writes and seal the open container."""
-        if self._pending:
-            batch, self._pending = self._pending, []
-            self._process_batch(batch)
-        self.engine.flush()
+        with self.lock:
+            if self._pending:
+                batch, self._pending = self._pending, []
+                self._process_batch(batch)
+            self.engine.flush()
 
     def read(self, lba: int, num_chunks: int = 1) -> bytes:
         """Client read of ``num_chunks`` chunks at chunk-aligned ``lba``."""
@@ -164,10 +179,11 @@ class ReductionSystem:
         if lba % step != 0:
             raise AlignmentError(f"LBA {lba} is not chunk-aligned")
         pieces = []
-        for position in range(num_chunks):
-            piece = self._read_chunk(lba + position * step)
-            self.logical_read_bytes += len(piece)
-            pieces.append(piece)
+        with self.lock:
+            for position in range(num_chunks):
+                piece = self._read_chunk(lba + position * step)
+                self.logical_read_bytes += len(piece)
+                pieces.append(piece)
         return b"".join(pieces)
 
     # -- delta capture -----------------------------------------------------------------

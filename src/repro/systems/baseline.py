@@ -166,7 +166,7 @@ class BaselineSystem(ReductionSystem):
         self.cpu.charge(CpuTask.DATA_SSD, self.config.cpu.data_ssd_io)
 
     # -- read flow (Figure 2b) ---------------------------------------------------------------
-    def _read_chunk(self, lba: int) -> bytes:
+    def _read_chunk(self, lba: int) -> bytes:  # repro-lint: holds self.lock
         # Reads must observe staged writes: the baseline has no NIC-side
         # lookup, so it drains the pipeline first.
         if self._pending:

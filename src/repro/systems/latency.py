@@ -21,6 +21,8 @@ battery-backed buffer, so commit latency equals a no-reduction system's;
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 from ..sim.core import Simulator
 from ..sim.resources import BandwidthPipe
 from ..sim.stats import StreamingSummary
@@ -66,8 +68,8 @@ class LatencyResult:
 class ReadLatencyModel:
     """Batched 4-KB read latency through both datapaths."""
 
-    def __init__(self, config: LatencyConfig = LatencyConfig()):
-        self.config = config
+    def __init__(self, config: Optional[LatencyConfig] = None) -> None:
+        self.config = config if config is not None else LatencyConfig()
 
     # -- pipelines ---------------------------------------------------------------
     def baseline_read_latency(self, batch_size: int = 64) -> LatencyResult:

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.analysis.cost import CostParameters, StorageCostModel
+from repro.analysis.cost import StorageCostModel
 from repro.analysis.projection import fit_least_squares, fit_two_points, sweep
 from repro.analysis.report import Comparison, format_comparisons, format_table, gbps, pct
 from repro.analysis.throughput import ThroughputCeilings

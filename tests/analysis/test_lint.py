@@ -1,0 +1,391 @@
+"""repro-lint rule tests: every rule gets a planted positive fixture, a
+clean negative fixture, and a suppression check — plus the self-check
+that the real tree lints clean (the acceptance bar for the whole
+suite)."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import RULES, Finding, lint_paths, lint_source, main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+def lines_of(findings, rule):
+    return [finding.line for finding in findings if finding.rule == rule]
+
+
+def src(text: str) -> str:
+    return textwrap.dedent(text)
+
+
+# -- R001: blocking calls in async defs --------------------------------------
+
+
+class TestR001Blocking:
+    FIXTURE = src(
+        """
+        import time, zlib, socket
+
+        async def handler():
+            time.sleep(0.1)
+            payload = zlib.compress(b"x")
+            sock = socket.create_connection(("host", 1))
+            with open("state") as handle:
+                pass
+        """
+    )
+
+    def test_detects_blocking_calls_in_coroutine(self):
+        findings = lint_source(self.FIXTURE, module="repro.net.fixture")
+        assert rules_of(findings) == ["R001"] * 4
+        assert lines_of(findings, "R001") == [5, 6, 7, 8]
+
+    def test_sync_function_is_allowed(self):
+        clean = src(
+            """
+            import time
+
+            def backend_task():
+                time.sleep(0.1)
+            """
+        )
+        assert lint_source(clean, module="repro.net.fixture") == []
+
+    def test_nested_sync_def_inside_coroutine_is_allowed(self):
+        clean = src(
+            """
+            import time
+
+            async def handler(loop):
+                def blocking_job():
+                    time.sleep(0.1)
+                await loop.run_in_executor(None, blocking_job)
+            """
+        )
+        assert lint_source(clean, module="repro.net.fixture") == []
+
+    def test_rule_is_scoped_to_the_serving_layer(self):
+        assert lint_source(self.FIXTURE, module="repro.workloads.fixture") == []
+
+    def test_suppression(self):
+        fixture = src(
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)  # repro-lint: disable=R001
+            """
+        )
+        assert lint_source(fixture, module="repro.net.fixture") == []
+
+
+# -- R002: guarded-by discipline ----------------------------------------------
+
+
+GUARDED_CLASS = src(
+    """
+    class Engine:
+        def __init__(self):
+            self.lock = object()
+            self.stats = 0  # guarded-by: self.lock
+
+        def unlocked(self):
+            self.stats += 1
+
+        def locked(self):
+            with self.lock:
+                self.stats += 1
+
+        def helper(self):  # repro-lint: holds self.lock
+            self.stats += 1
+    """
+)
+
+
+class TestR002GuardedBy:
+    def test_mutation_without_lock_is_flagged(self):
+        findings = lint_source(GUARDED_CLASS, module="repro.datared.fixture")
+        assert rules_of(findings) == ["R002"]
+        assert lines_of(findings, "R002") == [8]
+
+    def test_with_block_and_holds_annotation_satisfy_the_guard(self):
+        findings = lint_source(GUARDED_CLASS, module="repro.datared.fixture")
+        assert lines_of(findings, "R002") == [8]  # 12 and 15 are clean
+
+    def test_init_is_exempt(self):
+        findings = lint_source(GUARDED_CLASS, module="repro.datared.fixture")
+        assert 5 not in lines_of(findings, "R002")
+
+    def test_guard_is_inherited_by_subclasses(self):
+        fixture = GUARDED_CLASS + src(
+            """
+            class Child(Engine):
+                def racy(self):
+                    self.stats = 5
+            """
+        )
+        findings = lint_source(fixture, module="repro.datared.fixture")
+        assert lines_of(findings, "R002") == [8, 19]
+
+    def test_nested_attribute_mutation_counts(self):
+        fixture = src(
+            """
+            class System:
+                def __init__(self):
+                    self.lock = object()
+                    self.memory = object()  # guarded-by: self.lock
+
+                def racy(self):
+                    self.memory.bytes_read = 7
+            """
+        )
+        findings = lint_source(fixture, module="repro.systems.fixture")
+        assert lines_of(findings, "R002") == [8]
+
+    def test_discipline_guard_enforced_across_modules_by_name(self, tmp_path):
+        package = tmp_path / "repro" / "datared"
+        package.mkdir(parents=True)
+        (package / "report.py").write_text(
+            src(
+                """
+                class Report:
+                    reclaimed_chunks = 0  # guarded-by: single-writer
+
+                    def tally(self):
+                        self.reclaimed_chunks += 1
+                """
+            )
+        )
+        (package / "other.py").write_text(
+            src(
+                """
+                def poke(report):
+                    report.reclaimed_chunks += 1
+
+
+                def sanctioned(report):  # repro-lint: holds single-writer
+                    report.reclaimed_chunks += 1
+                """
+            )
+        )
+        findings, scanned = lint_paths([tmp_path])
+        assert scanned == 2
+        assert rules_of(findings) == ["R002"]
+        assert findings[0].path.endswith("other.py")
+        assert findings[0].line == 3
+
+    def test_suppression(self):
+        fixture = GUARDED_CLASS.replace(
+            "self.stats += 1\n\n    def locked",
+            "self.stats += 1  # repro-lint: disable=R002\n\n    def locked",
+        )
+        assert lint_source(fixture, module="repro.datared.fixture") == []
+
+
+# -- R003: determinism --------------------------------------------------------
+
+
+class TestR003Determinism:
+    FIXTURE = src(
+        """
+        import random
+        import time
+
+        def step():
+            started = time.time()
+            jitter = random.random()
+            choice = random.randrange(4)
+        """
+    )
+
+    def test_detects_wall_clock_and_global_randomness(self):
+        findings = lint_source(self.FIXTURE, module="repro.sim.fixture")
+        assert rules_of(findings) == ["R003"] * 3
+        findings = lint_source(self.FIXTURE, module="repro.systems.fixture")
+        assert rules_of(findings) == ["R003"] * 3
+
+    def test_seeded_random_instance_is_allowed(self):
+        clean = src(
+            """
+            import random
+
+            def build(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """
+        )
+        assert lint_source(clean, module="repro.sim.fixture") == []
+
+    def test_rule_is_scoped_to_sim_and_systems(self):
+        assert lint_source(self.FIXTURE, module="repro.workloads.fixture") == []
+
+    def test_suppression(self):
+        fixture = self.FIXTURE.replace(
+            "time.time()", "time.time()  # repro-lint: disable=R003"
+        )
+        findings = lint_source(fixture, module="repro.sim.fixture")
+        assert lines_of(findings, "R003") == [7, 8]
+
+
+# -- R004: integral ledgers ---------------------------------------------------
+
+
+class TestR004IntegralLedgers:
+    def test_detects_float_tainted_counter_assignments(self):
+        fixture = src(
+            """
+            class Stats:
+                def tally(self, n):
+                    self.stored_bytes += n * 0.5
+                    self.chunk_count = n / 2
+                    self.unique_chunks += 1
+            """
+        )
+        findings = lint_source(fixture, module="repro.datared.fixture")
+        assert rules_of(findings) == ["R004"] * 2
+        assert lines_of(findings, "R004") == [4, 5]
+
+    def test_ratios_and_int_wrapped_values_are_allowed(self):
+        clean = src(
+            """
+            class Stats:
+                def tally(self, n):
+                    self.ratio = n / 2
+                    self.live_bytes = int(n / 2)
+                    self.block_count = n // 2
+            """
+        )
+        assert lint_source(clean, module="repro.datared.fixture") == []
+
+    def test_rule_is_scoped_to_datared(self):
+        fixture = "class T:\n    def f(self, n):\n        self.busy_bytes = n / 2\n"
+        assert lint_source(fixture, module="repro.sim.fixture") == []
+
+    def test_suppression(self):
+        fixture = (
+            "class T:\n    def f(self, n):\n"
+            "        self.chunk_count = n / 2  # repro-lint: disable=R004\n"
+        )
+        assert lint_source(fixture, module="repro.datared.fixture") == []
+
+
+# -- R005: swallowed errors ---------------------------------------------------
+
+
+class TestR005SwallowedErrors:
+    FIXTURE = src(
+        """
+        def serve():
+            try:
+                work()
+            except:
+                pass
+            try:
+                work()
+            except Exception:
+                pass
+        """
+    )
+
+    def test_detects_bare_and_silent_broad_excepts(self):
+        findings = lint_source(self.FIXTURE, module="repro.net.fixture")
+        assert rules_of(findings) == ["R005"] * 2
+        findings = lint_source(self.FIXTURE, module="repro.systems.server")
+        assert rules_of(findings) == ["R005"] * 2
+
+    def test_handled_and_specific_excepts_are_allowed(self):
+        clean = src(
+            """
+            def serve():
+                try:
+                    work()
+                except Exception as error:
+                    log(error)
+                try:
+                    work()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+            """
+        )
+        assert lint_source(clean, module="repro.net.fixture") == []
+
+    def test_rule_is_scoped_to_the_serving_layer(self):
+        assert lint_source(self.FIXTURE, module="repro.datared.fixture") == []
+
+    def test_suppression(self):
+        fixture = self.FIXTURE.replace(
+            "except:", "except:  # repro-lint: disable=R005"
+        )
+        findings = lint_source(fixture, module="repro.net.fixture")
+        assert lines_of(findings, "R005") == [9]
+
+
+# -- machinery ----------------------------------------------------------------
+
+
+class TestMachinery:
+    def test_syntax_error_becomes_a_finding(self):
+        findings = lint_source("def broken(:\n", module="repro.net.fixture")
+        assert rules_of(findings) == ["R000"]
+
+    def test_rule_selection(self):
+        findings = lint_source(
+            TestR003Determinism.FIXTURE,
+            module="repro.sim.fixture",
+            rules=["R001"],
+        )
+        assert findings == []
+
+    def test_finding_formatting_and_dict(self):
+        finding = Finding("R001", "a.py", 3, 4, "message")
+        assert finding.format() == "a.py:3:4: R001 message"
+        assert finding.as_dict()["rule"] == "R001"
+
+    def test_cli_json_report_and_exit_status(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "net"
+        bad.mkdir(parents=True)
+        (bad / "racy.py").write_text(
+            "import time\n\nasync def f():\n    time.sleep(1)\n"
+        )
+        report_path = tmp_path / "report.json"
+        status = main([str(tmp_path), "--json", str(report_path)])
+        assert status == 1
+        report = json.loads(report_path.read_text())
+        assert report["tool"] == "repro-lint"
+        assert report["files_scanned"] == 1
+        assert [entry["rule"] for entry in report["findings"]] == ["R001"]
+        out = capsys.readouterr().out
+        assert "R001" in out and "FAIL" in out
+
+    def test_cli_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("VALUE = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+
+# -- the acceptance bar: the real tree is lint-clean --------------------------
+
+
+def test_repository_sources_are_lint_clean():
+    findings, scanned = lint_paths([REPO / "src"])
+    assert scanned > 80
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_repository_tests_are_lint_clean():
+    findings, _ = lint_paths([REPO / "tests"])
+    assert findings == [], "\n".join(f.format() for f in findings)

@@ -3,12 +3,7 @@
 import pytest
 
 from repro.cache.table_cache import BTreeIndex, HwTreeIndex, TableCache
-from repro.datared.hash_pbn import (
-    BUCKET_SIZE,
-    Bucket,
-    HashPbnTable,
-    InMemoryBucketStore,
-)
+from repro.datared.hash_pbn import Bucket, HashPbnTable, InMemoryBucketStore
 from repro.datared.hashing import fingerprint
 
 

@@ -1,6 +1,5 @@
 """Tests for content-defined chunking and the CDC store."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -5,7 +5,6 @@ from hypothesis import given, strategies as st
 
 from repro.datared.chunking import (
     BLOCK_SIZE,
-    Chunk,
     FixedChunker,
     LargeChunkAssembler,
     RmwStats,

@@ -1,6 +1,5 @@
 """Tests for the end-to-end dedup engine (write/read/reclaim/GC)."""
 
-import os
 import random
 
 import pytest

@@ -1,19 +1,12 @@
 """Tests for metadata journaling and crash recovery."""
 
-import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.datared.compression import ModeledCompressor
 from repro.datared.dedup import DedupEngine
 from repro.datared.hash_pbn import HashPbnTable
-from repro.datared.journal import (
-    JournalRecord,
-    MetadataJournal,
-    RecordKind,
-    recover_engine,
-)
+from repro.datared.journal import MetadataJournal, RecordKind, recover_engine
 
 CHUNK = 4096
 

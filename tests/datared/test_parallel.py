@@ -15,6 +15,7 @@ import threading
 
 import pytest
 
+from repro.analysis.invariants import check_engine
 from repro.datared.chunking import BLOCK_SIZE
 from repro.datared.compression import ZlibCompressor
 from repro.datared.dedup import ChunkOutcome, DedupEngine, WriteReport
@@ -227,6 +228,10 @@ def test_write_many_is_indistinguishable_from_serial(
     # Planner never diverged from execution on any grid cell.
     assert batched.plan_fallback_compressions == 0
     assert batched.plan_wasted_compressions == 0
+
+    # Both engines obey every ledger/index conservation law.
+    assert check_engine(serial) == []
+    assert check_engine(batched) == []
 
     # Byte-identical read-back, through both engines' read paths.
     for chunk_index in range(24):

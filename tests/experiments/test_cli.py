@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.experiments.__main__ import main
 

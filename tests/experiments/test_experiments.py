@@ -93,7 +93,7 @@ class TestTab02:
 
 class TestTab03:
     def test_hit_rates_ordered(self):
-        result = tab03_workloads.run(SMOKE_SCALE)
+        tab03_workloads.run(SMOKE_SCALE)
         hits = {
             key: get_report("fidr", key, SMOKE_SCALE).cache_stats.hit_rate
             for key in ("write-h", "write-m", "write-l")

@@ -6,7 +6,7 @@ from repro.datared.compression import ModeledCompressor, ZlibCompressor
 from repro.datared.hashing import fingerprint
 from repro.hw.fpga import CompressionEngine, DecompressionEngine, HashAccelerator
 from repro.hw.nic import BaselineNic, FidrNic
-from repro.hw.specs import FIDR_NIC_64G, NicSpec
+from repro.hw.specs import NicSpec
 
 
 class TestBaselineNic:

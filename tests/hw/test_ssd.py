@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datared.hash_pbn import BUCKET_SIZE, Bucket, HashPbnTable
+from repro.datared.hash_pbn import Bucket, HashPbnTable
 from repro.datared.hashing import fingerprint
 from repro.hw.specs import SAMSUNG_970_PRO, SsdSpec
 from repro.hw.ssd import NvmeSsd, SsdArray, SsdBucketStore

@@ -10,19 +10,14 @@ equivalent to its model.
 import random
 
 from hypothesis import settings
-from hypothesis.stateful import (
-    RuleBasedStateMachine,
-    initialize,
-    invariant,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 from hypothesis import strategies as st
 
 from repro.cache.btree import BPlusTree
 from repro.cache.table_cache import TableCache
 from repro.datared.compression import ModeledCompressor
 from repro.datared.dedup import DedupEngine
-from repro.datared.hash_pbn import Bucket, HashPbnTable, InMemoryBucketStore
+from repro.datared.hash_pbn import HashPbnTable, InMemoryBucketStore
 from repro.datared.hashing import fingerprint
 
 KEYS = st.integers(0, 120)

@@ -5,14 +5,13 @@ loop with ``asyncio.run`` around an async body.
 """
 
 import asyncio
-import random
 
 import pytest
 
 from repro.datared.compression import ModeledCompressor
 from repro.errors import AlignmentError, ProtocolError
 from repro.net.aserver import AsyncProtocolClient, AsyncProtocolServer
-from repro.net.protocol import Op, encode_frame, encode_frame_v2
+from repro.net.protocol import Op, encode_frame_v2
 from repro.systems.server import StorageServer, SystemKind
 
 CHUNK = 4096

@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.sim.core import (
-    AllOf,
-    AnyOf,
-    Event,
-    Interrupt,
-    SimulationError,
-    Simulator,
-    Timeout,
-)
+from repro.sim.core import Interrupt, SimulationError
 
 
 class TestEvent:
@@ -147,7 +139,7 @@ class TestProcess:
         def worker():
             yield 42
 
-        process = sim.spawn(worker())
+        sim.spawn(worker())
         with pytest.raises(SimulationError):
             sim.run()
 

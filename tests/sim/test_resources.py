@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.core import SimulationError, Simulator
+from repro.sim.core import SimulationError
 from repro.sim.resources import BandwidthPipe, Resource, Store
 
 

@@ -1,6 +1,5 @@
 """Tests for the statistics accumulators."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

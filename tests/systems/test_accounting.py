@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.datared.compression import ModeledCompressor
 from repro.experiments import SMOKE_SCALE, get_report
 from repro.hw.fpga import EngineTraffic
 from repro.hw.specs import VCU1525
-from repro.systems.accounting import CpuTask, FIG5B_GROUPS, MemPath
+from repro.systems.accounting import CpuTask, FIG5B_GROUPS
 
 
 @pytest.fixture(scope="module")

@@ -13,6 +13,7 @@ import random
 
 import pytest
 
+from repro.analysis.invariants import check_system
 from repro.datared.compression import ZlibCompressor
 from repro.systems.config import SystemConfig
 from repro.systems.server import StorageServer, SystemKind
@@ -84,5 +85,7 @@ def test_parallelism_leaves_every_ledger_untouched(kind):
             assert serial_view[key] == parallel_view[key], key
         assert parallel_storage.system.engine.plan_fallback_compressions == 0
         assert parallel_storage.system.engine.plan_wasted_compressions == 0
+        assert check_system(serial_storage.system) == []
+        assert check_system(parallel_storage.system) == []
     finally:
         parallel_storage.system.pool.shutdown()

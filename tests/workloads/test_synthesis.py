@@ -1,6 +1,5 @@
 """Tests for content generation, trace synthesis, and workload building."""
 
-import zlib
 
 import pytest
 
