@@ -30,12 +30,17 @@ from typing import Dict, List
 from repro.datared.compression import ZlibCompressor
 from repro.datared.dedup import DedupEngine
 from repro.parallel import StagePool
+from repro.perf import bench_meta
 
 CHUNK = 4096
 BATCH_CHUNKS = 64
 PARALLELISMS = [1, 2, 4, 8]
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 NUM_BATCHES = 6 if SMOKE else 48
+#: Each setting is measured this many times and the fastest run is kept
+#: — the same noise-stripping ``timeit`` uses; scheduler stalls show up
+#: as one-sided slowdowns, never speedups.
+ROUNDS = 1 if SMOKE else 3
 DUPLICATE_FRACTION = 0.25
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
 
@@ -143,6 +148,9 @@ class ThroughputResult:
     def speedup(self, run: PipelineRun) -> float:
         return run.write_mb_s / self.serial.write_mb_s
 
+    def read_speedup(self, run: PipelineRun) -> float:
+        return run.read_mb_s / self.serial.read_mb_s
+
     def render(self) -> str:
         lines = [
             "stage-split pipeline throughput "
@@ -165,11 +173,13 @@ class ThroughputResult:
     def to_json(self) -> Dict:
         return {
             "benchmark": "parallel-pipeline-throughput",
+            "meta": bench_meta(),
             "cpu_count": os.cpu_count(),
             "smoke": SMOKE,
             "chunk_size": CHUNK,
             "batch_chunks": BATCH_CHUNKS,
             "num_batches": NUM_BATCHES,
+            "rounds": ROUNDS,
             "duplicate_fraction": DUPLICATE_FRACTION,
             "note": (
                 "speedup is relative to parallelism=1 on this host; "
@@ -185,6 +195,7 @@ class ThroughputResult:
                     "read_p50_ms": round(run.read_p50_ms, 3),
                     "read_p99_ms": round(run.read_p99_ms, 3),
                     "write_speedup_vs_serial": round(self.speedup(run), 3),
+                    "read_speedup_vs_serial": round(self.read_speedup(run), 3),
                 }
                 for run in self.runs
             ],
@@ -196,9 +207,29 @@ def test_pipeline_throughput(regenerate):
     every setting must produce byte- and stats-identical results."""
     batches = make_workload()
 
+    def best_of_rounds(parallelism: int) -> PipelineRun:
+        # Per-metric best, like ``timeit``: write and read figures come
+        # from whichever round was fastest at each (a scheduler stall in
+        # one round's read phase must not taint its write figure or vice
+        # versa).  Digests and stats are identical across rounds.
+        runs = [run_pipeline(parallelism, batches) for _ in range(ROUNDS)]
+        by_write = max(runs, key=lambda run: run.write_mb_s)
+        by_read = max(runs, key=lambda run: run.read_mb_s)
+        return PipelineRun(
+            parallelism=parallelism,
+            write_mb_s=by_write.write_mb_s,
+            read_mb_s=by_read.read_mb_s,
+            write_p50_ms=by_write.write_p50_ms,
+            write_p99_ms=by_write.write_p99_ms,
+            read_p50_ms=by_read.read_p50_ms,
+            read_p99_ms=by_read.read_p99_ms,
+            digest=by_write.digest,
+            stats=by_write.stats,
+        )
+
     def experiment():
         return ThroughputResult(
-            [run_pipeline(p, batches) for p in PARALLELISMS]
+            [best_of_rounds(p) for p in PARALLELISMS]
         )
 
     result = regenerate(experiment)
@@ -217,5 +248,14 @@ def test_pipeline_throughput(regenerate):
     slowest = min(result.speedup(run) for run in result.runs)
     assert slowest > 0.8, (
         f"parallel pipeline {1 / slowest:.2f}x slower than serial "
+        f"(see {RESULT_PATH.name})"
+    )
+    # Read-side parity: batches below READ_FANOUT_MIN_CHUNKS decompress
+    # inline regardless of pool width, so a parallel engine's reads must
+    # track the serial engine's within measurement noise (this caught
+    # the PR-2 regression where 64-chunk reads paid slice dispatch).
+    slowest_read = min(result.read_speedup(run) for run in result.runs)
+    assert slowest_read > 0.8, (
+        f"parallel read path {1 / slowest_read:.2f}x slower than serial "
         f"(see {RESULT_PATH.name})"
     )

@@ -24,11 +24,19 @@ R004   No float-tainted arithmetic assigned to byte/chunk/count
 R005   No bare ``except:`` and no silently swallowed broad excepts in
        the serving layer — every error must map to a protocol error
        frame or a typed :class:`~repro.errors.ReproError`.
+R006   No byte copies (``bytes(…)``/``bytearray(…)``/``.tobytes()``/
+       slicing a non-``memoryview``) inside functions annotated
+       ``# repro-lint: hot-path`` — the zero-copy write path copies
+       payload bytes exactly once, at the container boundary
+       (DESIGN.md §5.4).  Each sanctioned copy carries a same-line
+       ``# repro-lint: copy-ok <reason>``.
 =====  ==============================================================
 
 Suppress a single line with ``# repro-lint: disable=R001`` (comma
 list allowed).  Mark a helper that is only called with a lock held
-with ``# repro-lint: holds self.lock`` on its ``def`` line.
+with ``# repro-lint: holds self.lock`` on its ``def`` line; ``def``
+lines may combine annotations (``# repro-lint: holds self.lock,
+hot-path``).
 
 Static limits, by design:
 
@@ -64,11 +72,16 @@ RULES: Dict[str, str] = {
     "R003": "wall-clock/randomness in deterministic simulation code",
     "R004": "float-tainted arithmetic on an integral ledger field",
     "R005": "bare or silently swallowed exception in the serving layer",
+    "R006": "byte copy inside a hot-path function without a copy-ok reason",
 }
 
 _DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
 _HOLDS_RE = re.compile(r"#\s*repro-lint:\s*holds\s+([^#\n]+)")
 _GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][\w.\-]*)")
+_HOT_PATH_RE = re.compile(r"#\s*repro-lint:[^#\n]*\bhot-path\b")
+#: ``copy-ok`` must state *why* the copy is sanctioned — a bare marker
+#: does not suppress.
+_COPY_OK_RE = re.compile(r"#\s*repro-lint:\s*copy-ok\s+\S")
 
 #: Calls that block the event loop when issued from a coroutine (R001).
 _BLOCKING_CALLS = frozenset(
@@ -385,6 +398,46 @@ def _is_floaty(node: ast.expr) -> bool:
     return False
 
 
+def _view_locals(
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> Set[str]:
+    """Local names bound to ``memoryview`` objects inside ``node``.
+
+    Slicing a memoryview is zero-copy, so R006 must not flag it.  Two
+    fixpoint passes over the simple assignments cover the idioms the
+    hot path uses (``view = memoryview(payload)`` and re-slices such as
+    ``tag, body = view[:1], view[1:]``) without real type inference.
+    """
+    views: Set[str] = set()
+
+    def value_is_view(value: ast.expr) -> bool:
+        if isinstance(value, ast.Call) and _dotted(value.func) == "memoryview":
+            return True
+        if isinstance(value, ast.Subscript) and isinstance(
+            value.slice, ast.Slice
+        ):
+            target = value.value
+            return isinstance(target, ast.Name) and target.id in views
+        return False
+
+    for _ in range(2):
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Assign):
+                continue
+            for target in inner.targets:
+                pairs: List[Tuple[ast.expr, ast.expr]] = []
+                if isinstance(target, ast.Tuple) and isinstance(
+                    inner.value, ast.Tuple
+                ) and len(target.elts) == len(inner.value.elts):
+                    pairs = list(zip(target.elts, inner.value.elts))
+                else:
+                    pairs = [(target, inner.value)]
+                for dest, value in pairs:
+                    if isinstance(dest, ast.Name) and value_is_view(value):
+                        views.add(dest.id)
+    return views
+
+
 class _RuleWalker(ast.NodeVisitor):
     def __init__(self, file: _File, registry: _Registry, rules: Set[str]):
         self.file = file
@@ -402,11 +455,18 @@ class _RuleWalker(ast.NodeVisitor):
         self.check_excepts = "R005" in rules and (
             module.startswith("repro.net") or module == "repro.systems.server"
         )
+        self.check_copies = "R006" in rules and module.startswith("repro")
         self.name_based_guards = module.startswith("repro")
         self.class_stack: List[str] = []
         #: (function name, held guards, body-is-directly-async)
         self.func_stack: List[Tuple[str, Set[str], bool]] = []
         self.with_stack: List[str] = []
+        #: parallel to func_stack: is this function (or an enclosing
+        #: one) annotated hot-path?
+        self.hot_stack: List[bool] = []
+        #: parallel to func_stack: local names known to hold memoryviews
+        #: (slicing those is zero-copy and never flagged).
+        self.view_locals_stack: List[Set[str]] = []
 
     # -- helpers ----------------------------------------------------------
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
@@ -441,11 +501,28 @@ class _RuleWalker(ast.NodeVisitor):
             held = {
                 _normalize(token)
                 for token in match.group(1).split(",")
-                if token.strip()
+                if token.strip() and token.strip() != "hot-path"
             }
+        # The hot-path marker may sit on any signature line (multi-line
+        # ``def``s carry it on the closing-paren line); hotness also
+        # propagates into nested helpers.
+        signature_end = max(
+            node.body[0].lineno if node.body else node.lineno + 1,
+            node.lineno + 1,
+        )
+        hot = bool(self.hot_stack and self.hot_stack[-1]) or any(
+            _HOT_PATH_RE.search(self.file.line(number))
+            for number in range(node.lineno, signature_end)
+        )
         self.func_stack.append((node.name, held, is_async))
+        self.hot_stack.append(hot)
+        self.view_locals_stack.append(
+            _view_locals(node) if (hot and self.check_copies) else set()
+        )
         self.generic_visit(node)
         self.func_stack.pop()
+        self.hot_stack.pop()
+        self.view_locals_stack.pop()
 
     # -- structure --------------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
@@ -473,9 +550,67 @@ class _RuleWalker(ast.NodeVisitor):
     visit_With = _visit_with
     visit_AsyncWith = _visit_with
 
+    # -- R006 -------------------------------------------------------------
+    def _in_hot_path(self) -> bool:
+        return bool(self.hot_stack) and self.hot_stack[-1]
+
+    def _copy_ok(self, node: ast.AST) -> bool:
+        return bool(
+            _COPY_OK_RE.search(self.file.line(getattr(node, "lineno", 0)))
+        )
+
+    def _check_copy_call(self, node: ast.Call, name: Optional[str]) -> None:
+        if name in {"bytes", "bytearray"} and node.args:
+            what = f"{name}(...) materialization"
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "tobytes"
+        ):
+            what = ".tobytes() materialization"
+        else:
+            return
+        if not self._copy_ok(node):
+            self._emit(
+                "R006",
+                node,
+                f"{what} inside hot-path function "
+                f"'{self._current_function()}'; the zero-copy write path "
+                "copies once at the container boundary — annotate a "
+                "sanctioned copy '# repro-lint: copy-ok <reason>'",
+            )
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if (
+            self.check_copies
+            and self._in_hot_path()
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.slice, ast.Slice)
+        ):
+            value = node.value
+            is_view = (
+                isinstance(value, ast.Name)
+                and self.view_locals_stack
+                and value.id in self.view_locals_stack[-1]
+            ) or (
+                isinstance(value, ast.Call)
+                and _dotted(value.func) == "memoryview"
+            )
+            if not is_view and not self._copy_ok(node):
+                self._emit(
+                    "R006",
+                    node,
+                    "slice of a non-memoryview inside hot-path function "
+                    f"'{self._current_function()}' copies its bytes; "
+                    "slice a memoryview instead or annotate "
+                    "'# repro-lint: copy-ok <reason>'",
+                )
+        self.generic_visit(node)
+
     # -- R001 / R003 ------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         name = _dotted(node.func)
+        if self.check_copies and self._in_hot_path():
+            self._check_copy_call(node, name)
         if name:
             if self.check_blocking and self._in_async():
                 if name in _BLOCKING_CALLS or name.startswith(
@@ -734,7 +869,7 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Concurrency/determinism contract linter (rules R001-R005).",
+        description="Concurrency/determinism contract linter (rules R001-R006).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(

@@ -19,7 +19,10 @@ boundaries are aligned multiples of the chunk size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
+
+#: Anything the chunker accepts as a write payload (zero-copy friendly).
+Buffer = Union[bytes, bytearray, memoryview]
 
 __all__ = [
     "BLOCK_SIZE",
@@ -33,9 +36,13 @@ __all__ = [
 BLOCK_SIZE = 4096
 
 
-@dataclass(frozen=True)
 class Chunk:
     """A fixed-size piece of client data.
+
+    A ``__slots__`` value class rather than a frozen dataclass: one is
+    built per 4-KB chunk on the write path, and frozen-dataclass
+    construction (``object.__setattr__`` per field) costs ~5x a plain
+    ``__init__`` (BENCH_stages.json, ``chunk`` stage).
 
     Attributes
     ----------
@@ -44,14 +51,35 @@ class Chunk:
     data:
         Chunk payload; always exactly ``chunk_size`` bytes (writes shorter
         than a chunk are zero-padded by the chunker, mirroring a storage
-        system's sector semantics).
+        system's sector semantics).  On the hot path this is a
+        :class:`memoryview` *slice of the caller's payload*, not a copy
+        (DESIGN.md §5.4): hashing and compression consume the buffer
+        protocol directly, and bytes materialize only at the container
+        boundary.  Views compare by value, so equality against ``bytes``
+        behaves as before.
     """
 
-    lba: int
-    data: bytes
+    __slots__ = ("lba", "data")
+
+    def __init__(self, lba: int, data: Union[bytes, memoryview]) -> None:
+        self.lba = lba
+        self.data = data
 
     def __len__(self) -> int:
         return len(self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Chunk):
+            return NotImplemented
+        return self.lba == other.lba and self.data == other.data
+
+    def __repr__(self) -> str:
+        return f"Chunk(lba={self.lba}, data=<{len(self.data)} bytes>)"
+
+    def tobytes(self) -> bytes:
+        """The payload as real ``bytes`` (copies when data is a view)."""
+        data = self.data
+        return data if isinstance(data, bytes) else bytes(data)  # repro-lint: copy-ok explicit materialization helper
 
 
 class FixedChunker:
@@ -75,8 +103,16 @@ class FixedChunker:
     def blocks_per_chunk(self) -> int:
         return self.chunk_size // BLOCK_SIZE
 
-    def split(self, lba: int, payload: bytes) -> List[Chunk]:
-        """Split ``payload`` written at ``lba`` into aligned chunks."""
+    def split(self, lba: int, payload: Buffer) -> List[Chunk]:  # repro-lint: hot-path
+        """Split ``payload`` written at ``lba`` into aligned chunks.
+
+        Zero-copy: each chunk's ``data`` is a :class:`memoryview` slice
+        of ``payload``; only a short final chunk is materialized (it
+        must be zero-padded to ``chunk_size``).  The caller must keep
+        ``payload`` unmodified until the chunks have been consumed —
+        the engine materializes them at container-append time, within
+        the same write call (DESIGN.md §5.4).
+        """
         if lba < 0:
             raise ValueError(f"negative LBA: {lba}")
         if lba % self.blocks_per_chunk != 0:
@@ -86,11 +122,14 @@ class FixedChunker:
             )
         if not payload:
             return []
+        view = memoryview(payload)
+        chunk_size = self.chunk_size
         chunks: List[Chunk] = []
-        for offset in range(0, len(payload), self.chunk_size):
-            piece = payload[offset : offset + self.chunk_size]
-            if len(piece) < self.chunk_size:
-                piece = piece + b"\x00" * (self.chunk_size - len(piece))
+        for offset in range(0, len(view), chunk_size):
+            piece: Union[bytes, memoryview] = view[offset : offset + chunk_size]
+            if len(piece) < chunk_size:
+                # Tail chunk: pad to a full chunk (sector semantics).
+                piece = bytes(piece) + b"\x00" * (chunk_size - len(piece))  # repro-lint: copy-ok zero-padding requires a new buffer
             chunks.append(Chunk(lba + offset // BLOCK_SIZE, piece))
         return chunks
 

@@ -15,13 +15,24 @@ Here compression is a pluggable strategy with two implementations:
 Both produce :class:`CompressedChunk`, which carries the logical size,
 the *stored* size used for capacity/bandwidth accounting, and enough to
 reconstruct the original bytes exactly.
+
+Hot-path discipline (DESIGN.md §5.4): a fresh ``CompressedChunk`` may
+hold a :class:`memoryview` of the *caller's* buffer — the incompressible
+escape path stores the original chunk by reference instead of copying
+it.  The view is only valid until the source buffer changes, so the
+container boundary calls :meth:`CompressedChunk.materialize` to take
+its one defensive copy; everything upstream (hash, DEFLATE, size
+accounting) runs on the view.
 """
 
 from __future__ import annotations
 
+import threading
 import zlib
-from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..parallel import StagePool
 
 __all__ = [
     "CompressedChunk",
@@ -31,8 +42,10 @@ __all__ = [
     "compression_ratio",
 ]
 
+#: Anything a compressor accepts as chunk content.
+Buffer = Union[bytes, bytearray, memoryview]
 
-@dataclass(frozen=True)
+
 class CompressedChunk:
     """A compressed chunk payload plus its size accounting.
 
@@ -40,30 +53,118 @@ class CompressedChunk:
     container on the data SSDs (2-byte field in the PBN-PBA table entry,
     §2.1.4).  ``payload`` round-trips through the matching compressor's
     :meth:`Compressor.decompress`.
+
+    ``payload`` may be a :class:`memoryview` borrowed from the caller's
+    write buffer (the zero-copy incompressible path); ``prefix`` holds
+    any compressor tag bytes that belong in front of it on disk.  The
+    container-format bytes come from :meth:`materialize` — chunks read
+    back from a container always carry materialized ``bytes`` payloads
+    with an empty prefix.
+
+    A ``__slots__`` value class: one is built per unique chunk on the
+    write path, where frozen-dataclass construction costs ~3x a plain
+    ``__init__`` (BENCH_stages.json, ``compress`` stage).
     """
 
-    payload: bytes
-    logical_size: int
-    stored_size: int
+    __slots__ = ("payload", "logical_size", "stored_size", "prefix")
 
-    def __post_init__(self) -> None:
-        if self.logical_size <= 0:
+    def __init__(
+        self,
+        payload: Union[bytes, memoryview],
+        logical_size: int,
+        stored_size: int,
+        prefix: bytes = b"",
+    ) -> None:
+        if logical_size <= 0:
             raise ValueError("logical_size must be positive")
-        if not 0 < self.stored_size <= 0xFFFF:
+        if not 0 < stored_size <= 0xFFFF:
             raise ValueError(
-                f"stored_size {self.stored_size} outside the 2-byte field "
+                f"stored_size {stored_size} outside the 2-byte field "
                 "of a PBN-PBA entry"
             )
+        self.payload = payload
+        self.logical_size = logical_size
+        self.stored_size = stored_size
+        self.prefix = prefix
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressedChunk(logical_size={self.logical_size}, "
+            f"stored_size={self.stored_size}, prefix={self.prefix!r})"
+        )
+
+    def materialize(self) -> bytes:  # repro-lint: hot-path
+        """Container-format ``bytes``: the one sanctioned copy point.
+
+        This is where a borrowed view is frozen into an owned buffer —
+        after this call the chunk's bytes are immune to mutations of the
+        source write buffer (defensive-copy semantics at the container
+        boundary, DESIGN.md §5.4).
+        """
+        if not self.prefix and type(self.payload) is bytes:
+            return self.payload
+        return b"".join((self.prefix, self.payload))  # repro-lint: copy-ok the container boundary's defensive copy
 
 
 class Compressor:
     """Strategy interface: compress/decompress one chunk."""
 
-    def compress(self, data: bytes) -> CompressedChunk:
+    def compress(self, data: Buffer) -> CompressedChunk:
         raise NotImplementedError
 
     def decompress(self, chunk: CompressedChunk) -> bytes:
         raise NotImplementedError
+
+    def compress_many(
+        self,
+        buffers: Sequence[Buffer],
+        pool: Optional["StagePool"] = None,
+    ) -> List[CompressedChunk]:  # repro-lint: hot-path
+        """Compress a batch (the FPGA DEFLATE engine takes batches, §5.2).
+
+        With a parallel :class:`~repro.parallel.StagePool` the batch
+        fans out across its workers (``zlib`` releases the GIL); a
+        process-backed pool additionally requires picklable inputs and
+        outputs, so buffers are materialized before crossing the IPC
+        boundary and results come back with ``bytes`` payloads.
+        Results are in input order either way.
+        """
+        if pool is None:
+            return [self.compress(data) for data in buffers]
+        if pool.requires_pickling:
+            portable = [
+                data if type(data) is bytes else bytes(data)  # repro-lint: copy-ok process pools serialize arguments anyway
+                for data in buffers
+            ]
+            return pool.map(self._compress_portable, portable)
+        return pool.map(self.compress, buffers)
+
+    def _compress_portable(self, data: bytes) -> CompressedChunk:
+        """Compress with a picklable result (views pinned to bytes)."""
+        chunk = self.compress(data)
+        if type(chunk.payload) is bytes:
+            return chunk
+        return CompressedChunk(
+            payload=bytes(chunk.payload),  # repro-lint: copy-ok pickled back across the process boundary
+            logical_size=chunk.logical_size,
+            stored_size=chunk.stored_size,
+            prefix=chunk.prefix,
+        )
+
+    def decompress_many(
+        self,
+        chunks: Sequence[CompressedChunk],
+        pool: Optional["StagePool"] = None,
+        *,
+        min_batch: int = 0,
+    ) -> List[bytes]:  # repro-lint: hot-path
+        """Decompress a batch, in order; ``min_batch`` gates the fan-out
+        (decompression is several times cheaper than compression, so
+        small batches are not worth a dispatch — see the engine's read
+        path)."""
+        if pool is None:
+            return [self.decompress(chunk) for chunk in chunks]
+        return pool.map(self.decompress, chunks, min_batch=min_batch)
 
 
 class ZlibCompressor(Compressor):
@@ -72,38 +173,105 @@ class ZlibCompressor(Compressor):
     Incompressible chunks whose DEFLATE output exceeds the original are
     stored raw (the standard "store uncompressed" escape every real
     system implements), so ``stored_size <= logical_size`` always holds.
+    The raw escape stores a *view* of the caller's buffer — no copy is
+    taken until the container boundary materializes the chunk.
+
+    Two hot-path measures keep ``deflate`` setup off the per-chunk bill
+    (it otherwise costs more than the compression itself on 4-KB
+    inputs):
+
+    * ``window_bits`` sizes the DEFLATE window to 4 KB (``wbits=12``) —
+      a 4-KB chunk can never back-reference further, so the compressed
+      length is identical to the 32-KB default while ``deflateInit``
+      skips most of its window and hash-table setup.
+    * Each thread keeps one *reused* raw-deflate ``compressobj``; every
+      chunk is emitted as complete deflate blocks terminated by a
+      ``Z_FULL_FLUSH``, which resets the dictionary so the output is
+      byte-identical whether the state is fresh or reused.  That makes
+      chunks self-contained (decompressible independently) and keeps
+      serial, thread-pool, and process-pool runs byte-identical.
+
+    The stored form is raw deflate (no zlib header/checksum) behind the
+    ``_DEFLATE`` tag byte.
     """
 
     _RAW = b"\x00"
     _DEFLATE = b"\x01"
 
-    def __init__(self, level: int = 1) -> None:
+    def __init__(self, level: int = 1, window_bits: int = 12) -> None:
         if not 0 <= level <= 9:
             raise ValueError(f"zlib level must be 0-9, got {level}")
+        if not 9 <= window_bits <= 15:
+            raise ValueError(
+                f"zlib window_bits must be 9-15, got {window_bits}"
+            )
         self.level = level
+        self.window_bits = window_bits
+        self._local = threading.local()
 
-    def compress(self, data: bytes) -> CompressedChunk:
-        if not data:
+    def __getstate__(self) -> Dict[str, int]:
+        # Deflate state is neither picklable nor portable; a process
+        # pool rebuilds it lazily per worker from the parameters.
+        return {"level": self.level, "window_bits": self.window_bits}
+
+    def __setstate__(self, state: Dict[str, int]) -> None:
+        self.level = state["level"]
+        self.window_bits = state["window_bits"]
+        self._local = threading.local()
+
+    def _squeezer(self) -> "zlib._Compress":
+        local = self._local
+        try:
+            squeezer: "zlib._Compress" = local.squeezer
+        except AttributeError:
+            squeezer = local.squeezer = zlib.compressobj(
+                self.level, zlib.DEFLATED, -self.window_bits
+            )
+        return squeezer
+
+    def compress(self, data: Buffer) -> CompressedChunk:  # repro-lint: hot-path
+        size = len(data)
+        if not size:
             raise ValueError("cannot compress an empty chunk")
-        squeezed = zlib.compress(data, self.level)
-        if len(squeezed) < len(data):
-            payload = self._DEFLATE + squeezed
-        else:
-            payload = self._RAW + data
+        squeezer = self._squeezer()
+        # One join builds the final tagged container form, so
+        # materialize() is a no-op for the deflate branch.
+        payload = b"".join(
+            (self._DEFLATE, squeezer.compress(data),
+             squeezer.flush(zlib.Z_FULL_FLUSH))
+        )
+        if len(payload) <= size:
+            return CompressedChunk(
+                payload=payload,
+                logical_size=size,
+                stored_size=min(len(payload), size),
+            )
+        # Incompressible: keep a zero-copy reference to the caller's
+        # buffer; the container boundary takes the defensive copy.
+        raw = data if type(data) is bytes else memoryview(data)
         return CompressedChunk(
-            payload=payload,
-            logical_size=len(data),
-            stored_size=min(len(payload), len(data)),
+            payload=raw,
+            logical_size=size,
+            stored_size=size,
+            prefix=self._RAW,
         )
 
-    def decompress(self, chunk: CompressedChunk) -> bytes:
-        tag, body = chunk.payload[:1], chunk.payload[1:]
-        if tag == self._DEFLATE:
-            data = zlib.decompress(body)
-        elif tag == self._RAW:
-            data = body
+    def decompress(self, chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+        if chunk.prefix:
+            tag: Buffer = chunk.prefix
+            body: Buffer = chunk.payload
         else:
-            raise ValueError(f"unknown compression tag {tag!r}")
+            view = memoryview(chunk.payload)
+            tag, body = view[:1], view[1:]
+        if tag == self._DEFLATE:
+            # Cap output at logical_size + 1 so corrupt input cannot
+            # balloon memory, then length-check below.
+            inflater = zlib.decompressobj(-self.window_bits)
+            data = inflater.decompress(body, chunk.logical_size + 1)
+        elif tag == self._RAW:
+            data = bytes(body)  # repro-lint: copy-ok reads return owned bytes
+        else:
+            raise ValueError(f"unknown compression tag {bytes(tag)!r}")  # repro-lint: copy-ok error-path formatting
         if len(data) != chunk.logical_size:
             raise ValueError(
                 f"decompressed to {len(data)} bytes, expected "
@@ -126,16 +294,20 @@ class ModeledCompressor(Compressor):
             raise ValueError(f"ratio must be in (0, 1], got {ratio}")
         self.ratio = ratio
 
-    def compress(self, data: bytes) -> CompressedChunk:
+    def compress(self, data: Buffer) -> CompressedChunk:  # repro-lint: hot-path
         if not data:
             raise ValueError("cannot compress an empty chunk")
         stored = max(1, min(len(data), round(len(data) * self.ratio)))
+        payload = data if type(data) is bytes else memoryview(data)
         return CompressedChunk(
-            payload=data, logical_size=len(data), stored_size=stored
+            payload=payload, logical_size=len(data), stored_size=stored
         )
 
-    def decompress(self, chunk: CompressedChunk) -> bytes:
-        return chunk.payload
+    def decompress(self, chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+        payload = chunk.payload
+        if type(payload) is bytes:
+            return payload
+        return bytes(payload)  # repro-lint: copy-ok reads return owned bytes
 
 
 def compression_ratio(

@@ -16,8 +16,7 @@ reclaim space when overwrites drop the last reference to a chunk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple, Union
 
 __all__ = [
     "CONTAINER_SIZE",
@@ -40,9 +39,13 @@ def _granules(num_bytes: int) -> int:
     return -(-num_bytes // OFFSET_GRANULE)
 
 
-@dataclass(frozen=True)
-class Placement:
-    """Where a stored chunk lives: container + granule offset + size."""
+class Placement(NamedTuple):
+    """Where a stored chunk lives: container + granule offset + size.
+
+    A :class:`~typing.NamedTuple` — one is built per unique chunk on the
+    write path, where tuple construction beats frozen-dataclass field
+    assignment ~2x (BENCH_stages.json, ``pack`` stage).
+    """
 
     container_id: int
     offset: int  #: in OFFSET_GRANULE units (the 2-byte PBA field)
@@ -76,16 +79,26 @@ class Container:
         needed = _granules(stored_size)
         return self._fill_granules + needed <= self.capacity // OFFSET_GRANULE
 
-    def append(self, payload: bytes, stored_size: int) -> Placement:
-        """Pack one chunk; returns its placement within this container."""
+    def append(
+        self, payload: Union[bytes, bytearray, memoryview], stored_size: int
+    ) -> Placement:  # repro-lint: hot-path
+        """Pack one chunk; returns its placement within this container.
+
+        This is the materialization boundary of the zero-copy write path
+        (DESIGN.md §5.4): a view payload is copied into an owned buffer
+        here, so the stored bytes survive any later mutation of the
+        caller's write buffer.
+        """
         if self.sealed:
             raise ValueError("container is sealed")
         if stored_size <= 0:
             raise ValueError("stored_size must be positive")
         if not self.has_room(stored_size):
             raise ValueError("container has no room")
+        if type(payload) is not bytes:
+            payload = bytes(payload)  # repro-lint: copy-ok the container must own its payload bytes
         offset = self._fill_granules
-        self._fill_granules += _granules(stored_size)
+        self._fill_granules += -(-stored_size // OFFSET_GRANULE)
         self._payloads[offset] = payload
         self.live_bytes += stored_size
         self.total_bytes += stored_size
@@ -153,7 +166,9 @@ class ContainerStore:
         self._next_id += 1
         return container
 
-    def append(self, payload: bytes, stored_size: int) -> Placement:
+    def append(
+        self, payload: Union[bytes, bytearray, memoryview], stored_size: int
+    ) -> Placement:  # repro-lint: hot-path
         """Pack a chunk, opening/sealing containers as needed."""
         if self._open is None:
             self._open = self._new_container()

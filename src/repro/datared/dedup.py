@@ -16,26 +16,30 @@ device ledgers from those reports according to their own flow topology.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
+    ContextManager,
     Dict,
     Iterable,
     Iterator,
     List,
+    NamedTuple,
     Optional,
     Protocol,
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 from ..parallel import StagePool
 from ..sync import DisciplinedLock
 from .chunking import BLOCK_SIZE, Chunk, FixedChunker
 from .compression import CompressedChunk, Compressor, ZlibCompressor
-from .container import ContainerStore
+from .container import ContainerStore, Placement
 from .hash_pbn import HashPbnTable
 from .hashing import fingerprint, fingerprint_many
 from .lba_map import LbaMap, PbnAllocator, PbnMap, PbnRecord
@@ -43,6 +47,12 @@ from .lba_map import LbaMap, PbnAllocator, PbnMap, PbnRecord
 #: Distinguishes "LBA never consulted" from "LBA unmapped" in the
 #: batch planner's shadow map.
 _UNSET: Any = object()
+
+#: Multi-chunk reads smaller than this decompress inline even on a
+#: parallel pool: ``zlib.decompress`` of a 4-KB chunk is only a few
+#: microseconds, so small batches lose more to slice dispatch than they
+#: gain from overlap (the PR-2 parallel-read regression).
+READ_FANOUT_MIN_CHUNKS = 128
 
 __all__ = [
     "ChunkOutcome",
@@ -52,7 +62,21 @@ __all__ = [
     "DedupEngine",
     "LbaStore",
     "MetadataObserver",
+    "StageTimer",
+    "READ_FANOUT_MIN_CHUNKS",
 ]
+
+
+class StageTimer(Protocol):
+    """Per-stage instrumentation hook (see :mod:`repro.perf`).
+
+    The engine calls ``stage(name)`` around each hot-path stage when a
+    timer is installed on :attr:`DedupEngine.stage_clock`; with the
+    default ``None`` the hot path pays a single identity check per
+    stage.
+    """
+
+    def stage(self, name: str) -> ContextManager[None]: ...
 
 
 class MetadataObserver(Protocol):
@@ -88,9 +112,14 @@ class LbaStore(Protocol):
     def items(self) -> Iterator[Tuple[int, int]]: ...
 
 
-@dataclass(frozen=True)
-class ChunkOutcome:
-    """What happened to one chunk of a write request."""
+class ChunkOutcome(NamedTuple):
+    """What happened to one chunk of a write request.
+
+    A :class:`~typing.NamedTuple` (not a frozen dataclass): one is built
+    per chunk on the write path and tuple construction is ~2x cheaper
+    than frozen-dataclass field assignment, while keeping value equality
+    and immutability.
+    """
 
     lba: int
     pbn: int
@@ -127,10 +156,13 @@ class WriteReport:
         if not outcome.duplicate:
             self._unique_chunks += 1
 
-    def add(self, outcome: ChunkOutcome) -> None:
+    def add(self, outcome: ChunkOutcome) -> None:  # repro-lint: hot-path
         """Record one chunk outcome, keeping the aggregates current."""
         self.chunks.append(outcome)
-        self._tally(outcome)
+        self._logical_bytes += outcome.logical_size
+        self._stored_bytes += outcome.stored_size
+        if not outcome.duplicate:
+            self._unique_chunks += 1
 
     @property
     def logical_bytes(self) -> int:
@@ -157,6 +189,8 @@ class ReadReport:
     chunks_read: int = 0
     stored_bytes_read: int = 0  #: compressed bytes fetched from containers
     unmapped_chunks: int = 0  #: never-written holes (returned as zeros)
+    cache_hits: int = 0  #: chunks served from the decompressed-read LRU
+    #: (no container fetch, so they add nothing to stored_bytes_read)
 
 
 @dataclass
@@ -213,6 +247,7 @@ class DedupEngine:
         observer: Optional[MetadataObserver] = None,
         lba_map: Optional[LbaStore] = None,
         pool: Optional[StagePool] = None,
+        read_cache_chunks: int = 0,
     ) -> None:
         """``observer`` receives metadata-mutation callbacks
         (``on_new_chunk``/``on_map``/``on_free``) — the hook
@@ -221,7 +256,12 @@ class DedupEngine:
         :class:`~repro.datared.lba_store.PagedLbaStore` (§2.1.4).
         ``pool`` is the shared :class:`~repro.parallel.StagePool` the
         batched paths (:meth:`write_many`, multi-chunk :meth:`read`)
-        fan hashing/compression out on; the default is a serial pool."""
+        fan hashing/compression out on; the default is a serial pool.
+        ``read_cache_chunks`` bounds the decompressed-read LRU (0
+        disables it): hot re-reads of the same PBN skip the container
+        fetch and ``zlib.decompress``.  PBNs are content-addressed while
+        live, but a freed PBN may be *reallocated* for new content, so
+        entries are dropped on release and on GC repoint."""
         #: Guards every piece of mutable metadata below.  Concurrent
         #: callers (the race-stress harness, any future multi-threaded
         #: front end) serialize on it; the single-threaded serving
@@ -240,6 +280,18 @@ class DedupEngine:
         self.stats = ReductionStats()  # guarded-by: self.lock
         self.observer = observer
         self.pool = pool if pool is not None else StagePool(1)
+        if read_cache_chunks < 0:
+            raise ValueError("read_cache_chunks must be >= 0")
+        #: Decompressed-chunk LRU keyed by PBN (None when disabled).
+        self.read_cache_chunks = read_cache_chunks
+        self._read_cache: Optional["OrderedDict[int, bytes]"] = (
+            OrderedDict() if read_cache_chunks > 0 else None
+        )  # guarded-by: self.lock
+        self.read_cache_hits = 0  # guarded-by: self.lock
+        self.read_cache_misses = 0  # guarded-by: self.lock
+        #: Optional per-stage instrumentation (installed by repro.perf);
+        #: ``None`` keeps the hot path uninstrumented.
+        self.stage_clock: Optional[StageTimer] = None
         #: Garbage-collection work counters (see :meth:`collect_garbage`).
         self.gc_containers_reclaimed = 0  # guarded-by: self.lock
         self.gc_bytes_moved = 0  # guarded-by: self.lock
@@ -271,8 +323,15 @@ class DedupEngine:
         return report
 
     # -- write path (Figure 1a) ------------------------------------------------
-    def write(self, lba: int, payload: bytes) -> WriteReport:
-        """Write ``payload`` at chunk-aligned ``lba``; dedupe + compress."""
+    def write(
+        self, lba: int, payload: Union[bytes, bytearray, memoryview]
+    ) -> WriteReport:
+        """Write ``payload`` at chunk-aligned ``lba``; dedupe + compress.
+
+        Zero-copy: chunks are views of ``payload`` until the container
+        boundary materializes them, all within this call (DESIGN.md
+        §5.4) — the caller's buffer may be reused once it returns.
+        """
         with self.lock:
             report = self._new_report()
             sealed_before = self.containers.sealed_count
@@ -283,7 +342,7 @@ class DedupEngine:
 
     def write_many(
         self,
-        requests: Iterable[Tuple[int, bytes]],
+        requests: Iterable[Tuple[int, Union[bytes, bytearray, memoryview]]],
         *,
         digests: Optional[Sequence[bytes]] = None,
     ) -> List[WriteReport]:
@@ -309,25 +368,35 @@ class DedupEngine:
         with self.lock:
             return self._write_many_locked(requests, digests)
 
-    def _write_many_locked(  # repro-lint: holds self.lock
+    def _write_many_locked(  # repro-lint: holds self.lock, hot-path
         self,
-        requests: Iterable[Tuple[int, bytes]],
+        requests: Iterable[Tuple[int, Union[bytes, bytearray, memoryview]]],
         digests: Optional[Sequence[bytes]],
     ) -> List[WriteReport]:
+        clock = self.stage_clock
         requests = list(requests)
         reports = [self._new_report() for _ in requests]
         flat: List[Tuple[int, Chunk]] = []
-        for index, (lba, payload) in enumerate(requests):
-            for chunk in self.chunker.split(lba, payload):
-                flat.append((index, chunk))
+        if clock is None:
+            for index, (lba, payload) in enumerate(requests):
+                for chunk in self.chunker.split(lba, payload):
+                    flat.append((index, chunk))
+        else:
+            with clock.stage("chunk"):
+                for index, (lba, payload) in enumerate(requests):
+                    for chunk in self.chunker.split(lba, payload):
+                        flat.append((index, chunk))
         if not flat:
             return reports
 
         # Stage 1 (parallel): fingerprint every chunk.
         if digests is None:
-            digests = fingerprint_many(
-                [chunk.data for _, chunk in flat], pool=self.pool
-            )
+            views = [chunk.data for _, chunk in flat]
+            if clock is None:
+                digests = fingerprint_many(views, pool=self.pool)
+            else:
+                with clock.stage("hash"):
+                    digests = fingerprint_many(views, pool=self.pool)
         else:
             digests = list(digests)
             if len(digests) != len(flat):
@@ -337,15 +406,32 @@ class DedupEngine:
 
         # Stage 2 (serial): plan which chunks the serial walk will find
         # unique — a pure shadow simulation, no engine state is touched.
-        plan = self._plan_batch([chunk for _, chunk in flat], digests)
+        # With a serial pool there is nothing to fan out, so the plan is
+        # skipped entirely and stage 4 compresses inline (identical
+        # bytes, one less walk per batch); a stage clock keeps the full
+        # decomposition so repro.perf can attribute the compress stage.
+        planned = clock is not None or self.pool.is_parallel
+        plan = (
+            self._plan_batch([chunk for _, chunk in flat], digests)
+            if planned
+            else []
+        )
 
-        # Stage 3 (parallel): compress exactly those chunks.
+        # Stage 3 (parallel): compress exactly those chunks.  The
+        # compressor handles a process-backed pool itself (views must
+        # materialize before crossing the IPC boundary).
         staged: Dict[int, CompressedChunk] = {}
         if plan:
-            packed = self.pool.map(
-                self.compressor.compress,
-                [flat[position][1].data for position in plan],
-            )
+            planned_views = [flat[position][1].data for position in plan]
+            if clock is None:
+                packed = self.compressor.compress_many(
+                    planned_views, pool=self.pool
+                )
+            else:
+                with clock.stage("compress"):
+                    packed = self.compressor.compress_many(
+                        planned_views, pool=self.pool
+                    )
             staged = dict(zip(plan, packed))
 
         # Stage 4 (serial): the unmodified per-chunk write path, with
@@ -370,7 +456,10 @@ class DedupEngine:
             if outcome.duplicate:
                 if precompressed is not None:
                     self.plan_wasted_compressions += 1
-            elif precompressed is None:
+            elif precompressed is None and planned:
+                # Only a computed plan that *missed* a unique counts as
+                # a fallback; the serial fast path compresses inline by
+                # design.
                 self.plan_fallback_compressions += 1
         reports[current].containers_sealed = (
             self.containers.sealed_count - sealed_before
@@ -444,16 +533,21 @@ class DedupEngine:
                 release(old)
         return plan
 
-    def _write_chunk(  # repro-lint: holds self.lock
+    def _write_chunk(  # repro-lint: holds self.lock, hot-path
         self,
         chunk: Chunk,
         report: WriteReport,
         digest: Optional[bytes] = None,
         precompressed: Optional[CompressedChunk] = None,
     ) -> ChunkOutcome:
+        clock = self.stage_clock
         if digest is None:
             digest = fingerprint(chunk.data)
-        existing_pbn = self.table.lookup(digest)
+        if clock is None:
+            existing_pbn = self.table.lookup(digest)
+        else:
+            with clock.stage("lookup"):
+                existing_pbn = self.table.lookup(digest)
         self.stats.logical_bytes += len(chunk.data)
 
         if existing_pbn is not None:
@@ -476,9 +570,31 @@ class DedupEngine:
             if precompressed is not None
             else self.compressor.compress(chunk.data)
         )
-        placement = self.containers.append(
-            compressed.payload, compressed.stored_size
-        )
+        # Materialize here — the container boundary takes the defensive
+        # copy of any view-backed payload (DESIGN.md §5.4).
+        if clock is None:
+            placement = self.containers.append(
+                compressed.materialize(), compressed.stored_size
+            )
+        else:
+            with clock.stage("pack"):
+                placement = self.containers.append(
+                    compressed.materialize(), compressed.stored_size
+                )
+        if clock is None:
+            return self._publish_chunk(chunk, report, digest, compressed, placement)
+        with clock.stage("publish"):
+            return self._publish_chunk(chunk, report, digest, compressed, placement)
+
+    def _publish_chunk(  # repro-lint: holds self.lock, hot-path
+        self,
+        chunk: Chunk,
+        report: WriteReport,
+        digest: bytes,
+        compressed: CompressedChunk,
+        placement: Placement,
+    ) -> ChunkOutcome:
+        """Metadata publication for a freshly packed unique chunk."""
         pbn = self.allocator.allocate()
         self.pbn_map.add(
             pbn,
@@ -527,6 +643,10 @@ class DedupEngine:
         if dead is None:
             return
         # Last reference: reclaim space and retire the fingerprint.
+        # The freed PBN may be reallocated for different content, so any
+        # cached decompressed bytes for it must go *now*.
+        if self._read_cache is not None:
+            self._read_cache.pop(pbn, None)
         self.containers.mark_dead(
             dead.container_id, dead.offset, dead.stored_size
         )
@@ -554,37 +674,64 @@ class DedupEngine:
         with self.lock:
             return self._read_locked(lba, num_chunks)
 
-    def _read_locked(  # repro-lint: holds self.lock
+    def _read_locked(  # repro-lint: holds self.lock, hot-path
         self, lba: int, num_chunks: int
     ) -> ReadReport:
         report = ReadReport()
         step = self.chunker.blocks_per_chunk
-        fetched: List[Optional[CompressedChunk]] = []  # None = hole
+        cache = self._read_cache
+        #: Per position: decompressed bytes (hole zeros / cache hit) or
+        #: None (container fetch pending decompression).
+        slots: List[Optional[bytes]] = []
+        pending: List[CompressedChunk] = []
+        pending_at: List[int] = []  # slot index of each pending chunk
+        pending_pbn: List[int] = []
+        zero = b"\x00" * self.chunker.chunk_size
         for position in range(num_chunks):
             chunk_lba = lba + position * step
             pbn = self.lba_map.get(chunk_lba)
             if pbn is None:
-                fetched.append(None)
+                slots.append(zero)
                 report.unmapped_chunks += 1
                 continue
+            if cache is not None:
+                hit = cache.get(pbn)
+                if hit is not None:
+                    cache.move_to_end(pbn)
+                    self.read_cache_hits += 1
+                    report.cache_hits += 1
+                    report.chunks_read += 1
+                    slots.append(hit)
+                    continue
+                self.read_cache_misses += 1
             record = self.pbn_map.get(pbn)
             payload = self.containers.read(record.container_id, record.offset)
-            fetched.append(CompressedChunk(
+            pending.append(CompressedChunk(
                 payload=payload,
                 logical_size=self.chunker.chunk_size,
                 stored_size=record.stored_size,
             ))
+            pending_at.append(position)
+            pending_pbn.append(pbn)
+            slots.append(None)
             report.chunks_read += 1
             report.stored_bytes_read += record.stored_size
-        mapped = [chunk for chunk in fetched if chunk is not None]
-        if len(mapped) > 1 and self.pool.is_parallel:
-            plain = iter(self.pool.map(self.compressor.decompress, mapped))
-        else:
-            plain = iter([self.compressor.decompress(c) for c in mapped])
-        zero = b"\x00" * self.chunker.chunk_size
-        report.data = b"".join(
-            zero if chunk is None else next(plain) for chunk in fetched
-        )
+        if pending:
+            # Fan out only when the batch is big enough to amortize the
+            # dispatch (min_batch): small reads decompress inline.
+            plain = self.compressor.decompress_many(
+                pending,
+                pool=self.pool if self.pool.is_parallel else None,
+                min_batch=READ_FANOUT_MIN_CHUNKS,
+            )
+            for position, pbn, data in zip(pending_at, pending_pbn, plain):
+                slots[position] = data
+                if cache is not None:
+                    cache[pbn] = data
+            if cache is not None:
+                while len(cache) > self.read_cache_chunks:
+                    cache.popitem(last=False)
+        report.data = b"".join(slots)  # type: ignore[arg-type]
         return report
 
     # -- maintenance -------------------------------------------------------------
@@ -621,6 +768,11 @@ class DedupEngine:
                     self.pbn_map.repoint(
                         pbn, placement.container_id, placement.offset
                     )
+                    # Conservative read-LRU hygiene: the moved chunk's
+                    # bytes are identical, but drop the entry anyway so
+                    # the cache can never outlive a compaction decision.
+                    if self._read_cache is not None:
+                        self._read_cache.pop(pbn, None)
                     self.gc_bytes_moved += record.stored_size
                 self.containers.drop(victim.container_id)
                 reclaimed += 1

@@ -13,10 +13,14 @@ needs: 32-byte fingerprints and 6-byte physical block numbers (§2.1.3).
 from __future__ import annotations
 
 import hashlib
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..parallel import StagePool
+
+#: Anything the fingerprint functions accept: ``hashlib`` consumes the
+#: buffer protocol directly, so chunk views need no materialization.
+Buffer = Union[bytes, bytearray, memoryview]
 
 __all__ = [
     "FINGERPRINT_SIZE",
@@ -40,24 +44,32 @@ PBN_SIZE = 6
 MAX_PBN = (1 << (8 * PBN_SIZE)) - 1
 
 
-def fingerprint(data: bytes) -> bytes:
-    """SHA-256 fingerprint of a chunk's content."""
-    return hashlib.sha256(data).digest()
+_sha256 = hashlib.sha256
+
+
+def fingerprint(data: Buffer) -> bytes:
+    """SHA-256 fingerprint of a chunk's content (views hash in place)."""
+    return _sha256(data).digest()
 
 
 def fingerprint_many(
-    chunks: Iterable[bytes], pool: Optional["StagePool"] = None
-) -> List[bytes]:
+    chunks: Iterable[Buffer], pool: Optional["StagePool"] = None
+) -> List[bytes]:  # repro-lint: hot-path
     """Fingerprint a batch of chunks (the NIC hashes per batch, §5.4).
 
     ``pool`` is an optional :class:`~repro.parallel.StagePool`; when it
     is parallel the batch fans out across its worker threads
     (``hashlib`` releases the GIL on 4-KB buffers), otherwise the batch
-    is hashed inline.  Results are in input order either way.
+    is hashed inline.  A *process*-backed pool is deliberately not used
+    here: SHA-256 over 4 KB costs a few microseconds, far below the
+    pickling cost of shipping the buffer to another process, and chunk
+    views cannot cross the IPC boundary without materializing.  Results
+    are in input order either way.
     """
-    if pool is not None:
+    if pool is not None and not pool.requires_pickling:
         return pool.map(fingerprint, chunks)
-    return [fingerprint(data) for data in chunks]
+    sha256 = _sha256
+    return [sha256(data).digest() for data in chunks]
 
 
 def bucket_index(digest: bytes, num_buckets: int) -> int:

@@ -17,7 +17,6 @@ see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
@@ -37,7 +36,6 @@ LBA_PBN_ENTRY_SIZE = 6
 PBN_PBA_ENTRY_SIZE = 10
 
 
-@dataclass
 class PbnRecord:
     """Physical placement and liveness of one stored chunk.
 
@@ -45,19 +43,42 @@ class PbnRecord:
     layer so it fits the 2-byte field; ``stored_size`` is the compressed
     byte count.  ``fingerprint`` is retained so the Hash-PBN entry can be
     removed when the last reference drops.
+
+    A mutable ``__slots__`` class (``refcount`` changes on every ref /
+    unref, and GC repoints ``container_id``/``offset``): one is built
+    per unique chunk on the write path, where dataclass construction
+    costs ~3x a plain ``__init__`` (BENCH_stages.json, ``publish``
+    stage).
     """
 
-    container_id: int
-    offset: int
-    stored_size: int
-    fingerprint: bytes
-    refcount: int = 1
+    __slots__ = (
+        "container_id", "offset", "stored_size", "fingerprint", "refcount"
+    )
 
-    def __post_init__(self) -> None:
-        if self.refcount < 0:
+    def __init__(
+        self,
+        container_id: int,
+        offset: int,
+        stored_size: int,
+        fingerprint: bytes,
+        refcount: int = 1,
+    ) -> None:
+        if refcount < 0:
             raise ValueError("refcount cannot be negative")
-        if self.stored_size <= 0:
+        if stored_size <= 0:
             raise ValueError("stored_size must be positive")
+        self.container_id = container_id
+        self.offset = offset
+        self.stored_size = stored_size
+        self.fingerprint = fingerprint
+        self.refcount = refcount
+
+    def __repr__(self) -> str:
+        return (
+            f"PbnRecord(container_id={self.container_id}, "
+            f"offset={self.offset}, stored_size={self.stored_size}, "
+            f"refcount={self.refcount})"
+        )
 
 
 class LbaMap:

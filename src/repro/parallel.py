@@ -1,10 +1,10 @@
-"""Shared thread-pool fan-out for the GIL-releasing pipeline stages.
+"""Shared executor fan-out for the GIL-releasing pipeline stages.
 
 The paper makes fingerprinting and compression fast by moving them off
 the host CPU onto dedicated engines — SHA-256 on the NIC (§5.4) and
 DEFLATE on the compression FPGA (§5.2) — while the Hash-PBN resolution
 stays a serial, order-dependent stage.  The software analogue of those
-engines is a thread pool: CPython's ``hashlib.sha256`` and ``zlib``
+engines is a worker pool: CPython's ``hashlib.sha256`` and ``zlib``
 both release the GIL on 4-KB buffers, so hashing and compressing many
 chunks across threads genuinely overlaps on multi-core hosts.
 
@@ -13,12 +13,20 @@ storage stack (the engine's hash fan-out, its compress fan-out, and the
 read path's decompress fan-out).  It is deliberately small:
 
 * ``parallelism <= 1`` builds a *no-op* pool — every ``map`` runs
-  inline, no threads are ever created, and the serial data path is
+  inline, no workers are ever created, and the serial data path is
   byte-for-byte the pre-existing one.
 * :meth:`map` preserves input order and fans work out in **contiguous
   slices** rather than one task per item, because dispatching a 4-KB
   chunk to an executor costs a meaningful fraction of hashing it;
   slicing amortizes the dispatch over dozens of chunks.
+* ``backend="process"`` swaps the thread pool for a
+  :class:`~concurrent.futures.ProcessPoolExecutor`: true multi-core
+  fan-out with no GIL contention at all, at the price of pickling every
+  argument and result across the IPC boundary.  Stages that hold
+  :class:`memoryview` references must materialize them first — the
+  :attr:`requires_pickling` flag tells them so (see
+  ``Compressor.compress_many``).  Worth it only when per-item work
+  clearly exceeds the pickling cost (compression yes, SHA-256 no).
 
 The pool carries no storage state, so it is safe to share across
 engines; all metadata mutation stays on the caller's thread (see the
@@ -27,13 +35,16 @@ engines; all metadata mutation stays on the caller's thread (see the
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 __all__ = ["StagePool"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Accepted executor backends.
+_BACKENDS = ("thread", "process")
 
 
 def _run_slice(fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
@@ -46,8 +57,14 @@ class StagePool:
     Parameters
     ----------
     parallelism:
-        Worker-thread count.  ``1`` (the default) disables threading
+        Worker count.  ``1`` (the default) disables the executor
         entirely — the pool becomes a transparent serial executor.
+    backend:
+        ``"thread"`` (default) or ``"process"``.  Threads exploit the
+        GIL-releasing stages with near-zero dispatch cost; processes
+        buy GIL-free scaling but pickle all traffic, so callables and
+        payloads must be picklable (module-level functions or bound
+        methods of picklable objects, ``bytes`` not ``memoryview``).
     slices_per_worker:
         How many slices each worker should receive per :meth:`map`
         call; more slices balance uneven work at the cost of dispatch
@@ -63,38 +80,72 @@ class StagePool:
         self,
         parallelism: int = 1,
         *,
+        backend: str = "thread",
         slices_per_worker: int = 4,
         min_slice_items: int = 8,
     ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
         if slices_per_worker < 1:
             raise ValueError("slices_per_worker must be at least 1")
         if min_slice_items < 1:
             raise ValueError("min_slice_items must be at least 1")
         self.parallelism = max(1, int(parallelism))
+        self.backend = backend
         self.slices_per_worker = slices_per_worker
         self.min_slice_items = min_slice_items
-        self._executor: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(
-                max_workers=self.parallelism,
-                thread_name_prefix="repro-stage",
-            )
-            if self.parallelism > 1
-            else None
-        )
+        self._executor: Optional[Executor] = None
+        if self.parallelism > 1:
+            if backend == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.parallelism
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.parallelism,
+                    thread_name_prefix="repro-stage",
+                )
 
     @property
     def is_parallel(self) -> bool:
-        """Whether this pool actually owns worker threads."""
+        """Whether this pool actually owns workers."""
         return self._executor is not None
 
-    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> List[_R]:
+    @property
+    def requires_pickling(self) -> bool:
+        """Whether mapped callables/items cross an IPC boundary.
+
+        Stages holding :class:`memoryview` references must materialize
+        them to ``bytes`` before mapping through such a pool.
+        """
+        return self._executor is not None and self.backend == "process"
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Iterable[_T],
+        *,
+        min_batch: int = 0,
+    ) -> List[_R]:
         """Apply ``fn`` to every item, returning results in input order.
 
         ``fn`` must be pure with respect to shared storage state — the
         pool gives no ordering between items, only between stages.
+
+        ``min_batch`` is an inline threshold: batches smaller than it
+        run on the calling thread even when the pool is parallel.
+        Stages whose per-item work is cheap (decompression) use it so
+        small batches never pay dispatch overhead for sub-microsecond
+        wins — the cause of the PR-2 parallel *read* regression.
         """
         materialized = items if isinstance(items, list) else list(items)
-        if self._executor is None or len(materialized) <= 1:
+        if (
+            self._executor is None
+            or len(materialized) <= 1
+            or len(materialized) < min_batch
+        ):
             return [fn(item) for item in materialized]
         num_slices = min(
             len(materialized),
@@ -117,7 +168,7 @@ class StagePool:
         return results
 
     def shutdown(self) -> None:
-        """Stop the worker threads (idempotent; the pool is unusable
+        """Stop the workers (idempotent; the pool is unusable
         afterwards)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
@@ -135,4 +186,7 @@ class StagePool:
         self.shutdown()
 
     def __repr__(self) -> str:
-        return f"StagePool(parallelism={self.parallelism})"
+        return (
+            f"StagePool(parallelism={self.parallelism}, "
+            f"backend={self.backend!r})"
+        )

@@ -1,0 +1,301 @@
+"""Per-stage performance harness for the engine hot path.
+
+``python -m repro.perf`` drives the canonical write workload through a
+:class:`~repro.datared.dedup.DedupEngine` with a :class:`StageClock`
+installed and emits ``BENCH_stages.json``: wall-clock nanoseconds and
+allocation deltas for every hot-path stage —
+
+========  ==========================================================
+stage     meaning
+========  ==========================================================
+chunk     ``FixedChunker.split`` (zero-copy view slicing)
+hash      SHA-256 fingerprinting (``fingerprint_many``)
+lookup    Hash-PBN table probes for every chunk
+compress  DEFLATE of the chunks planned unique
+pack      container append (the materialization boundary)
+publish   PBN allocation + metadata/table/LBA-map publication
+other     everything unattributed (planner, reports, loop glue)
+========  ==========================================================
+
+Timings and allocations come from two separate passes over identical
+workloads: ``tracemalloc`` slows the interpreter severely, so the
+timing pass runs uninstrumented and the allocation pass re-runs with
+tracing on.  Each stage reports the *minimum* over ``--rounds`` timing
+passes, which strips scheduler noise the same way ``timeit`` does.
+
+The numbers answer "where do the cycles go" for future optimisation
+PRs; the CI bench-smoke job uploads the JSON so the trajectory is
+visible per commit (see DESIGN.md §5.4 for how to read it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import socket
+import subprocess
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .datared.compression import ZlibCompressor
+from .datared.dedup import DedupEngine
+from .parallel import StagePool
+
+__all__ = ["StageClock", "bench_meta", "run_stage_bench", "main"]
+
+#: Canonical workload shape (mirrors benchmarks/test_throughput.py).
+CHUNK = 4096
+BATCH_CHUNKS = 64
+DUPLICATE_FRACTION = 0.25
+SEED = 0xF1D8
+
+
+class _StageSpan:
+    """Reusable timing span for one stage (non-reentrant)."""
+
+    __slots__ = ("_clock", "_name", "_t0")
+
+    def __init__(self, clock: "StageClock", name: str) -> None:
+        self._clock = clock
+        self._name = name
+        self._t0 = 0
+
+    def __enter__(self) -> None:
+        self._t0 = time.perf_counter_ns()
+
+    def __exit__(self, *exc: object) -> None:
+        clock = self._clock
+        delta = time.perf_counter_ns() - self._t0
+        clock.ns[self._name] = clock.ns.get(self._name, 0) + delta
+        clock.calls[self._name] = clock.calls.get(self._name, 0) + 1
+
+
+class _MemorySpan:
+    """Reusable allocation span for one stage (needs tracemalloc on)."""
+
+    __slots__ = ("_clock", "_name", "_m0")
+
+    def __init__(self, clock: "StageClock", name: str) -> None:
+        self._clock = clock
+        self._name = name
+        self._m0 = 0
+
+    def __enter__(self) -> None:
+        self._m0 = tracemalloc.get_traced_memory()[0]
+
+    def __exit__(self, *exc: object) -> None:
+        clock = self._clock
+        delta = tracemalloc.get_traced_memory()[0] - self._m0
+        clock.alloc[self._name] = clock.alloc.get(self._name, 0) + delta
+        clock.calls[self._name] = clock.calls.get(self._name, 0) + 1
+
+
+class StageClock:
+    """Per-stage accumulator the engine's hot path reports into.
+
+    Satisfies :class:`repro.datared.dedup.StageTimer`.  ``memory=True``
+    records net-allocation deltas via :mod:`tracemalloc` (the caller
+    must have started tracing) instead of wall time.
+    """
+
+    def __init__(self, memory: bool = False) -> None:
+        self.memory = memory
+        self.ns: Dict[str, int] = {}
+        self.alloc: Dict[str, int] = {}
+        self.calls: Dict[str, int] = {}
+        self._spans: Dict[str, Any] = {}
+
+    def stage(self, name: str) -> Any:
+        span = self._spans.get(name)
+        if span is None:
+            span = (
+                _MemorySpan(self, name)
+                if self.memory
+                else _StageSpan(self, name)
+            )
+            self._spans[name] = span
+        return span
+
+
+def bench_meta() -> Dict[str, Any]:
+    """Provenance stamp for every ``BENCH_*.json`` this repo emits."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except OSError:
+        sha = "unknown"
+    return {
+        "git_sha": sha,
+        "hostname": socket.gethostname(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def make_workload(num_batches: int, seed: int = SEED) -> List[List[bytes]]:
+    """Half-random/half-zero chunk batches with a duplicate pool."""
+    rng = random.Random(seed)
+    pool = [rng.randbytes(CHUNK // 2) + bytes(CHUNK // 2) for _ in range(8)]
+    batches = []
+    for _ in range(num_batches):
+        batch = []
+        for _ in range(BATCH_CHUNKS):
+            if rng.random() < DUPLICATE_FRACTION:
+                batch.append(pool[rng.randrange(len(pool))])
+            else:
+                batch.append(rng.randbytes(CHUNK // 2) + bytes(CHUNK // 2))
+        batches.append(batch)
+    return batches
+
+
+def _drive(
+    batches: List[List[bytes]], clock: Optional[StageClock], parallelism: int
+) -> int:
+    """One full write pass; returns total wall nanoseconds."""
+    with StagePool(parallelism) as pool:
+        engine = DedupEngine(
+            num_buckets=1 << 14, compressor=ZlibCompressor(), pool=pool
+        )
+        engine.stage_clock = clock
+        start = time.perf_counter_ns()
+        lba = 0
+        for batch in batches:
+            requests = []
+            for data in batch:
+                requests.append((lba, data))
+                lba += engine.chunker.blocks_per_chunk
+            engine.write_many(requests)
+        engine.flush()
+        return time.perf_counter_ns() - start
+
+
+def run_stage_bench(
+    num_batches: int = 48, rounds: int = 3, parallelism: int = 1
+) -> Dict[str, Any]:
+    """Run the per-stage benchmark; returns the BENCH_stages payload."""
+    batches = make_workload(num_batches)
+    chunks = num_batches * BATCH_CHUNKS
+
+    # Timing pass: min over rounds, per stage and for the total.
+    best_total = None
+    best_clock = None
+    for _ in range(rounds):
+        clock = StageClock()
+        total = _drive(batches, clock, parallelism)
+        if best_total is None or total < best_total:
+            best_total, best_clock = total, clock
+    assert best_clock is not None and best_total is not None
+
+    # Allocation pass: one traced run (tracemalloc distorts timing, so
+    # its numbers never mix into the ns fields).
+    memory_clock = StageClock(memory=True)
+    tracemalloc.start()
+    try:
+        _drive(batches, memory_clock, parallelism)
+    finally:
+        tracemalloc.stop()
+
+    staged_ns = sum(best_clock.ns.values())
+    stages: Dict[str, Any] = {}
+    for name in ("chunk", "hash", "lookup", "compress", "pack", "publish"):
+        ns = best_clock.ns.get(name, 0)
+        stages[name] = {
+            "ns": ns,
+            "calls": best_clock.calls.get(name, 0),
+            "ns_per_chunk": round(ns / chunks, 1),
+            "alloc_bytes": memory_clock.alloc.get(name, 0),
+        }
+    stages["other"] = {
+        "ns": best_total - staged_ns,
+        "calls": 0,
+        "ns_per_chunk": round((best_total - staged_ns) / chunks, 1),
+        "alloc_bytes": 0,
+    }
+
+    moved = chunks * CHUNK
+    return {
+        "benchmark": "engine-stage-breakdown",
+        "meta": bench_meta(),
+        "parallelism": parallelism,
+        "chunk_size": CHUNK,
+        "batch_chunks": BATCH_CHUNKS,
+        "num_batches": num_batches,
+        "duplicate_fraction": DUPLICATE_FRACTION,
+        "rounds": rounds,
+        "total_ns": best_total,
+        "write_mb_s": round(moved / 1e6 / (best_total / 1e9), 2),
+        "note": (
+            "ns fields are the minimum-over-rounds uninstrumented "
+            "timing pass; alloc_bytes come from a separate "
+            "tracemalloc pass and must not be compared with the "
+            "timings"
+        ),
+        "stages": stages,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Per-stage hot-path benchmark (emits BENCH_stages.json)",
+    )
+    parser.add_argument(
+        "--batches", type=int, default=None,
+        help="number of 64-chunk batches (default 48, or 6 with --smoke)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="timing passes; each stage reports its minimum (default 3)",
+    )
+    parser.add_argument(
+        "--parallelism", type=int, default=1,
+        help="StagePool worker threads (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_stages.json"),
+        help="output path (default ./BENCH_stages.json)",
+    )
+    args = parser.parse_args(argv)
+    num_batches = args.batches
+    if num_batches is None:
+        num_batches = 6 if args.smoke else 48
+
+    payload = run_stage_bench(
+        num_batches=num_batches, rounds=args.rounds,
+        parallelism=args.parallelism,
+    )
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    chunks = num_batches * BATCH_CHUNKS
+    print(
+        f"engine stage breakdown ({chunks} chunks, "
+        f"parallelism={payload['parallelism']}, "
+        f"{payload['write_mb_s']} MB/s, min of {args.rounds} rounds)"
+    )
+    print(f"  {'stage':<9}{'us/chunk':>10}{'share':>8}{'alloc KB':>10}")
+    for name, stage in payload["stages"].items():
+        share = stage["ns"] / payload["total_ns"] if payload["total_ns"] else 0
+        print(
+            f"  {name:<9}{stage['ns_per_chunk'] / 1000:>10.2f}"
+            f"{share:>7.0%}{stage['alloc_bytes'] / 1024:>10.1f}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,14 +101,18 @@ class ReductionSystem:
         table = HashPbnTable(num_buckets, store=self.table_cache)
         containers = ContainerStore(on_seal=self._on_container_seal)
         #: Shared fan-out pool for the GIL-releasing stages; serial (no
-        #: threads) unless ``config.parallelism`` > 1.
-        self.pool = StagePool(self.config.parallelism)
+        #: workers) unless ``config.parallelism`` > 1.  The backend
+        #: (``config.executor``) picks threads or processes.
+        self.pool = StagePool(
+            self.config.parallelism, backend=self.config.executor
+        )
         self.engine = DedupEngine(
             table=table,
             compressor=compressor if compressor is not None else ZlibCompressor(),
             containers=containers,
             chunk_size=self.config.chunk_size,
             pool=self.pool,
+            read_cache_chunks=self.config.read_cache_chunks,
         )
 
         #: One lock for the whole stack: the engine's.  It is reentrant,
@@ -151,7 +155,13 @@ class ReductionSystem:
     # -- client API --------------------------------------------------------------------
     def write(self, lba: int, payload: bytes) -> None:
         """Client write at chunk-aligned ``lba`` (ack is immediate;
-        the backend runs when a batch fills)."""
+        the backend runs when a batch fills).
+
+        Staged chunks hold *views* of ``payload`` until their batch is
+        processed (DESIGN.md §5.4), so the buffer must not be mutated
+        after submission — the serving layer hands immutable ``bytes``
+        decoded from the wire, which satisfies this for free.
+        """
         chunks = self.engine.chunker.split(lba, payload)
         with self.lock:
             for chunk in chunks:

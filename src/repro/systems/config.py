@@ -102,4 +102,13 @@ class SystemConfig:
     #: the data path fully serial (no threads are created); results are
     #: identical at every setting.
     parallelism: int = 1
+    #: Executor backend for the stage pool: ``"thread"`` (default;
+    #: exploits the GIL-releasing stages with cheap dispatch) or
+    #: ``"process"`` (GIL-free multi-core fan-out at IPC/pickling cost —
+    #: see DESIGN.md §5.4 for the trade-off).  Results are identical.
+    executor: str = "thread"
+    #: Decompressed-read LRU capacity in chunks (0 disables).  Hot
+    #: re-reads served from the cache skip the container fetch and
+    #: ``zlib.decompress``; entries are invalidated on free/GC.
+    read_cache_chunks: int = 0
     cpu: CpuCosts = field(default_factory=CpuCosts)

@@ -331,6 +331,115 @@ class TestR005SwallowedErrors:
 # -- machinery ----------------------------------------------------------------
 
 
+class TestR006HotPathCopies:
+    FIXTURE = src(
+        """
+        def pack(payload):  # repro-lint: hot-path
+            owned = bytes(payload)
+            extra = bytearray(payload)
+            pinned = payload.tobytes()
+            head = payload[:16]
+            return owned, extra, pinned, head
+        """
+    )
+
+    def test_detects_copies_in_hot_path(self):
+        findings = lint_source(self.FIXTURE, module="repro.datared.fixture")
+        assert rules_of(findings) == ["R006"] * 4
+        assert lines_of(findings, "R006") == [3, 4, 5, 6]
+
+    def test_cold_functions_are_not_flagged(self):
+        clean = src(
+            """
+            def pack(payload):
+                return bytes(payload), payload.tobytes(), payload[:16]
+            """
+        )
+        assert lint_source(clean, module="repro.datared.fixture") == []
+
+    def test_memoryview_slices_are_zero_copy(self):
+        clean = src(
+            """
+            def split(payload):  # repro-lint: hot-path
+                view = memoryview(payload)
+                piece = view[0:4096]
+                tag, body = view[:1], view[1:]
+                direct = memoryview(payload)[8:]
+                return piece, tag, body, direct
+            """
+        )
+        assert lint_source(clean, module="repro.datared.fixture") == []
+
+    def test_copy_ok_reason_sanctions_a_copy(self):
+        clean = src(
+            """
+            def pack(payload):  # repro-lint: hot-path
+                return bytes(payload)  # repro-lint: copy-ok container boundary
+            """
+        )
+        assert lint_source(clean, module="repro.datared.fixture") == []
+
+    def test_bare_copy_ok_without_reason_does_not_suppress(self):
+        planted = src(
+            """
+            def pack(payload):  # repro-lint: hot-path
+                return bytes(payload)  # repro-lint: copy-ok
+            """
+        )
+        findings = lint_source(planted, module="repro.datared.fixture")
+        assert rules_of(findings) == ["R006"]
+
+    def test_combined_holds_and_hot_path_annotation(self):
+        planted = src(
+            """
+            class Engine:
+                def _write(  # repro-lint: holds self.lock, hot-path
+                    self, payload
+                ):
+                    return bytes(payload)
+            """
+        )
+        findings = lint_source(planted, module="repro.datared.fixture")
+        assert rules_of(findings) == ["R006"]
+
+    def test_marker_on_closing_paren_line_of_signature(self):
+        planted = src(
+            """
+            def compress_many(
+                buffers,
+            ):  # repro-lint: hot-path
+                return [bytes(data) for data in buffers]
+            """
+        )
+        findings = lint_source(planted, module="repro.datared.fixture")
+        assert rules_of(findings) == ["R006"]
+
+    def test_nested_helper_inherits_hotness(self):
+        planted = src(
+            """
+            def outer(payload):  # repro-lint: hot-path
+                def helper():
+                    return payload.tobytes()
+                return helper()
+            """
+        )
+        findings = lint_source(planted, module="repro.datared.fixture")
+        assert rules_of(findings) == ["R006"]
+
+    def test_rule_is_scoped_to_repro_modules(self):
+        findings = lint_source(self.FIXTURE, module="tests.fixture")
+        assert "R006" not in rules_of(findings)
+
+    def test_suppression(self):
+        planted = src(
+            """
+            def pack(payload):  # repro-lint: hot-path
+                return bytes(payload)  # repro-lint: disable=R006
+            """
+        )
+        assert lint_source(planted, module="repro.datared.fixture") == []
+
+
 class TestMachinery:
     def test_syntax_error_becomes_a_finding(self):
         findings = lint_source("def broken(:\n", module="repro.net.fixture")

@@ -44,7 +44,9 @@ def shared_payloads(seed: int, count: int = 6):
 
 
 def test_stress_engine_is_race_free_at_parallelism_8(detector, tmp_path):
-    engine = DedupEngine(num_buckets=2048)
+    # read_cache_chunks puts the decompressed-read LRU (and its
+    # invalidation on overwrite/GC) under the same contention.
+    engine = DedupEngine(num_buckets=2048, read_cache_chunks=64)
     detector.watch_engine(engine)
     payloads = shared_payloads(0xACE)  # shared → cross-thread dedup hits
     barrier = threading.Barrier(PARALLELISM)

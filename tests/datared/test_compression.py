@@ -61,6 +61,44 @@ class TestZlibCompressor:
         assert 0.45 < chunk.stored_size / len(data) < 0.60
 
 
+class TestZeroCopyIncompressiblePath:
+    """DESIGN.md §5.4: the raw escape stores a *view* of the caller's
+    buffer; the one sanctioned copy happens at the container boundary
+    via ``materialize()``."""
+
+    def test_raw_escape_borrows_the_callers_buffer(self, rng):
+        compressor = ZlibCompressor()
+        source = bytearray(rng.randbytes(4096))
+        chunk = compressor.compress(source)
+        assert chunk.prefix == ZlibCompressor._RAW
+        assert type(chunk.payload) is memoryview
+        assert chunk.payload.obj is source  # zero-copy, not a snapshot
+
+    def test_materialize_freezes_the_bytes_before_mutation(self, rng):
+        compressor = ZlibCompressor()
+        source = bytearray(rng.randbytes(4096))
+        original = bytes(source)
+        chunk = compressor.compress(source)
+        container_bytes = chunk.materialize()  # the defensive copy
+        source[:16] = b"\xff" * 16  # caller reuses its buffer
+        stored = CompressedChunk(
+            payload=container_bytes,
+            logical_size=chunk.logical_size,
+            stored_size=chunk.stored_size,
+        )
+        assert compressor.decompress(stored) == original
+
+    def test_unmaterialized_view_tracks_mutation(self, rng):
+        """The flip side: until materialize(), the chunk *is* the
+        caller's buffer.  This pins down the ownership rule the engine
+        relies on — copies happen exactly once, at container append."""
+        compressor = ZlibCompressor()
+        source = bytearray(rng.randbytes(4096))
+        chunk = compressor.compress(source)
+        source[:16] = b"\xee" * 16
+        assert compressor.decompress(chunk) == bytes(source)
+
+
 class TestModeledCompressor:
     def test_reports_modeled_size_keeps_payload(self):
         compressor = ModeledCompressor(0.5)

@@ -118,6 +118,30 @@ class TestReadPath:
         for lba, data in latest.items():
             assert engine.read(lba, 1).data == data
 
+    def test_stored_bytes_survive_source_buffer_mutation(self, rng):
+        """The incompressible path stores a *view* of the caller's write
+        buffer (DESIGN.md §5.4); the container's append must take its
+        defensive copy before ``write`` returns, or a caller reusing its
+        buffer would corrupt stored data."""
+        engine = fresh_engine()
+        source = bytearray(rng.randbytes(CHUNK))  # incompressible
+        original = bytes(source)
+        engine.write(0, source)
+        source[:] = b"\xa5" * CHUNK  # caller reuses the buffer
+        assert engine.read(0, 1).data == original
+
+    def test_stored_views_survive_batched_write_buffer_reuse(self, rng):
+        """Same guarantee for ``write_many``: every chunk is a zero-copy
+        slice of one batch buffer, and none may alias it after return."""
+        engine = fresh_engine()
+        source = bytearray(
+            rng.randbytes(CHUNK) + rng.randbytes(CHUNK // 2) + bytes(CHUNK // 2)
+        )
+        original = bytes(source)
+        engine.write_many([(0, source)])
+        source[:] = b"\x5a" * len(source)
+        assert engine.read(0, 2).data == original
+
 
 class TestStats:
     def test_reduction_factor(self, rng):

@@ -21,13 +21,15 @@ from repro.systems.server import StorageServer, SystemKind
 CHUNK = 4096
 
 
-def run_workload(kind: SystemKind, parallelism: int):
+def run_workload(kind: SystemKind, parallelism: int, executor: str = "thread"):
     storage = StorageServer.build(
         kind,
         num_buckets=2048,
         cache_lines=128,
         compressor=ZlibCompressor(),
-        config=SystemConfig(parallelism=parallelism, batch_chunks=16),
+        config=SystemConfig(
+            parallelism=parallelism, batch_chunks=16, executor=executor
+        ),
     )
     rng = random.Random(0xD1FF)
     pool = [
@@ -89,3 +91,30 @@ def test_parallelism_leaves_every_ledger_untouched(kind):
         assert check_system(parallel_storage.system) == []
     finally:
         parallel_storage.system.pool.shutdown()
+
+
+@pytest.mark.parametrize("kind", [SystemKind.FIDR, SystemKind.BASELINE])
+def test_process_executor_leaves_every_ledger_untouched(kind):
+    """A ``ProcessPoolExecutor`` backend must be as invisible as threads.
+
+    This is the strongest identity check available: chunk payloads are
+    pickled across the IPC boundary, compressed in worker *processes*
+    with fresh deflate state, and the results pickled back — and every
+    byte, report, and device-ledger charge must still match the serial
+    run (the full-flush framing makes fresh and reused deflate state
+    emit identical bytes).
+    """
+    serial_storage, serial_reads = run_workload(kind, parallelism=1)
+    process_storage, process_reads = run_workload(
+        kind, parallelism=2, executor="process"
+    )
+    try:
+        assert serial_reads == process_reads
+        serial_view = ledger_view(serial_storage)
+        process_view = ledger_view(process_storage)
+        for key in serial_view:
+            assert serial_view[key] == process_view[key], key
+        assert check_system(serial_storage.system) == []
+        assert check_system(process_storage.system) == []
+    finally:
+        process_storage.system.pool.shutdown()
