@@ -4,7 +4,9 @@ Not a paper figure — this tracks the Python serving stack's own
 throughput: a fleet of pipelined clients driving one
 :class:`~repro.net.aserver.AsyncProtocolServer` over real TCP sockets,
 with every read verified byte-exact.  Reported numbers are the load
-generator's client-side view (ops/s, MB/s, p50/p99 latency).
+generator's client-side view (ops/s, MB/s, p50/p99 latency) plus the
+server's own ``repro.stats/v1`` snapshot scraped over the wire with
+the protocol's STATS op.
 """
 
 import pytest
@@ -39,6 +41,14 @@ def test_serving_mixed_workload(regenerate, kind):
     result = regenerate(experiment)
     assert result.total_ops == 16 * 60
     assert result.throughput_ops > 0
+    # The server-side numbers arrive as the scraped STATS snapshot —
+    # the single stats schema every consumer shares.
+    snapshot = result.server_stats
+    assert snapshot is not None and snapshot["schema"] == "repro.stats/v1"
+    gauges = snapshot["gauges"]
+    assert gauges["engine.logical_bytes"] > 0
+    assert 0.0 <= gauges["engine.dedup_ratio"] <= 1.0
+    assert gauges["server.responses_sent"] >= result.total_ops
 
 
 def test_serving_write_burst(regenerate):
@@ -57,3 +67,6 @@ def test_serving_write_burst(regenerate):
 
     result = regenerate(experiment)
     assert result.write_ops == 8 * 80
+    snapshot = result.server_stats
+    assert snapshot is not None
+    assert snapshot["gauges"]["server.max_queue_depth"] <= 8

@@ -66,15 +66,25 @@ async def main() -> None:
         print()
         print(result.render())
         print()
-        metrics = server.metrics
-        print("server-side view")
-        print(f"  connections      {metrics.connections_total} "
-              f"({metrics.connections_open} still open)")
-        print(f"  responses        {metrics.responses_sent} "
-              f"({metrics.bytes_out / 1e6:.2f} MB out, "
-              f"{metrics.bytes_in / 1e6:.2f} MB in)")
-        print(f"  queue high-water {metrics.max_queue_depth}/32 "
+        # One scrape of the v2 STATS op: the same repro.stats/v1 shape
+        # the loadgen, the benchmarks, and `python -m repro.obs top`
+        # all consume — no side-channel into server internals.
+        async with await AsyncProtocolClient.connect(
+            server.host, server.port
+        ) as observer:
+            snapshot = await observer.stats()
+        gauges = snapshot["gauges"]
+        print(f"server-side view ({snapshot['schema']} over the wire)")
+        print(f"  connections      {gauges['server.connections_total']:.0f} "
+              f"({gauges['server.connections_open']:.0f} still open)")
+        print(f"  responses        {gauges['server.responses_sent']:.0f} "
+              f"({gauges['server.bytes_out'] / 1e6:.2f} MB out, "
+              f"{gauges['server.bytes_in'] / 1e6:.2f} MB in)")
+        print(f"  queue high-water {gauges['server.max_queue_depth']:.0f}/32 "
               "(bounded: readers pause when full)")
+        print(f"  v1 downgrades    "
+              f"{snapshot['counters']['proto.v1_downgrades_total']} "
+              "(the legacy session above)")
     stats = storage.reduction_stats
     print(f"  reduction        {stats.logical_bytes / 1e6:.1f} MB logical "
           f"-> {stats.live_stored_bytes / 1e6:.1f} MB stored "

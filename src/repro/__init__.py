@@ -32,14 +32,19 @@ Subpackages
     device accounting.
 ``repro.workloads``
     FIU-like trace synthesis and the paper's Table-3 workload recipe.
+``repro.obs``
+    Runtime observability: metrics registry, trace spans, the
+    ``repro.stats/v1`` snapshot behind the STATS op and
+    ``python -m repro.obs top`` (DESIGN.md §5.5).
 ``repro.analysis``
     Projection, bottleneck-throughput and cost models.
 ``repro.experiments``
     One module per paper table/figure.
 """
 
-from .datared import DedupEngine
+from .datared import DedupEngine, EngineStats, WriteOptions
 from .errors import AlignmentError, CapacityError, ProtocolError, ReproError
+from .obs.metrics import MetricsRegistry, get_registry
 from .systems import BaselineSystem, FidrSystem, StorageServer, SystemKind  # noqa: E501
 
 __version__ = "1.0.0"
@@ -49,10 +54,14 @@ __all__ = [
     "BaselineSystem",
     "CapacityError",
     "DedupEngine",
+    "EngineStats",
     "FidrSystem",
+    "MetricsRegistry",
     "ProtocolError",
     "ReproError",
     "StorageServer",
     "SystemKind",
+    "WriteOptions",
+    "get_registry",
     "__version__",
 ]

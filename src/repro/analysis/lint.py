@@ -30,6 +30,14 @@ R006   No byte copies (``bytes(…)``/``bytearray(…)``/``.tobytes()``/
        payload bytes exactly once, at the container boundary
        (DESIGN.md §5.4).  Each sanctioned copy carries a same-line
        ``# repro-lint: copy-ok <reason>``.
+R007   No ad-hoc instrumentation in the data/serving path
+       (``repro.datared``/``net``/``systems``/``cache``/``hw``/
+       ``parallel``/``sync``, CLI ``__main__`` modules exempt):
+       raw ``time.*`` timing calls and ``print``-style metric
+       reporting bypass the one observability surface — record
+       durations through :mod:`repro.obs.trace` spans and publish
+       numbers through the :mod:`repro.obs.metrics` registry so the
+       STATS op sees them (DESIGN.md §5.5).
 =====  ==============================================================
 
 Suppress a single line with ``# repro-lint: disable=R001`` (comma
@@ -73,6 +81,7 @@ RULES: Dict[str, str] = {
     "R004": "float-tainted arithmetic on an integral ledger field",
     "R005": "bare or silently swallowed exception in the serving layer",
     "R006": "byte copy inside a hot-path function without a copy-ok reason",
+    "R007": "ad-hoc timing/print instrumentation outside repro.obs",
 }
 
 _DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
@@ -134,6 +143,33 @@ _NONDETERMINISTIC_CALLS = frozenset(
 #: ``random.Random(seed)`` instances are deterministic and allowed; the
 #: module-global functions share hidden unseeded state and are not.
 _NONDETERMINISTIC_PREFIXES = ("np.random.", "numpy.random.")
+
+#: Raw timing sources R007 bans in the instrumented path — durations
+#: belong in :mod:`repro.obs.trace` spans, where the registry's
+#: histograms (and hence the STATS op) can see them.
+_R007_TIMING_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+    }
+)
+#: Packages whose runtime code R007 covers.  Workloads, perf harnesses,
+#: analysis tooling and ``__main__`` CLIs are presentation layers and
+#: stay free to time and print.
+_R007_PACKAGES = (
+    "repro.datared",
+    "repro.net",
+    "repro.systems",
+    "repro.cache",
+    "repro.hw",
+    "repro.parallel",
+    "repro.sync",
+)
 
 #: Target names R004 treats as integral ledgers.
 _COUNTER_RE = re.compile(
@@ -456,6 +492,11 @@ class _RuleWalker(ast.NodeVisitor):
             module.startswith("repro.net") or module == "repro.systems.server"
         )
         self.check_copies = "R006" in rules and module.startswith("repro")
+        self.check_obs = (
+            "R007" in rules
+            and module.startswith(_R007_PACKAGES)
+            and not module.endswith("__main__")
+        )
         self.name_based_guards = module.startswith("repro")
         self.class_stack: List[str] = []
         #: (function name, held guards, body-is-directly-async)
@@ -636,6 +677,24 @@ class _RuleWalker(ast.NodeVisitor):
                         node,
                         f"nondeterministic call {name}(); use the simulator "
                         "clock or an injected random.Random(seed)",
+                    )
+            if self.check_obs:
+                if name in _R007_TIMING_CALLS:
+                    self._emit(
+                        "R007",
+                        node,
+                        f"ad-hoc timing call {name}() in the instrumented "
+                        "path; record the duration through a repro.obs "
+                        "span (trace.span/trace.observe) so the registry's "
+                        "histograms and the STATS op see it",
+                    )
+                elif name == "print":
+                    self._emit(
+                        "R007",
+                        node,
+                        "print-style metric reporting in the instrumented "
+                        "path; publish through the repro.obs.metrics "
+                        "registry (counter/gauge/histogram) instead",
                     )
         self.generic_visit(node)
 
@@ -869,7 +928,7 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Concurrency/determinism contract linter (rules R001-R006).",
+        description="Concurrency/determinism contract linter (rules R001-R007).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(

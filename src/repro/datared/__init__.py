@@ -30,7 +30,15 @@ from .compression import (
     compression_ratio,
 )
 from .container import CONTAINER_SIZE, OFFSET_GRANULE, Container, ContainerStore, Placement
-from .dedup import ChunkOutcome, DedupEngine, ReadReport, ReductionStats, WriteReport
+from .dedup import (
+    ChunkOutcome,
+    DedupEngine,
+    EngineStats,
+    ReadReport,
+    ReductionStats,
+    WriteOptions,
+    WriteReport,
+)
 from .hash_pbn import (
     BUCKET_CAPACITY,
     BUCKET_SIZE,
@@ -85,6 +93,7 @@ __all__ = [
     "Container",
     "ContainerStore",
     "DedupEngine",
+    "EngineStats",
     "ENTRY_SIZE",
     "FINGERPRINT_SIZE",
     "FixedChunker",
@@ -105,6 +114,7 @@ __all__ = [
     "ReadReport",
     "ReductionStats",
     "RmwStats",
+    "WriteOptions",
     "WriteReport",
     "Bucket",
     "BucketStore",

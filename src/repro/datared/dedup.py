@@ -15,9 +15,11 @@ device ledgers from those reports according to their own flow topology.
 
 from __future__ import annotations
 
+import math
 import os
+import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -35,6 +37,7 @@ from typing import (
     Union,
 )
 
+from ..obs.metrics import MetricsRegistry, get_registry
 from ..parallel import StagePool
 from ..sync import DisciplinedLock
 from .chunking import BLOCK_SIZE, Chunk, FixedChunker
@@ -56,6 +59,8 @@ READ_FANOUT_MIN_CHUNKS = 128
 
 __all__ = [
     "ChunkOutcome",
+    "WriteOptions",
+    "EngineStats",
     "WriteReport",
     "ReadReport",
     "ReductionStats",
@@ -65,6 +70,84 @@ __all__ = [
     "StageTimer",
     "READ_FANOUT_MIN_CHUNKS",
 ]
+
+
+@dataclass(frozen=True)
+class WriteOptions:
+    """Typed per-call options for the engine's write entry points.
+
+    Replaces the kwarg sprawl that accreted on :meth:`DedupEngine.write`
+    / :meth:`DedupEngine.write_many` (PR 5 API consolidation): every
+    per-call knob lives here, construction-time knobs stay on the engine
+    constructor, and the old keywords survive only as deprecated shims.
+
+    ``digests``
+        Precomputed SHA-256 fingerprints (e.g. from a NIC that hashed on
+        ingest), one per 4-KB chunk in flattened request order; the hash
+        stage is skipped.  Length must match the chunk count exactly.
+    ``flush``
+        Seal the open container once the batch has been written — the
+        batch-boundary behaviour systems otherwise issue as a separate
+        :meth:`DedupEngine.flush` call.
+    """
+
+    digests: Optional[Sequence[bytes]] = None
+    flush: bool = False
+
+
+#: Shared default so hot paths compare identity instead of building an
+#: options object per call.
+_NO_OPTIONS = WriteOptions()
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Point-in-time, lock-consistent snapshot of one engine's ledgers.
+
+    The typed return of :meth:`DedupEngine.stats_snapshot` — all raw
+    fields are integral (R004), all ratios are derived properties, and
+    the whole object is taken under the engine lock so the fields are
+    mutually consistent (reading ``engine.stats`` plus the loose
+    counters one by one is not).
+    """
+
+    logical_bytes: int
+    unique_logical_bytes: int
+    stored_bytes: int
+    reclaimed_stored_bytes: int
+    duplicate_chunks: int
+    unique_chunks: int
+    read_cache_hits: int
+    read_cache_misses: int
+    gc_containers_reclaimed: int
+    gc_bytes_moved: int
+    plan_fallback_compressions: int
+    plan_wasted_compressions: int
+    containers_sealed: int
+
+    @property
+    def live_stored_bytes(self) -> int:
+        return self.stored_bytes - self.reclaimed_stored_bytes
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of written chunks removed by deduplication."""
+        total = self.duplicate_chunks + self.unique_chunks
+        return self.duplicate_chunks / total if total else 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Stored fraction of unique bytes (0.5 = halved)."""
+        if self.unique_logical_bytes == 0:
+            return 1.0
+        return self.stored_bytes / self.unique_logical_bytes
+
+    @property
+    def reduction_factor(self) -> float:
+        """Logical bytes written per stored byte (higher is better)."""
+        if self.stored_bytes == 0:
+            return float("inf") if self.logical_bytes else 1.0
+        return self.logical_bytes / self.stored_bytes
 
 
 class StageTimer(Protocol):
@@ -248,6 +331,7 @@ class DedupEngine:
         lba_map: Optional[LbaStore] = None,
         pool: Optional[StagePool] = None,
         read_cache_chunks: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         """``observer`` receives metadata-mutation callbacks
         (``on_new_chunk``/``on_map``/``on_free``) — the hook
@@ -261,7 +345,11 @@ class DedupEngine:
         disables it): hot re-reads of the same PBN skip the container
         fetch and ``zlib.decompress``.  PBNs are content-addressed while
         live, but a freed PBN may be *reallocated* for new content, so
-        entries are dropped on release and on GC repoint."""
+        entries are dropped on release and on GC repoint.
+        ``registry`` is the :class:`~repro.obs.metrics.MetricsRegistry`
+        this engine publishes ``engine.*`` gauges into at snapshot time
+        (default: the process registry); publication is pull-based via a
+        weakly-held collector, so the hot path never touches it."""
         #: Guards every piece of mutable metadata below.  Concurrent
         #: callers (the race-stress harness, any future multi-threaded
         #: front end) serialize on it; the single-threaded serving
@@ -302,6 +390,10 @@ class DedupEngine:
         #: shadow walk diverges from execution — a correctness canary.
         self.plan_fallback_compressions = 0  # guarded-by: self.lock
         self.plan_wasted_compressions = 0  # guarded-by: self.lock
+        #: Pull-model publication: the registry holds this collector via
+        #: WeakMethod, so a garbage-collected engine drops out on its own.
+        self.registry = registry if registry is not None else get_registry()
+        self.registry.register_collector(self._publish_metrics)
         #: When race detection is armed, every WriteReport this engine
         #: creates is wrapped too (their aggregates are single-writer).
         self._watch_report: Optional[Callable[..., Any]] = None
@@ -322,27 +414,120 @@ class DedupEngine:
             report = self._watch_report(report, name="write-report")
         return report
 
+    def _active_clock(self) -> Optional[StageTimer]:
+        """The stage clock, or ``None`` when it reports itself inactive.
+
+        The hook behind the zero-overhead tracing contract: an installed
+        :class:`~repro.obs.trace.TracedStages` exposes ``active=False``
+        while tracing is disabled, and the hot paths then take the exact
+        clock-less fast path (no context managers, no batch shadow-plan)
+        they would with no clock at all.  Clocks without an ``active``
+        attribute (``repro.perf``'s ``StageClock``) are always live.
+        """
+        clock = self.stage_clock
+        if clock is None or not getattr(clock, "active", True):
+            return None
+        return clock
+
+    def stats_snapshot(self) -> EngineStats:
+        """A lock-consistent :class:`EngineStats` of every ledger."""
+        with self.lock:
+            stats = self.stats
+            return EngineStats(
+                logical_bytes=stats.logical_bytes,
+                unique_logical_bytes=stats.unique_logical_bytes,
+                stored_bytes=stats.stored_bytes,
+                reclaimed_stored_bytes=stats.reclaimed_stored_bytes,
+                duplicate_chunks=stats.duplicate_chunks,
+                unique_chunks=stats.unique_chunks,
+                read_cache_hits=self.read_cache_hits,
+                read_cache_misses=self.read_cache_misses,
+                gc_containers_reclaimed=self.gc_containers_reclaimed,
+                gc_bytes_moved=self.gc_bytes_moved,
+                plan_fallback_compressions=self.plan_fallback_compressions,
+                plan_wasted_compressions=self.plan_wasted_compressions,
+                containers_sealed=self.containers.sealed_count,
+            )
+
+    def _publish_metrics(self, registry: MetricsRegistry) -> None:
+        """Collector: export the ledgers as ``engine.*`` gauges.
+
+        Integral ledgers publish as integer gauges; the derived ratios
+        are the only floats, clamped finite so the snapshot stays
+        strict-JSON (``reduction_factor`` is ``inf`` before the first
+        stored byte).
+        """
+        snap = self.stats_snapshot()
+        registry.gauge("engine.logical_bytes").set(snap.logical_bytes)
+        registry.gauge("engine.unique_logical_bytes").set(
+            snap.unique_logical_bytes
+        )
+        registry.gauge("engine.stored_bytes").set(snap.stored_bytes)
+        registry.gauge("engine.live_stored_bytes").set(snap.live_stored_bytes)
+        registry.gauge("engine.reclaimed_stored_bytes").set(
+            snap.reclaimed_stored_bytes
+        )
+        registry.gauge("engine.duplicate_chunks").set(snap.duplicate_chunks)
+        registry.gauge("engine.unique_chunks").set(snap.unique_chunks)
+        registry.gauge("engine.read_cache.hits").set(snap.read_cache_hits)
+        registry.gauge("engine.read_cache.misses").set(snap.read_cache_misses)
+        registry.gauge("engine.gc.containers_reclaimed").set(
+            snap.gc_containers_reclaimed
+        )
+        registry.gauge("engine.gc.bytes_moved").set(snap.gc_bytes_moved)
+        registry.gauge("engine.plan.fallback_compressions").set(
+            snap.plan_fallback_compressions
+        )
+        registry.gauge("engine.plan.wasted_compressions").set(
+            snap.plan_wasted_compressions
+        )
+        registry.gauge("engine.containers_sealed").set(snap.containers_sealed)
+        registry.gauge("engine.dedup_ratio").set(snap.dedup_ratio)
+        registry.gauge("engine.compression_ratio").set(snap.compression_ratio)
+        reduction = snap.reduction_factor
+        if not math.isfinite(reduction):
+            reduction = 0.0
+        registry.gauge("engine.reduction_factor").set(reduction)
+
     # -- write path (Figure 1a) ------------------------------------------------
     def write(
-        self, lba: int, payload: Union[bytes, bytearray, memoryview]
+        self,
+        lba: int,
+        payload: Union[bytes, bytearray, memoryview],
+        options: Optional[WriteOptions] = None,
     ) -> WriteReport:
         """Write ``payload`` at chunk-aligned ``lba``; dedupe + compress.
 
         Zero-copy: chunks are views of ``payload`` until the container
         boundary materializes them, all within this call (DESIGN.md
         §5.4) — the caller's buffer may be reused once it returns.
+
+        Per-call behaviour (precomputed digests, trailing flush) is
+        configured by ``options``; see :class:`WriteOptions`.
         """
+        if options is None:
+            options = _NO_OPTIONS
         with self.lock:
-            report = self._new_report()
-            sealed_before = self.containers.sealed_count
-            for chunk in self.chunker.split(lba, payload):
-                report.add(self._write_chunk(chunk, report))
-            report.containers_sealed = self.containers.sealed_count - sealed_before
+            if options.digests is not None:
+                report = self._write_many_locked(
+                    [(lba, payload)], list(options.digests)
+                )[0]
+            else:
+                report = self._new_report()
+                sealed_before = self.containers.sealed_count
+                for chunk in self.chunker.split(lba, payload):
+                    report.add(self._write_chunk(chunk, report))
+                report.containers_sealed = (
+                    self.containers.sealed_count - sealed_before
+                )
+            if options.flush:
+                self.containers.seal_open()
             return report
 
     def write_many(
         self,
         requests: Iterable[Tuple[int, Union[bytes, bytearray, memoryview]]],
+        options: Optional[WriteOptions] = None,
         *,
         digests: Optional[Sequence[bytes]] = None,
     ) -> List[WriteReport]:
@@ -359,21 +544,48 @@ class DedupEngine:
         event order — are identical to calling :meth:`write` per
         request; with a serial pool the code path *is* the serial one.
 
-        ``digests`` optionally supplies precomputed SHA-256 fingerprints
-        (e.g. from a NIC that hashed on ingest), one per 4-KB chunk in
-        flattened request order; the hash stage is then skipped.
+        Per-call behaviour is configured by ``options``
+        (:class:`WriteOptions`): precomputed digests skip the hash
+        stage, ``flush`` seals the open container after the batch.  The
+        ``digests=`` keyword is a deprecated alias for
+        ``WriteOptions(digests=...)`` and will be removed.
 
         Returns one :class:`WriteReport` per request, in order.
         """
+        if digests is not None:
+            warnings.warn(
+                "DedupEngine.write_many(digests=...) is deprecated; "
+                "pass WriteOptions(digests=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if options is not None and options.digests is not None:
+                raise ValueError(
+                    "digests passed both via WriteOptions and the "
+                    "deprecated keyword"
+                )
+            options = (
+                WriteOptions(digests=digests)
+                if options is None
+                else replace(options, digests=digests)
+            )
+        if options is None:
+            options = _NO_OPTIONS
         with self.lock:
-            return self._write_many_locked(requests, digests)
+            reports = self._write_many_locked(
+                requests,
+                list(options.digests) if options.digests is not None else None,
+            )
+            if options.flush:
+                self.containers.seal_open()
+            return reports
 
     def _write_many_locked(  # repro-lint: holds self.lock, hot-path
         self,
         requests: Iterable[Tuple[int, Union[bytes, bytearray, memoryview]]],
         digests: Optional[Sequence[bytes]],
     ) -> List[WriteReport]:
-        clock = self.stage_clock
+        clock = self._active_clock()
         requests = list(requests)
         reports = [self._new_report() for _ in requests]
         flat: List[Tuple[int, Chunk]] = []
@@ -540,7 +752,7 @@ class DedupEngine:
         digest: Optional[bytes] = None,
         precompressed: Optional[CompressedChunk] = None,
     ) -> ChunkOutcome:
-        clock = self.stage_clock
+        clock = self._active_clock()
         if digest is None:
             digest = fingerprint(chunk.data)
         if clock is None:
@@ -672,7 +884,11 @@ class DedupEngine:
         if lba % self.chunker.blocks_per_chunk != 0:
             raise ValueError(f"LBA {lba} is not chunk-aligned")
         with self.lock:
-            return self._read_locked(lba, num_chunks)
+            clock = self._active_clock()
+            if clock is None:
+                return self._read_locked(lba, num_chunks)
+            with clock.stage("read"):
+                return self._read_locked(lba, num_chunks)
 
     def _read_locked(  # repro-lint: holds self.lock, hot-path
         self, lba: int, num_chunks: int

@@ -25,6 +25,7 @@ import asyncio
 import sys
 from typing import List, Optional
 
+from ..obs import trace as _trace
 from ..systems.config import SystemConfig
 from ..systems.server import StorageServer, SystemKind
 from .aserver import AsyncProtocolServer
@@ -79,6 +80,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 async def _serve(args: argparse.Namespace) -> int:
+    # Serving turns tracing on by default: the per-stage histograms and
+    # spans are what `python -m repro.obs top` renders, and the overhead
+    # is bounded by the perf harness's obs_overhead gate.
+    _trace.set_enabled(not args.no_trace)
     storage = _build_storage(args)
     async with AsyncProtocolServer(
         storage,
@@ -92,9 +97,16 @@ async def _serve(args: argparse.Namespace) -> int:
         print(
             f"serving {args.system} on {server.host}:{server.port} "
             f"(parallelism={args.parallelism}, "
-            f"offload={not args.no_offload})",
+            f"offload={not args.no_offload}, "
+            f"tracing={_trace.is_enabled()})",
             flush=True,
         )
+        if _trace.is_enabled():
+            print(
+                "watch live metrics with: python -m repro.obs top "
+                f"--host {server.host} --port {server.port}",
+                flush=True,
+            )
         try:
             await asyncio.Event().wait()
         except asyncio.CancelledError:
@@ -122,13 +134,27 @@ def _bench(args: argparse.Namespace) -> int:
         write_split_chunks=args.write_split_chunks,
     )
     print(result.render())
-    stats = storage.reduction_stats
-    total = stats.unique_chunks + stats.duplicate_chunks
-    print(
-        f"  server-side      {stats.unique_chunks} uniques / "
-        f"{total} chunks, dedup {stats.dedup_ratio:.2f}, "
-        f"compression {stats.compression_ratio:.2f}"
-    )
+    # Server-side numbers come from the scraped STATS snapshot — the
+    # same repro.stats/v1 shape every consumer sees — with the local
+    # storage object only as a fallback when the scrape failed.
+    if result.server_stats is not None:
+        gauges = result.server_stats.get("gauges", {})
+        uniques = gauges.get("engine.unique_chunks", 0)
+        total = uniques + gauges.get("engine.duplicate_chunks", 0)
+        print(
+            f"  server-side      {uniques} uniques / "
+            f"{total} chunks, dedup "
+            f"{gauges.get('engine.dedup_ratio', 0.0):.2f}, compression "
+            f"{gauges.get('engine.compression_ratio', 1.0):.2f}"
+        )
+    else:
+        stats = storage.reduction_stats
+        total = stats.unique_chunks + stats.duplicate_chunks
+        print(
+            f"  server-side      {stats.unique_chunks} uniques / "
+            f"{total} chunks, dedup {stats.dedup_ratio:.2f}, "
+            f"compression {stats.compression_ratio:.2f}"
+        )
     return 0
 
 
@@ -143,6 +169,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_common(serve)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    serve.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable trace spans (metrics registry and the STATS op "
+        "stay live; only the per-stage span histograms go dark)",
+    )
 
     bench = commands.add_parser(
         "bench", help="drive an in-process server with the load generator"

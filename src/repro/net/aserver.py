@@ -42,11 +42,14 @@ on the event-loop thread exactly as before.
 from __future__ import annotations
 
 import asyncio
+import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from ..datared.chunking import BLOCK_SIZE
+from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry, get_registry
 from ..errors import ErrorCode, ProtocolError, ReproError, \
     encode_error_payload, error_code_for, raise_for_error_payload
 from ..systems.server import StorageServer
@@ -140,6 +143,7 @@ class AsyncProtocolServer:
         workers: int = 2,
         offload: bool = True,
         write_split_chunks: int = 64,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if queue_depth < 1:
             raise ValueError("queue_depth must be at least 1")
@@ -148,7 +152,8 @@ class AsyncProtocolServer:
         if write_split_chunks < 1:
             raise ValueError("write_split_chunks must be at least 1")
         self.storage = storage
-        self.endpoint = ProtocolServer(storage)
+        self.registry = registry if registry is not None else get_registry()
+        self.endpoint = ProtocolServer(storage, registry=self.registry)
         self.host = host
         self.port = port
         self.queue_depth = queue_depth
@@ -161,6 +166,23 @@ class AsyncProtocolServer:
         self._workers: list = []
         self._connections: set = set()
         self._backend: Optional[ThreadPoolExecutor] = None
+        # Pull-model publication of ServerMetrics (WeakMethod-held, so a
+        # dropped server disappears from the registry on its own).
+        self.registry.register_collector(self._publish_metrics)
+
+    def _publish_metrics(self, registry: MetricsRegistry) -> None:
+        """Collector: export :class:`ServerMetrics` as ``server.*`` gauges."""
+        m = self.metrics
+        registry.gauge("server.connections_total").set(m.connections_total)
+        registry.gauge("server.connections_open").set(m.connections_open)
+        registry.gauge("server.requests_enqueued").set(m.requests_enqueued)
+        registry.gauge("server.responses_sent").set(m.responses_sent)
+        registry.gauge("server.frames_rejected").set(m.frames_rejected)
+        registry.gauge("server.bytes_in").set(m.bytes_in)
+        registry.gauge("server.bytes_out").set(m.bytes_out)
+        registry.gauge("server.max_queue_depth").set(m.max_queue_depth)
+        registry.gauge("server.backend_offloaded").set(m.backend_offloaded)
+        registry.gauge("server.writes_split").set(m.writes_split)
 
     # -- lifecycle ---------------------------------------------------------------
     async def start(self) -> "AsyncProtocolServer":
@@ -225,7 +247,9 @@ class AsyncProtocolServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        connection = _Connection(writer=writer)
+        connection = _Connection(
+            writer=writer, decoder=FrameDecoder(self.registry)
+        )
         connection.idle.set()
         self._connections.add(connection)
         self.metrics.connections_total += 1
@@ -256,9 +280,12 @@ class AsyncProtocolServer:
     ) -> None:
         connection.pending += 1
         connection.idle.clear()
+        # The enqueue timestamp rides the queue so the draining worker
+        # can attribute queue-wait time; 0 means tracing was off.
+        enqueued_ns = _trace.now_ns() if _trace.is_enabled() else 0
         # Backpressure: this await parks the reader while the queue is
         # full, which stops the socket reads for this connection.
-        await self._queue.put((connection, event))
+        await self._queue.put((connection, event, enqueued_ns))
         self.metrics.requests_enqueued += 1
         depth = self._queue.qsize()
         if depth > self.metrics.max_queue_depth:
@@ -267,8 +294,12 @@ class AsyncProtocolServer:
     # -- worker pool -------------------------------------------------------------
     async def _worker(self) -> None:
         while True:
-            connection, event = await self._queue.get()
+            connection, event, enqueued_ns = await self._queue.get()
             try:
+                if enqueued_ns and _trace.is_enabled():
+                    _trace.observe(
+                        "server.queue.wait", _trace.now_ns() - enqueued_ns
+                    )
                 if isinstance(event, ProtocolError):
                     self.metrics.frames_rejected += 1
                     response = encode_frame(
@@ -279,7 +310,8 @@ class AsyncProtocolServer:
                     )
                 else:
                     try:
-                        response = await self._dispatch(event)
+                        with _trace.span("server.dispatch", op=event.op):
+                            response = await self._dispatch(event)
                     except Exception as error:  # never kill a worker
                         response = encode_reply(
                             event, Op.ERROR, event.lba,
@@ -288,8 +320,9 @@ class AsyncProtocolServer:
                             ),
                         )
                 try:
-                    connection.writer.write(response)
-                    await connection.writer.drain()
+                    with _trace.span("server.reply"):
+                        connection.writer.write(response)
+                        await connection.writer.drain()
                     self.metrics.responses_sent += 1
                     self.metrics.bytes_out += len(response)
                 except (ConnectionResetError, BrokenPipeError):
@@ -374,13 +407,20 @@ class AsyncProtocolClient:
         writer: asyncio.StreamWriter,
         *,
         version: int = 2,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if version not in (1, 2):
             raise ProtocolError(f"unknown protocol version {version}")
         self.version = version
+        reg = registry if registry is not None else get_registry()
+        #: Reader-task deaths (EOF, decode error, socket loss) used to be
+        #: observable only as failed futures; now they are counted.
+        self._reader_deaths = reg.counter("proto.client.reader_deaths_total")
+        if version == 1:
+            reg.counter("proto.client.v1_sessions_total").inc()
         self._reader = reader
         self._writer = writer
-        self._decoder = FrameDecoder()
+        self._decoder = FrameDecoder(reg)
         self._next_request_id = 0
         self._by_id: Dict[int, asyncio.Future] = {}
         self._fifo: list = []
@@ -391,10 +431,15 @@ class AsyncProtocolClient:
 
     @classmethod
     async def connect(
-        cls, host: str, port: int, *, version: int = 2
+        cls,
+        host: str,
+        port: int,
+        *,
+        version: int = 2,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "AsyncProtocolClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, version=version)
+        return cls(reader, writer, version=version, registry=registry)
 
     async def __aenter__(self) -> "AsyncProtocolClient":
         return self
@@ -422,16 +467,20 @@ class AsyncProtocolClient:
             while True:
                 data = await self._reader.read(_READ_CHUNK)
                 if not data:
+                    self._reader_deaths.inc()
                     self._fail_pending(ProtocolError("server closed connection"))
                     return
                 for event in self._decoder.events(data):
                     if isinstance(event, ProtocolError):
+                        self._reader_deaths.inc()
                         self._fail_pending(event)
                         return
                     self._complete(event)
         except OSError as error:
+            self._reader_deaths.inc()
             self._fail_pending(ProtocolError(f"connection lost: {error}"))
         except asyncio.CancelledError:
+            # Deliberate close(), not a death — no counter.
             raise
         finally:
             # Once the reader is gone nothing can ever complete a
@@ -501,3 +550,14 @@ class AsyncProtocolClient:
         if response.op != Op.READ_ACK:
             raise_for_error_payload(response.payload, "read failed")
         return response.payload
+
+    async def stats(self) -> Dict[str, Any]:
+        """Scrape the server's live ``repro.stats/v1`` snapshot (v2-only;
+        a v1 client fails locally with :class:`ProtocolError`)."""
+        if self.version < 2:
+            raise ProtocolError("STATS requires protocol version 2")
+        response = await self._request(Op.STATS, 0)
+        if response.op != Op.STATS_ACK:
+            raise_for_error_payload(response.payload, "stats failed")
+        payload: Dict[str, Any] = json.loads(response.payload.decode("utf-8"))
+        return payload

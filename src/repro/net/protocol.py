@@ -29,11 +29,14 @@ is bidirectionally compatible with v1 peers.
 
 from __future__ import annotations
 
+import json
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
+from .. import obs as _obs
+from ..obs.metrics import MetricsRegistry
 from ..errors import (
     ErrorCode,
     ProtocolError,
@@ -77,9 +80,17 @@ class Op:
     WRITE_ACK = 3
     READ_ACK = 4
     ERROR = 5
+    #: v2-only: scrape the server's live metrics snapshot
+    #: (``repro.stats/v1`` JSON).  A v1 STATS request is answered with a
+    #: structured ``UNSUPPORTED_OP`` error, never a wedge.
+    STATS = 6
+    STATS_ACK = 7
 
 
-_KNOWN_OPS = (Op.WRITE, Op.READ, Op.WRITE_ACK, Op.READ_ACK, Op.ERROR)
+_KNOWN_OPS = (
+    Op.WRITE, Op.READ, Op.WRITE_ACK, Op.READ_ACK, Op.ERROR,
+    Op.STATS, Op.STATS_ACK,
+)
 
 
 @dataclass(frozen=True)
@@ -160,10 +171,20 @@ class FrameDecoder:
     decoder scan forward to the next plausible header, and a CRC
     mismatch or unknown op discards exactly the offending frame, so the
     next :meth:`feed` resumes decoding from clean bytes.
+
+    Protocol-level events that used to vanish into the resync logic are
+    counted into ``registry`` (default: the process registry):
+    ``proto.resync_total`` for corruption recoveries and
+    ``proto.frames_v1_total`` / ``proto.frames_v2_total`` for decoded
+    frames by wire version.
     """
 
-    def __init__(self):
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
         self._buffer = bytearray()
+        reg = registry if registry is not None else _obs.get_registry()
+        self._resync_total = reg.counter("proto.resync_total")
+        self._frames_v1 = reg.counter("proto.frames_v1_total")
+        self._frames_v2 = reg.counter("proto.frames_v2_total")
 
     def feed(self, data: bytes) -> List[Frame]:
         """Append stream bytes; returns every complete frame.
@@ -197,6 +218,7 @@ class FrameDecoder:
 
     def _resync(self, skip: int) -> None:
         """Drop ``skip`` bytes, then everything up to the next magic."""
+        self._resync_total.inc()
         del self._buffer[:skip]
         for index, byte in enumerate(self._buffer):
             if byte in _MAGICS:
@@ -236,6 +258,10 @@ class FrameDecoder:
             raise ProtocolError("payload CRC mismatch")
         if op not in _KNOWN_OPS:
             raise ProtocolError(f"unknown op {op}")
+        if version == 1:
+            self._frames_v1.inc()
+        else:
+            self._frames_v2.inc()
         return Frame(
             op=op, lba=lba, payload=payload, flags=flags,
             version=version, request_id=request_id, count=count,
@@ -256,9 +282,15 @@ class ProtocolServer:
     exception into a structured ``Op.ERROR`` frame.
     """
 
-    def __init__(self, server: StorageServer):
+    def __init__(
+        self,
+        server: StorageServer,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.server = server
-        self._decoder = FrameDecoder()
+        self.registry = registry if registry is not None else _obs.get_registry()
+        self._decoder = FrameDecoder(self.registry)
+        self._v1_downgrades = self.registry.counter("proto.v1_downgrades_total")
         self.requests_served = 0
         self.frames_rejected = 0
 
@@ -284,6 +316,10 @@ class ProtocolServer:
     def handle_frame(self, frame: Frame) -> bytes:
         """Dispatch one request frame; returns the encoded response."""
         self.requests_served += 1
+        if frame.version == 1:
+            # A v1 peer on a v2 server: the session works, but count the
+            # downgrade so operators can see legacy clients linger.
+            self._v1_downgrades.inc()
         try:
             if frame.op == Op.WRITE:
                 if not frame.payload:
@@ -295,6 +331,23 @@ class ProtocolServer:
             if frame.op == Op.READ:
                 data = self.server.read(frame.lba, frame.read_count)
                 return encode_reply(frame, Op.READ_ACK, frame.lba, data)
+            if frame.op == Op.STATS:
+                if frame.version < 2:
+                    # Old clients must get a well-formed typed error, not
+                    # a dropped connection (v1<->v2 interop guarantee).
+                    return encode_reply(
+                        frame, Op.ERROR, frame.lba,
+                        encode_error_payload(
+                            ErrorCode.UNSUPPORTED_OP,
+                            "STATS requires protocol v2",
+                        ),
+                    )
+                payload = json.dumps(
+                    _obs.snapshot(self.registry),
+                    separators=(",", ":"),
+                    allow_nan=False,
+                ).encode("utf-8")
+                return encode_reply(frame, Op.STATS_ACK, 0, payload)
             raise ProtocolError(f"unexpected op {frame.op}")
         except (ReproError, ValueError) as error:
             return encode_reply(
@@ -353,3 +406,18 @@ class ProtocolClient:
         if response.op != Op.READ_ACK:
             raise_for_error_payload(response.payload, "read failed")
         return response.payload
+
+    def stats(self) -> Dict[str, Any]:
+        """Scrape the server's live ``repro.stats/v1`` snapshot.
+
+        v2-only: a v1 client fails locally with :class:`ProtocolError`
+        (and a v1 STATS frame sent anyway is answered by the server with
+        a structured ``UNSUPPORTED_OP`` error).
+        """
+        if self.version < 2:
+            raise ProtocolError("STATS requires protocol version 2")
+        response = self._roundtrip(self._encode_request(Op.STATS, 0))
+        if response.op != Op.STATS_ACK:
+            raise_for_error_payload(response.payload, "stats failed")
+        payload: Dict[str, Any] = json.loads(response.payload.decode("utf-8"))
+        return payload

@@ -1,0 +1,327 @@
+"""Lightweight trace spans for the write/read/serving pipelines.
+
+A span is one timed region — ``with span("engine.stage.compress"):`` —
+recorded into (a) a bounded in-process ring buffer for ``python -m
+repro.obs dump``-style inspection, and (b) a latency histogram named
+``<span>.ns`` in the default :class:`~repro.obs.metrics.MetricsRegistry`
+so percentiles survive long after the ring has wrapped.
+
+**The zero-overhead contract.**  Tracing is off by default and the
+disabled path is one module-level dict lookup plus a shared no-op
+context manager — no allocation, no clock read, no lock (the
+``obs_overhead`` gate in ``repro.perf`` holds this to ≤3% on the
+clocked write path, and the engine's ``stage_clock`` resolves to
+``None`` outright while a :class:`TracedStages` clock is inactive).
+Code therefore calls :func:`span` unconditionally; it never needs its
+own ``if`` around instrumentation.
+
+**Executor propagation.**  Spans created inside a
+:class:`~repro.parallel.StagePool` worker — thread *or* process — carry
+the submitting task's trace id.  The pool ships an
+:class:`ExecutorContext` (picklable, so it crosses the
+``requires_pickling`` seam unchanged) with each slice; the worker
+adopts it with :func:`adopt`, which captures the slice's spans into a
+plain list that returns with the results, and the parent merges them
+with :func:`merge`.  Capture-and-merge rather than worker-side commit
+keeps the ring's ordering parent-consistent and works identically for
+both backends (a process child has its own module state, a thread
+shares it).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import (
+    Any,
+    ContextManager,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Union,
+)
+
+from . import metrics as _metrics
+
+__all__ = [
+    "SpanRecord",
+    "ExecutorContext",
+    "TracedStages",
+    "span",
+    "observe",
+    "now_ns",
+    "is_enabled",
+    "set_enabled",
+    "enabled",
+    "current_context",
+    "adopt",
+    "merge",
+    "tail",
+    "clear",
+    "RING_CAPACITY",
+]
+
+#: Spans kept in process memory for ``repro.obs dump``; the histograms
+#: keep the long-run distribution after the ring wraps.
+RING_CAPACITY = 4096
+
+#: Single-key dict so the disabled check compiles to one dict lookup
+#: (reading a bare module global through a rebinding API would be just
+#: as cheap, but mutating a dict value is safe under import caching).
+_STATE: Dict[str, bool] = {"enabled": False}
+
+_ring: "deque[SpanRecord]" = deque(maxlen=RING_CAPACITY)
+_ring_lock = threading.Lock()
+_ids = itertools.count(1)
+
+#: Trace id of the current task/thread context (None = not in a trace).
+_TRACE_ID: ContextVar[Optional[int]] = ContextVar("repro-obs-trace", default=None)
+#: When set, finished spans append here instead of committing — the
+#: capture side of executor propagation.
+_CAPTURE: ContextVar[Optional[List["SpanRecord"]]] = ContextVar(
+    "repro-obs-capture", default=None
+)
+
+now_ns = time.perf_counter_ns
+
+
+class SpanRecord(NamedTuple):
+    """One finished span.  All fields are picklable primitives so a
+    record crosses the process-pool IPC boundary as-is."""
+
+    name: str
+    trace_id: int
+    start_ns: int
+    dur_ns: int
+    thread: str
+    tags: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+            "thread": self.thread,
+            "tags": self.tags,
+        }
+
+
+class ExecutorContext(NamedTuple):
+    """What a pool slice needs to continue its parent's trace."""
+
+    trace_id: int
+
+
+# -- enable/disable ---------------------------------------------------------
+def is_enabled() -> bool:
+    return _STATE["enabled"]
+
+
+def set_enabled(on: bool) -> None:
+    _STATE["enabled"] = bool(on)
+
+
+@contextmanager
+def enabled(on: bool = True) -> Iterator[None]:
+    """Scoped enable/disable (tests and short diagnostics)."""
+    was = _STATE["enabled"]
+    _STATE["enabled"] = bool(on)
+    try:
+        yield
+    finally:
+        _STATE["enabled"] = was
+
+
+# -- the span itself --------------------------------------------------------
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("_name", "_tags", "_trace_id", "_token", "_start")
+
+    def __init__(self, name: str, tags: Dict[str, Any]) -> None:
+        self._name = name
+        self._tags = tags
+        self._trace_id = 0
+        self._token: Optional[Any] = None
+        self._start = 0
+
+    def __enter__(self) -> "_Span":
+        trace_id = _TRACE_ID.get()
+        if trace_id is None:
+            trace_id = next(_ids)
+            self._token = _TRACE_ID.set(trace_id)
+        self._trace_id = trace_id
+        self._start = now_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        duration = now_ns() - self._start
+        _record(SpanRecord(
+            name=self._name,
+            trace_id=self._trace_id,
+            start_ns=self._start,
+            dur_ns=duration,
+            thread=threading.current_thread().name,
+            tags=self._tags,
+        ))
+        if self._token is not None:
+            _TRACE_ID.reset(self._token)
+        return False
+
+
+def span(name: str, **tags: Any) -> ContextManager[Any]:
+    """A timed region; a shared no-op while tracing is disabled."""
+    if not _STATE["enabled"]:
+        return _NOOP
+    return _Span(name, tags)
+
+
+def observe(name: str, dur_ns: int, **tags: Any) -> None:
+    """Record a span whose endpoints were measured by the caller.
+
+    For durations that cross task boundaries (queue wait: enqueue in
+    one coroutine, dequeue in another) where a context manager cannot
+    bracket the region.  No-op while tracing is disabled.
+    """
+    if not _STATE["enabled"]:
+        return
+    end = now_ns()
+    trace_id = _TRACE_ID.get()
+    _record(SpanRecord(
+        name=name,
+        trace_id=trace_id if trace_id is not None else 0,
+        start_ns=end - dur_ns,
+        dur_ns=dur_ns,
+        thread=threading.current_thread().name,
+        tags=tags,
+    ))
+
+
+def _record(record: SpanRecord) -> None:
+    buffer = _CAPTURE.get()
+    if buffer is not None:
+        buffer.append(record)
+        return
+    _commit(record)
+
+
+def _commit(record: SpanRecord) -> None:
+    with _ring_lock:
+        _ring.append(record)
+    _metrics.get_registry().histogram(record.name + ".ns").observe(
+        record.dur_ns
+    )
+
+
+# -- executor propagation ---------------------------------------------------
+def current_context() -> Optional[ExecutorContext]:
+    """The context a pool should ship with a slice; None when tracing
+    is disabled (the pool then dispatches the plain, untraced slice).
+
+    Outside any span, mints a fresh id for the returned context *without
+    binding it to the caller* — the one ``map`` ships that context to
+    every sibling slice, and the next root span must not inherit it.
+    """
+    if not _STATE["enabled"]:
+        return None
+    trace_id = _TRACE_ID.get()
+    if trace_id is None:
+        trace_id = next(_ids)
+    return ExecutorContext(trace_id=trace_id)
+
+
+@contextmanager
+def adopt(context: ExecutorContext) -> Iterator[List[SpanRecord]]:
+    """Run a worker slice under the parent's trace context.
+
+    Yields the capture list: every span finished inside the block lands
+    there (never in the worker's own ring), and the caller returns it
+    alongside the slice results for the parent to :func:`merge`.
+    Forces tracing on for the scope — a process-pool child starts with
+    the module default (off) even though the parent traced.
+    """
+    was = _STATE["enabled"]
+    _STATE["enabled"] = True
+    captured: List[SpanRecord] = []
+    id_token = _TRACE_ID.set(context.trace_id)
+    capture_token = _CAPTURE.set(captured)
+    try:
+        yield captured
+    finally:
+        _CAPTURE.reset(capture_token)
+        _TRACE_ID.reset(id_token)
+        _STATE["enabled"] = was
+
+
+def merge(records: Iterable[SpanRecord]) -> None:
+    """Fold worker-captured spans into the caller's context (respects
+    an enclosing capture, so nested fan-outs compose)."""
+    for record in records:
+        _record(record)
+
+
+# -- exporters --------------------------------------------------------------
+def tail(limit: int = RING_CAPACITY) -> List[SpanRecord]:
+    """The most recent ``limit`` committed spans, oldest first."""
+    with _ring_lock:
+        records = list(_ring)
+    return records[-limit:] if limit >= 0 else records
+
+
+def clear() -> None:
+    """Empty the ring (test isolation)."""
+    with _ring_lock:
+        _ring.clear()
+
+
+# -- the engine's StageTimer ------------------------------------------------
+class TracedStages:
+    """A :class:`~repro.datared.dedup.StageTimer` publishing spans.
+
+    Installed on ``DedupEngine.stage_clock`` by the system layer.  The
+    :attr:`active` property is the hook the engine's hot path checks:
+    while tracing is disabled the engine treats the clock as absent
+    (``None`` path — no context managers, no batch shadow-plan), so an
+    installed-but-inactive clock costs one attribute read per call.
+    """
+
+    __slots__ = ("_prefix", "_names")
+
+    def __init__(self, prefix: str = "engine.stage") -> None:
+        self._prefix = prefix
+        self._names: Dict[str, str] = {}
+
+    @property
+    def active(self) -> bool:
+        return _STATE["enabled"]
+
+    def stage(self, name: str) -> ContextManager[Any]:
+        qualified = self._names.get(name)
+        if qualified is None:
+            qualified = f"{self._prefix}.{name}"
+            self._names[name] = qualified
+        return span(qualified)
+
+
+Span = Union[_NoopSpan, _Span]

@@ -36,7 +36,10 @@ engines; all metadata mutation stays on the caller's thread (see the
 from __future__ import annotations
 
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from .obs import metrics as _metrics
+from .obs import trace as _trace
 
 __all__ = ["StagePool"]
 
@@ -49,6 +52,21 @@ _BACKENDS = ("thread", "process")
 
 def _run_slice(fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
     return [fn(item) for item in items]
+
+
+def _run_slice_traced(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    context: _trace.ExecutorContext,
+) -> Tuple[List[_R], List[_trace.SpanRecord]]:
+    """Traced twin of :func:`_run_slice`: adopts the submitting task's
+    trace context, times the slice, and ships the captured spans back
+    alongside the results.  Module-level and built from picklable
+    pieces, so it crosses the process-pool boundary like its twin."""
+    with _trace.adopt(context) as captured:
+        with _trace.span("pool.slice", items=len(items)):
+            results = [fn(item) for item in items]
+    return results, list(captured)
 
 
 class StagePool:
@@ -74,6 +92,11 @@ class StagePool:
         through a wide pool would otherwise shatter into slices so thin
         that submit/wakeup overhead exceeds the work itself (hashing or
         zlib on a 4-KB chunk is only tens of microseconds).
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the pool counts
+        dispatch activity into (default: the process registry).  The
+        four ``pool.*`` counters are cached at construction, so each
+        :meth:`map` pays two uncontended increments, not a lookup.
     """
 
     def __init__(
@@ -83,6 +106,7 @@ class StagePool:
         backend: str = "thread",
         slices_per_worker: int = 4,
         min_slice_items: int = 8,
+        registry: Optional[_metrics.MetricsRegistry] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(
@@ -96,6 +120,11 @@ class StagePool:
         self.backend = backend
         self.slices_per_worker = slices_per_worker
         self.min_slice_items = min_slice_items
+        reg = registry if registry is not None else _metrics.get_registry()
+        self._maps_total = reg.counter("pool.maps_total")
+        self._maps_inline = reg.counter("pool.maps_inline")
+        self._slices_dispatched = reg.counter("pool.slices_dispatched")
+        self._items_total = reg.counter("pool.items_total")
         self._executor: Optional[Executor] = None
         if self.parallelism > 1:
             if backend == "process":
@@ -141,11 +170,14 @@ class StagePool:
         wins — the cause of the PR-2 parallel *read* regression.
         """
         materialized = items if isinstance(items, list) else list(items)
+        self._maps_total.inc()
+        self._items_total.inc(len(materialized))
         if (
             self._executor is None
             or len(materialized) <= 1
             or len(materialized) < min_batch
         ):
+            self._maps_inline.inc()
             return [fn(item) for item in materialized]
         num_slices = min(
             len(materialized),
@@ -153,18 +185,42 @@ class StagePool:
             max(1, len(materialized) // self.min_slice_items),
         )
         if num_slices <= 1:
+            self._maps_inline.inc()
             return [fn(item) for item in materialized]
         bounds = [
             (len(materialized) * i) // num_slices for i in range(num_slices + 1)
         ]
-        futures = [
-            self._executor.submit(_run_slice, fn, materialized[lo:hi])
-            for lo, hi in zip(bounds, bounds[1:])
+        spans = zip(bounds, bounds[1:])
+        results: List[_R] = []
+        # When the submitting task is tracing, dispatch the traced slice
+        # runner: workers adopt the parent's trace context (thread or
+        # process — the context and the captured SpanRecords are both
+        # picklable) and return their spans for the parent to merge, so
+        # the ring stays parent-ordered and a process child's spans are
+        # not stranded in its own interpreter.
+        context = _trace.current_context()
+        if context is None:
+            futures = [
+                self._executor.submit(_run_slice, fn, materialized[lo:hi])
+                for lo, hi in spans
+                if hi > lo
+            ]
+            self._slices_dispatched.inc(len(futures))
+            for future in futures:
+                results.extend(future.result())
+            return results
+        traced_futures = [
+            self._executor.submit(
+                _run_slice_traced, fn, materialized[lo:hi], context
+            )
+            for lo, hi in spans
             if hi > lo
         ]
-        results: List[_R] = []
-        for future in futures:
-            results.extend(future.result())
+        self._slices_dispatched.inc(len(traced_futures))
+        for traced in traced_futures:
+            slice_results, slice_spans = traced.result()
+            results.extend(slice_results)
+            _trace.merge(slice_spans)
         return results
 
     def shutdown(self) -> None:

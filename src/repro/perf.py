@@ -45,9 +45,17 @@ from typing import Any, Dict, List, Optional
 
 from .datared.compression import ZlibCompressor
 from .datared.dedup import DedupEngine
+from .obs import trace as _trace
+from .obs.trace import TracedStages
 from .parallel import StagePool
 
-__all__ = ["StageClock", "bench_meta", "run_stage_bench", "main"]
+__all__ = [
+    "StageClock",
+    "bench_meta",
+    "run_obs_overhead",
+    "run_stage_bench",
+    "main",
+]
 
 #: Canonical workload shape (mirrors benchmarks/test_throughput.py).
 CHUNK = 4096
@@ -179,6 +187,45 @@ def _drive(
         return time.perf_counter_ns() - start
 
 
+def run_obs_overhead(num_batches: int = 12, rounds: int = 5) -> Dict[str, Any]:
+    """Measure the cost of an *installed but disabled* trace clock.
+
+    The observability contract is that serving installs
+    :class:`~repro.obs.trace.TracedStages` unconditionally and the
+    enabled flag alone decides whether spans exist.  This harness proves
+    the disabled path is free: it interleaves no-clock and
+    disabled-clock write passes (interleaving cancels thermal/frequency
+    drift) and reports the min-over-rounds throughput of each.  CI gates
+    ``ratio`` — traced-disabled MB/s over baseline MB/s — at 0.97.
+    """
+    batches = make_workload(num_batches)
+    moved = num_batches * BATCH_CHUNKS * CHUNK
+    was_enabled = _trace.is_enabled()
+    _trace.set_enabled(False)
+    best_baseline: Optional[int] = None
+    best_traced: Optional[int] = None
+    try:
+        for _ in range(rounds):
+            baseline = _drive(batches, None, 1)
+            traced = _drive(batches, TracedStages(), 1)
+            if best_baseline is None or baseline < best_baseline:
+                best_baseline = baseline
+            if best_traced is None or traced < best_traced:
+                best_traced = traced
+    finally:
+        _trace.set_enabled(was_enabled)
+    assert best_baseline is not None and best_traced is not None
+    baseline_mb_s = moved / 1e6 / (best_baseline / 1e9)
+    traced_mb_s = moved / 1e6 / (best_traced / 1e9)
+    return {
+        "baseline_mb_s": round(baseline_mb_s, 2),
+        "traced_disabled_mb_s": round(traced_mb_s, 2),
+        "ratio": round(traced_mb_s / baseline_mb_s, 4),
+        "rounds": rounds,
+        "num_batches": num_batches,
+    }
+
+
 def run_stage_bench(
     num_batches: int = 48, rounds: int = 3, parallelism: int = 1
 ) -> Dict[str, Any]:
@@ -241,6 +288,9 @@ def run_stage_bench(
             "timings"
         ),
         "stages": stages,
+        "obs_overhead": run_obs_overhead(
+            num_batches=max(4, num_batches // 4), rounds=rounds + 2
+        ),
     }
 
 
@@ -293,6 +343,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"  {name:<9}{stage['ns_per_chunk'] / 1000:>10.2f}"
             f"{share:>7.0%}{stage['alloc_bytes'] / 1024:>10.1f}"
         )
+    overhead = payload["obs_overhead"]
+    print(
+        f"obs overhead (tracing installed, disabled): "
+        f"{overhead['traced_disabled_mb_s']} vs "
+        f"{overhead['baseline_mb_s']} MB/s "
+        f"(ratio {overhead['ratio']:.3f}, gate 0.97)"
+    )
     print(f"wrote {args.out}")
     return 0
 

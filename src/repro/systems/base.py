@@ -26,13 +26,15 @@ from ..errors import AlignmentError
 from ..datared.chunking import Chunk
 from ..datared.compression import Compressor, ZlibCompressor
 from ..datared.container import Container, ContainerStore
-from ..datared.dedup import ChunkOutcome, DedupEngine
+from ..datared.dedup import ChunkOutcome, DedupEngine, WriteOptions
 from ..datared.hash_pbn import HashPbnTable
 from ..hw.cpu import CpuLedger
 from ..hw.memory import MemoryLedger
 from ..hw.pcie import PcieTopology
 from ..hw.specs import PROTOTYPE_SERVER, ServerSpec
 from ..hw.ssd import SsdArray, SsdBucketStore
+from ..obs import trace as _trace
+from ..obs.trace import TracedStages
 from ..parallel import StagePool
 from .accounting import SystemReport
 from .config import SystemConfig
@@ -114,6 +116,12 @@ class ReductionSystem:
             pool=self.pool,
             read_cache_chunks=self.config.read_cache_chunks,
         )
+        #: Always-installed stage tracing.  While tracing is disabled
+        #: the clock reports itself inactive and the engine takes its
+        #: clock-less fast path, so this costs one attribute read per
+        #: batch; enabling tracing at runtime lights up the per-stage
+        #: spans with no reconfiguration.
+        self.engine.stage_clock = TracedStages()
 
         #: One lock for the whole stack: the engine's.  It is reentrant,
         #: so system entry points lock once and the engine's own locked
@@ -171,14 +179,16 @@ class ReductionSystem:
             while len(self._pending) >= self.config.batch_chunks:
                 batch = self._pending[: self.config.batch_chunks]
                 del self._pending[: self.config.batch_chunks]
-                self._process_batch(batch)
+                with _trace.span("system.batch", chunks=len(batch)):
+                    self._process_batch(batch)
 
     def flush(self) -> None:
         """Drain staged writes and seal the open container."""
         with self.lock:
             if self._pending:
                 batch, self._pending = self._pending, []
-                self._process_batch(batch)
+                with _trace.span("system.batch", chunks=len(batch)):
+                    self._process_batch(batch)
             self.engine.flush()
 
     def read(self, lba: int, num_chunks: int = 1) -> bytes:
@@ -236,7 +246,11 @@ class ReductionSystem:
             table_ssd_write_bytes=now[12] - snapshot[12],
         )
 
-    def _dedup_batch(self, chunks: List[Chunk]) -> Tuple[List[ChunkOutcome], CacheDelta]:
+    def _dedup_batch(
+        self,
+        chunks: List[Chunk],
+        digests: Optional[List[bytes]] = None,
+    ) -> Tuple[List[ChunkOutcome], CacheDelta]:
         """Run the functional dedup write for a batch, capturing what the
         table-cache stack did on its behalf.
 
@@ -246,10 +260,15 @@ class ReductionSystem:
         table-cache access (and hence every ledger charge captured
         here) happens on this thread, in chunk order, exactly as the
         serial per-chunk path would issue it.
+
+        ``digests`` optionally carries per-chunk fingerprints already
+        computed upstream (FIDR's NIC hashes on ingest); the engine then
+        skips its hash stage entirely.
         """
         snapshot = self._snapshot()
         reports = self.engine.write_many(
-            [(chunk.lba, chunk.data) for chunk in chunks]
+            [(chunk.lba, chunk.data) for chunk in chunks],
+            WriteOptions(digests=digests) if digests is not None else None,
         )
         outcomes = [
             outcome for report in reports for outcome in report.chunks

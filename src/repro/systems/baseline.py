@@ -25,6 +25,7 @@ from ..datared.compression import Compressor
 from ..datared.container import Container
 from ..hw.nic import BaselineNic
 from ..hw.pcie import HOST, PcieTopology
+from ..obs.metrics import MetricsRegistry
 from ..hw.specs import ServerSpec
 from .accounting import CpuTask, MemPath
 from .base import ReductionSystem
@@ -65,6 +66,14 @@ class BaselineSystem(ReductionSystem):
         self.nic = BaselineNic(self.server.nic)
         self.predictor = UniqueChunkPredictor()
         self._predictions = {}  # chunk id -> predicted_unique
+        self.engine.registry.register_collector(self._publish_baseline_metrics)
+
+    def _publish_baseline_metrics(self, registry: MetricsRegistry) -> None:
+        """Collector: predictor effectiveness as a gauge."""
+        accuracy = self._predictor_accuracy()
+        registry.gauge("system.predictor.accuracy").set(
+            accuracy if accuracy is not None else 0.0
+        )
 
     # -- wiring ------------------------------------------------------------------
     def _build_topology(self) -> PcieTopology:

@@ -23,6 +23,8 @@ from typing import List, Optional
 from ..cache.table_cache import CacheIndex, HwTreeIndex
 from ..datared.chunking import Chunk
 from ..datared.compression import Compressor
+from ..datared.hashing import fingerprint
+from ..obs.metrics import MetricsRegistry
 from ..datared.container import Container
 from ..hw.fpga import CompressionEngine, DecompressionEngine
 from ..hw.nic import FidrNic
@@ -81,6 +83,14 @@ class FidrSystem(ReductionSystem):
         self.decompression = DecompressionEngine(
             compressor=self.engine.compressor, spec=self.server.fpga
         )
+        self.engine.registry.register_collector(self._publish_fidr_metrics)
+
+    def _publish_fidr_metrics(self, registry: MetricsRegistry) -> None:
+        """Collector: NIC read-buffer effectiveness as a gauge."""
+        rate = self._nic_buffer_hit_rate()
+        registry.gauge("system.nic.buffer_hit_rate").set(
+            rate if rate is not None else 0.0
+        )
 
     # -- wiring --------------------------------------------------------------------
     def _build_topology(self) -> PcieTopology:
@@ -128,7 +138,20 @@ class FidrSystem(ReductionSystem):
 
         # Steps 4-5: the engine resolves cache lines (tree + fetches run
         # on the engine); the host scans the cached content in DRAM.
-        outcomes, delta = self._dedup_batch(chunks)
+        # Idea (a) end-to-end: the digests the NIC computed on ingest are
+        # handed to the engine, which skips its host-side hash stage — a
+        # chunk is re-fingerprinted only when its buffer entry was
+        # superseded by a newer same-LBA write (the entry then carries
+        # the *newer* payload's digest, which is not this chunk's).
+        staged_by_lba = {entry.lba: entry for entry in staged}
+        digests = []
+        for chunk in chunks:
+            entry = staged_by_lba.get(chunk.lba)
+            if entry is not None and entry.data == chunk.data:
+                digests.append(entry.digest)
+            else:
+                digests.append(fingerprint(chunk.data))
+        outcomes, delta = self._dedup_batch(chunks, digests=digests)
         self._charge_table_cache(delta)
         self.pcie.transfer(_CACHE_ENGINE, HOST, self.config.bucket_index_bytes * count)
 
@@ -137,7 +160,6 @@ class FidrSystem(ReductionSystem):
 
         # Step 7: the NIC schedules a batch of unique chunks and sends it
         # peer-to-peer to the Compression Engine.
-        staged_by_lba = {entry.lba: entry for entry in staged}
         flags = []
         unique_bytes = 0
         for chunk, outcome in zip(chunks, outcomes):

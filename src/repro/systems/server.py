@@ -11,7 +11,10 @@ direct helpers.
 from __future__ import annotations
 
 import enum
-from ..datared.dedup import ReductionStats
+from typing import Any, Dict
+
+from .. import obs as _obs
+from ..datared.dedup import EngineStats, ReductionStats
 from .accounting import SystemReport
 from .base import ReductionSystem
 from .baseline import BaselineSystem
@@ -73,6 +76,17 @@ class StorageServer:
     def reduction_stats(self) -> ReductionStats:
         """Dedup/compression effectiveness so far."""
         return self.system.engine.stats
+
+    @property
+    def engine_stats(self) -> EngineStats:
+        """Typed, lock-consistent snapshot of every engine ledger."""
+        return self.system.engine.stats_snapshot()
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The ``repro.stats/v1`` snapshot this server publishes into its
+        engine's registry — the same shape the protocol's STATS op
+        serves over the wire."""
+        return _obs.snapshot(self.system.engine.registry)
 
     @property
     def chunk_size(self) -> int:

@@ -21,8 +21,9 @@ import asyncio
 import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from ..errors import ReproError
 from ..net.aserver import AsyncProtocolClient, AsyncProtocolServer
 from ..systems.server import StorageServer
 
@@ -68,6 +69,10 @@ class LoadGenResult:
     bytes_written: int
     bytes_read: int
     latencies_ms: List[float] = field(repr=False, default_factory=list)
+    #: The server's ``repro.stats/v1`` snapshot, scraped over the wire
+    #: via the v2 STATS op after the fleet finishes (None if the scrape
+    #: failed — e.g. the server vanished mid-teardown).
+    server_stats: Optional[Dict[str, Any]] = field(repr=False, default=None)
 
     @property
     def throughput_ops(self) -> float:
@@ -107,6 +112,16 @@ class LoadGenResult:
             f"({self.throughput_mb_s:.1f} MB/s)",
             f"  latency p50/p99  {self.p50_ms:.2f} / {self.p99_ms:.2f} ms",
         ]
+        if self.server_stats is not None:
+            gauges = self.server_stats.get("gauges", {})
+            lines.append(
+                "  server (STATS)   "
+                f"dedup {gauges.get('engine.dedup_ratio', 0.0):.3f}, "
+                "compression "
+                f"{gauges.get('engine.compression_ratio', 1.0):.3f}, "
+                "reduction "
+                f"{gauges.get('engine.reduction_factor', 0.0):.2f}x"
+            )
         return "\n".join(lines)
 
 
@@ -198,7 +213,25 @@ async def drive(
     )
     for tally in tallies:
         result.latencies_ms.extend(tally.latencies_ms)
+    result.server_stats = await _scrape_stats(host, port)
     return result
+
+
+async def _scrape_stats(host: str, port: int) -> Optional[Dict[str, Any]]:
+    """Fetch the server's live stats snapshot (best-effort).
+
+    Always speaks v2 — even when the fleet ran v1 clients — because
+    STATS is a v2-only op; a failure (server gone, connection refused)
+    degrades to ``None`` rather than failing the run whose numbers are
+    already collected.
+    """
+    try:
+        async with await AsyncProtocolClient.connect(
+            host, port, version=2
+        ) as client:
+            return await client.stats()
+    except (ReproError, OSError):
+        return None
 
 
 def run_against(

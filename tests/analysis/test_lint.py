@@ -209,7 +209,11 @@ class TestR003Determinism:
     def test_detects_wall_clock_and_global_randomness(self):
         findings = lint_source(self.FIXTURE, module="repro.sim.fixture")
         assert rules_of(findings) == ["R003"] * 3
-        findings = lint_source(self.FIXTURE, module="repro.systems.fixture")
+        # systems is also R007 territory (timing overlap is asserted in
+        # TestR007ObservabilityDiscipline), so select R003 alone here.
+        findings = lint_source(
+            self.FIXTURE, module="repro.systems.fixture", rules=["R003"]
+        )
         assert rules_of(findings) == ["R003"] * 3
 
     def test_seeded_random_instance_is_allowed(self):
@@ -438,6 +442,90 @@ class TestR006HotPathCopies:
             """
         )
         assert lint_source(planted, module="repro.datared.fixture") == []
+
+
+# -- R007: observability discipline -------------------------------------------
+
+
+class TestR007ObservabilityDiscipline:
+    FIXTURE = src(
+        """
+        import time
+
+        def handle(event):
+            start = time.perf_counter_ns()
+            result = process(event)
+            print("handled in", time.perf_counter_ns() - start)
+            return result
+        """
+    )
+
+    def test_timing_and_print_are_flagged_in_instrumented_path(self):
+        findings = lint_source(self.FIXTURE, module="repro.net.fixture")
+        assert rules_of(findings) == ["R007"] * 3
+        assert lines_of(findings, "R007") == [5, 7, 7]
+
+    def test_every_instrumented_package_is_covered(self):
+        planted = src(
+            """
+            import time
+
+            def tick():
+                return time.monotonic()
+            """
+        )
+        for package in (
+            "repro.datared", "repro.net", "repro.cache", "repro.hw",
+            "repro.parallel", "repro.sync",
+        ):
+            findings = lint_source(planted, module=f"{package}.fixture")
+            assert "R007" in rules_of(findings), package
+
+    def test_systems_timing_trips_both_r003_and_r007(self):
+        planted = src(
+            """
+            import time
+
+            def step():
+                return time.time()
+            """
+        )
+        findings = lint_source(planted, module="repro.systems.fixture")
+        assert rules_of(findings) == ["R003", "R007"]
+
+    def test_presentation_layers_are_exempt(self):
+        for module in (
+            "repro.net.__main__",
+            "repro.obs.__main__",
+            "repro.workloads.loadgen",
+            "repro.perf",
+            "tests.net.fixture",
+        ):
+            assert lint_source(self.FIXTURE, module=module) == [], module
+
+    def test_obs_spans_do_not_trip_the_rule(self):
+        clean = src(
+            """
+            from ..obs import trace as _trace
+
+            def handle(event):
+                with _trace.span("server.dispatch"):
+                    started = _trace.now_ns()
+                return started
+            """
+        )
+        assert lint_source(clean, module="repro.net.fixture") == []
+
+    def test_suppression(self):
+        planted = src(
+            """
+            import time
+
+            def debug_probe():
+                print(time.monotonic())  # repro-lint: disable=R007
+            """
+        )
+        assert lint_source(planted, module="repro.net.fixture") == []
 
 
 class TestMachinery:

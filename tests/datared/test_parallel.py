@@ -18,7 +18,12 @@ import pytest
 from repro.analysis.invariants import check_engine
 from repro.datared.chunking import BLOCK_SIZE
 from repro.datared.compression import ZlibCompressor
-from repro.datared.dedup import ChunkOutcome, DedupEngine, WriteReport
+from repro.datared.dedup import (
+    ChunkOutcome,
+    DedupEngine,
+    WriteOptions,
+    WriteReport,
+)
 from repro.datared.hashing import fingerprint, fingerprint_many
 from repro.parallel import StagePool
 
@@ -365,10 +370,12 @@ def test_write_many_with_precomputed_digests(rng):
     plain = DedupEngine(num_buckets=64)
     offloaded = DedupEngine(num_buckets=64)
     plain_reports = plain.write_many(requests)
-    offload_reports = offloaded.write_many(requests, digests=digests)
+    offload_reports = offloaded.write_many(
+        requests, WriteOptions(digests=digests)
+    )
     for left, right in zip(plain_reports, offload_reports):
         assert left.chunks == right.chunks
     assert plain.stats == offloaded.stats
 
     with pytest.raises(ValueError):
-        offloaded.write_many(requests, digests=digests[:-1])
+        offloaded.write_many(requests, WriteOptions(digests=digests[:-1]))

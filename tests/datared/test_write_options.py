@@ -1,0 +1,132 @@
+"""The typed write-call surface: WriteOptions replaces the kwarg
+sprawl, the deprecated ``digests=`` keyword still works (with a
+warning), and EngineStats/stats_snapshot give a lock-consistent typed
+view of the ledgers plus the registry publication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor
+from repro.datared.dedup import DedupEngine, EngineStats, WriteOptions
+from repro.datared.hashing import fingerprint
+from repro.obs.metrics import MetricsRegistry
+
+CHUNK = 4096
+
+
+def make_engine(**kwargs) -> DedupEngine:
+    kwargs.setdefault("num_buckets", 1 << 10)
+    kwargs.setdefault("compressor", ModeledCompressor(0.5))
+    return DedupEngine(**kwargs)
+
+
+def requests_for(count: int):
+    requests = []
+    step = 0
+    for index in range(count):
+        requests.append((step, bytes([index % 5]) * CHUNK))
+        step += CHUNK // 512
+    return requests
+
+
+class TestWriteOptions:
+    def test_digests_path_matches_engine_hashing(self):
+        plain = make_engine()
+        offloaded = make_engine()
+        requests = requests_for(12)
+        digests = [fingerprint(payload) for _, payload in requests]
+
+        plain_reports = plain.write_many(requests)
+        offload_reports = offloaded.write_many(
+            requests, WriteOptions(digests=digests)
+        )
+        assert offload_reports == plain_reports
+        assert offloaded.stats_snapshot() == plain.stats_snapshot()
+        for lba, payload in requests:
+            assert offloaded.read(lba, 1).data == payload
+
+    def test_single_write_accepts_digest_options(self):
+        engine = make_engine()
+        payload = b"z" * CHUNK
+        report = engine.write(0, payload, WriteOptions(digests=[fingerprint(payload)]))
+        assert report.logical_bytes == CHUNK
+        assert engine.read(0, 1).data == payload
+
+    def test_flush_option_seals_the_open_container(self):
+        engine = make_engine()
+        engine.write(0, b"q" * CHUNK)
+        assert engine.containers.sealed_count == 0
+        engine.write(8, b"r" * CHUNK, WriteOptions(flush=True))
+        assert engine.containers.sealed_count == 1
+
+    def test_deprecated_digests_keyword_warns_and_still_works(self):
+        engine = make_engine()
+        requests = requests_for(3)
+        digests = [fingerprint(payload) for _, payload in requests]
+        with pytest.warns(DeprecationWarning, match="WriteOptions"):
+            reports = engine.write_many(requests, digests=digests)
+        assert len(reports) == 3
+        assert engine.stats.logical_bytes == 3 * CHUNK
+
+    def test_digests_in_both_places_is_an_error(self):
+        engine = make_engine()
+        requests = requests_for(1)
+        digests = [fingerprint(requests[0][1])]
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                engine.write_many(
+                    requests,
+                    WriteOptions(digests=digests),
+                    digests=digests,
+                )
+
+    def test_options_are_immutable(self):
+        options = WriteOptions(flush=True)
+        with pytest.raises(AttributeError):
+            options.flush = False
+
+
+class TestEngineStats:
+    def test_snapshot_mirrors_the_ledgers(self):
+        engine = make_engine()
+        engine.write_many(requests_for(10), WriteOptions(flush=True))
+        snap = engine.stats_snapshot()
+        assert isinstance(snap, EngineStats)
+        assert snap.logical_bytes == engine.stats.logical_bytes
+        assert snap.unique_chunks == engine.stats.unique_chunks
+        assert snap.duplicate_chunks == engine.stats.duplicate_chunks
+        assert snap.containers_sealed == engine.containers.sealed_count
+        assert snap.live_stored_bytes == (
+            snap.stored_bytes - snap.reclaimed_stored_bytes
+        )
+        assert snap.dedup_ratio == engine.stats.dedup_ratio
+        assert snap.compression_ratio == engine.stats.compression_ratio
+
+    def test_snapshot_is_a_value_not_a_view(self):
+        engine = make_engine()
+        engine.write(0, b"v" * CHUNK)
+        before = engine.stats_snapshot()
+        engine.write(8, b"w" * CHUNK)
+        assert engine.stats_snapshot().logical_bytes == 2 * CHUNK
+        assert before.logical_bytes == CHUNK
+
+    def test_engine_publishes_gauges_into_injected_registry(self):
+        registry = MetricsRegistry()
+        engine = make_engine(registry=registry)
+        engine.write_many(requests_for(8), WriteOptions(flush=True))
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["engine.logical_bytes"] == 8 * CHUNK
+        assert gauges["engine.unique_chunks"] == 5
+        assert gauges["engine.duplicate_chunks"] == 3
+        assert gauges["engine.containers_sealed"] == 1
+        assert 0.0 <= gauges["engine.dedup_ratio"] <= 1.0
+        # The published factor is always finite (the collector clamps
+        # the stored-nothing corner so the snapshot stays strict-JSON);
+        # keep the engine referenced so its weak collector stays alive.
+        import math
+        fresh_registry = MetricsRegistry()
+        fresh_engine = make_engine(registry=fresh_registry)
+        fresh = fresh_registry.snapshot()["gauges"]
+        assert math.isfinite(fresh["engine.reduction_factor"])
+        del fresh_engine

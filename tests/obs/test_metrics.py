@@ -1,0 +1,160 @@
+"""MetricsRegistry unit tests: instrument semantics, kind safety,
+collector lifecycle (weak methods), thread safety, and the snapshot
+shape everything downstream (STATS, repro.obs top) consumes."""
+
+from __future__ import annotations
+
+import gc
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS_NS,
+    MetricsRegistry,
+    bucket_quantile,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_counters_are_integral(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(TypeError):
+            counter.inc(1.5)
+        with pytest.raises(TypeError):
+            counter.inc(True)  # bools are not byte counts
+
+    def test_counters_are_monotonic(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_threaded_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry(stripes=4)
+        counter = registry.counter("c")
+
+        def worker():
+            for _ in range(5_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_observations_land_in_inclusive_upper_buckets(self):
+        hist = MetricsRegistry().histogram("h", bounds=(10, 100))
+        for value in (10, 11, 100, 101):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # bucket 0: <=10, bucket 1: <=100, bucket 2: overflow.
+        assert snap["counts"] == [1, 2, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == 222
+        assert snap["min"] == 10
+        assert snap["max"] == 101
+
+    def test_default_bounds_cover_ns_latencies(self):
+        assert DEFAULT_LATENCY_BOUNDS_NS == tuple(
+            sorted(DEFAULT_LATENCY_BOUNDS_NS)
+        )
+        assert DEFAULT_LATENCY_BOUNDS_NS[0] == 1_000
+        assert DEFAULT_LATENCY_BOUNDS_NS[-1] == 1_000_000_000
+
+    def test_bucket_quantile_interpolates_bounds(self):
+        hist = MetricsRegistry().histogram("h", bounds=(10, 100, 1000))
+        for _ in range(90):
+            hist.observe(5)
+        for _ in range(10):
+            hist.observe(500)
+        snap = hist.snapshot()
+        assert bucket_quantile(snap, 0.5) == 10
+        assert bucket_quantile(snap, 0.99) == 1000
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        snap = MetricsRegistry().histogram("h").snapshot()
+        assert bucket_quantile(snap, 0.99) == 0.0
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot_shape_is_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(5_000)
+        snap = registry.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["gauges"]["g"] == 0.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+    def test_collectors_run_on_snapshot(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda reg: reg.gauge("pulled").set(7)
+        )
+        assert registry.snapshot()["gauges"]["pulled"] == 7
+
+    def test_dead_component_collectors_drop_out(self):
+        registry = MetricsRegistry()
+
+        class Component:
+            def publish(self, reg):
+                reg.gauge("component.alive").set(1)
+
+        component = Component()
+        registry.register_collector(component.publish)
+        assert registry.snapshot()["gauges"]["component.alive"] == 1
+        del component
+        gc.collect()
+        # A live collector would overwrite this back to 1 at snapshot
+        # time; a pruned one leaves the manual sample alone.
+        registry.gauge("component.alive").set(0)
+        assert registry.snapshot()["gauges"]["component.alive"] == 0
+
+    def test_default_registry_is_swappable(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

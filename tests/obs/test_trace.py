@@ -1,0 +1,164 @@
+"""Trace-span unit tests: the zero-overhead disabled path, recording
+semantics, trace-id scoping, capture/merge, and the TracedStages
+adapter the engine installs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    """Fresh registry + empty ring + tracing off around every test."""
+    previous = set_registry(MetricsRegistry())
+    trace.set_enabled(False)
+    trace.clear()
+    trace._TRACE_ID.set(None)
+    try:
+        yield
+    finally:
+        trace.set_enabled(False)
+        trace.clear()
+        trace._TRACE_ID.set(None)
+        set_registry(previous)
+
+
+class TestDisabledPath:
+    def test_span_is_the_shared_noop_singleton(self):
+        assert trace.span("a") is trace.span("b", tag=1)
+
+    def test_noop_span_records_nothing(self):
+        with trace.span("engine.stage.hash"):
+            pass
+        trace.observe("server.queue.wait", 123)
+        assert trace.tail() == []
+
+    def test_current_context_is_none(self):
+        assert trace.current_context() is None
+
+
+class TestEnabledPath:
+    def test_span_records_name_duration_and_tags(self):
+        with trace.enabled():
+            with trace.span("engine.stage.compress", chunks=3):
+                pass
+        records = trace.tail()
+        assert len(records) == 1
+        record = records[0]
+        assert record.name == "engine.stage.compress"
+        assert record.tags == {"chunks": 3}
+        assert record.dur_ns >= 0
+        assert record.trace_id > 0
+
+    def test_nested_spans_share_one_trace_id(self):
+        with trace.enabled():
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        inner, outer = trace.tail()
+        assert inner.name == "inner"
+        assert inner.trace_id == outer.trace_id
+
+    def test_sequential_roots_get_distinct_trace_ids(self):
+        with trace.enabled():
+            with trace.span("first"):
+                pass
+            with trace.span("second"):
+                pass
+        first, second = trace.tail()
+        assert first.trace_id != second.trace_id
+
+    def test_observe_records_a_caller_timed_span(self):
+        with trace.enabled():
+            trace.observe("server.queue.wait", 5_000, depth=2)
+        (record,) = trace.tail()
+        assert record.dur_ns == 5_000
+        assert record.tags == {"depth": 2}
+
+    def test_spans_feed_a_ns_histogram(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            with trace.enabled():
+                with trace.span("engine.stage.pack"):
+                    pass
+        finally:
+            set_registry(previous)
+        snap = registry.snapshot()
+        assert snap["histograms"]["engine.stage.pack.ns"]["count"] == 1
+
+    def test_enabled_context_restores_prior_state(self):
+        with trace.enabled():
+            assert trace.is_enabled()
+        assert not trace.is_enabled()
+
+    def test_tail_limit_returns_newest_oldest_first(self):
+        with trace.enabled():
+            for index in range(5):
+                with trace.span(f"s{index}"):
+                    pass
+        names = [record.name for record in trace.tail(2)]
+        assert names == ["s3", "s4"]
+
+
+class TestCaptureAndMerge:
+    def test_adopt_captures_instead_of_committing(self):
+        with trace.enabled():
+            context = trace.current_context()
+            assert context is not None
+            with trace.adopt(context) as captured:
+                with trace.span("pool.slice"):
+                    pass
+            assert trace.tail() == []
+            assert [record.name for record in captured] == ["pool.slice"]
+            assert captured[0].trace_id == context.trace_id
+            trace.merge(captured)
+        assert [record.name for record in trace.tail()] == ["pool.slice"]
+
+    def test_current_context_does_not_bind_the_caller(self):
+        # Regression: minting a context outside any span must not leave
+        # the caller's thread carrying that trace id — later root spans
+        # would all inherit it and trace ids would stop partitioning
+        # work.  (Sibling slices still share, because one map() ships
+        # the same ExecutorContext to every slice.)
+        with trace.enabled():
+            context = trace.current_context()
+            with trace.span("later.root"):
+                pass
+        (record,) = trace.tail()
+        assert record.trace_id != context.trace_id
+
+    def test_adopt_force_enables_for_process_children(self):
+        # A forked worker starts with the module default (disabled) even
+        # though the parent traced; adopt() must still capture.
+        context = trace.ExecutorContext(trace_id=77)
+        with trace.adopt(context) as captured:
+            assert trace.is_enabled()
+            with trace.span("pool.slice"):
+                pass
+        assert not trace.is_enabled()
+        assert captured[0].trace_id == 77
+
+
+class TestTracedStages:
+    def test_active_mirrors_the_module_flag(self):
+        clock = trace.TracedStages()
+        assert not clock.active
+        with trace.enabled():
+            assert clock.active
+
+    def test_stage_names_are_prefixed(self):
+        clock = trace.TracedStages()
+        with trace.enabled():
+            with clock.stage("lookup"):
+                pass
+        (record,) = trace.tail()
+        assert record.name == "engine.stage.lookup"
+
+    def test_stage_is_noop_while_disabled(self):
+        clock = trace.TracedStages()
+        assert clock.stage("lookup") is trace.span("anything")
+        assert trace.tail() == []
