@@ -38,6 +38,14 @@ R007   No ad-hoc instrumentation in the data/serving path
        durations through :mod:`repro.obs.trace` spans and publish
        numbers through the :mod:`repro.obs.metrics` registry so the
        STATS op sees them (DESIGN.md §5.5).
+R008   No direct compression/hashing backend calls (``zlib.*``,
+       ``hashlib.sha256``, ``zstandard.*``, ``lz4.*``, ``blake3.*``)
+       in ``repro.datared``/``repro.systems`` outside the registry
+       modules — payload bytes must flow through the codec and
+       fingerprint plugins so every chunk carries its codec tag and
+       the configured algorithms are actually the ones running
+       (DESIGN.md §5.6).  CRC helpers (``zlib.crc32``/``adler32``)
+       are not payload codecs and stay allowed.
 =====  ==============================================================
 
 Suppress a single line with ``# repro-lint: disable=R001`` (comma
@@ -82,6 +90,7 @@ RULES: Dict[str, str] = {
     "R005": "bare or silently swallowed exception in the serving layer",
     "R006": "byte copy inside a hot-path function without a copy-ok reason",
     "R007": "ad-hoc timing/print instrumentation outside repro.obs",
+    "R008": "direct codec/hash backend call outside the plugin registries",
 }
 
 _DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
@@ -170,6 +179,24 @@ _R007_PACKAGES = (
     "repro.parallel",
     "repro.sync",
 )
+
+#: Modules R008 covers: every payload byte in the reduction path must
+#: go through the codec/fingerprint registries.
+_R008_PACKAGES = ("repro.datared", "repro.systems")
+#: The registries themselves (and their byte-compatible predecessors)
+#: are where the direct backend calls legitimately live.
+_R008_REGISTRY_MODULES = (
+    "repro.datared.codecs",
+    "repro.datared.compression",
+    "repro.datared.hashing",
+)
+#: Direct payload-codec/fingerprint backend call prefixes R008 flags.
+_R008_BACKEND_PREFIXES = ("zlib.", "zstandard.", "lz4.", "blake3.")
+#: Exact names flagged (attribute-path calls like ``hashlib.sha256``).
+_R008_BACKEND_CALLS = frozenset({"hashlib.sha256", "hashlib.new"})
+#: Checksum helpers that merely share zlib's namespace — not payload
+#: codecs (the journal's record CRCs use them).
+_R008_ALLOWED = frozenset({"zlib.crc32", "zlib.adler32"})
 
 #: Target names R004 treats as integral ledgers.
 _COUNTER_RE = re.compile(
@@ -497,6 +524,11 @@ class _RuleWalker(ast.NodeVisitor):
             and module.startswith(_R007_PACKAGES)
             and not module.endswith("__main__")
         )
+        self.check_plugins = (
+            "R008" in rules
+            and module.startswith(_R008_PACKAGES)
+            and module not in _R008_REGISTRY_MODULES
+        )
         self.name_based_guards = module.startswith("repro")
         self.class_stack: List[str] = []
         #: (function name, held guards, body-is-directly-async)
@@ -695,6 +727,19 @@ class _RuleWalker(ast.NodeVisitor):
                         "print-style metric reporting in the instrumented "
                         "path; publish through the repro.obs.metrics "
                         "registry (counter/gauge/histogram) instead",
+                    )
+            if self.check_plugins and name not in _R008_ALLOWED:
+                if name in _R008_BACKEND_CALLS or name.startswith(
+                    _R008_BACKEND_PREFIXES
+                ):
+                    self._emit(
+                        "R008",
+                        node,
+                        f"direct backend call {name}() outside the plugin "
+                        "registries; route payload bytes through "
+                        "repro.datared.codecs / repro.datared.hashing so "
+                        "chunks carry their codec tag and the configured "
+                        "plugins actually run",
                     )
         self.generic_visit(node)
 
@@ -928,7 +973,7 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Concurrency/determinism contract linter (rules R001-R007).",
+        description="Concurrency/determinism contract linter (rules R001-R008).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(

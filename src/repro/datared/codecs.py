@@ -1,0 +1,711 @@
+"""The codec plugin registry: pluggable compression behind one tag byte.
+
+The paper treats compression as a swappable engine behind a fixed
+chunk-in/record-out contract (§2.1, §5.2.2: a dedicated FPGA DEFLATE
+core today, anything with the same interface tomorrow).  This module is
+that contract rendered as a plugin API:
+
+* Every codec implements the :class:`~repro.datared.compression.Compressor`
+  interface (aliased :data:`Codec` here) and stamps its output with a
+  **1-byte on-disk tag** — the first byte of every container payload.
+  Tags are allocated once, below, and never reused; a container may
+  therefore mix chunks from different codecs and still read back
+  correctly after any reconfiguration.
+* :func:`decode_chunk` / :func:`decode_many` dispatch *reads* on that
+  tag, independent of whichever codec is currently configured for
+  writes.  Payloads predating the tag discipline (or written by a codec
+  with out-of-band state, e.g. a trained dictionary) fall back to the
+  engine's configured compressor.
+* :func:`register_codec` / :func:`create_codec` name the write-side
+  choices.  ``zstd`` and ``lz4`` are optional imports: when their
+  backing libraries are absent the codecs stay *registered* but
+  unavailable, and selecting them raises a typed
+  :class:`~repro.errors.MissingDependencyError` (install the ``codecs``
+  extras group).
+
+Tag allocation (DESIGN.md §5.6):
+
+======  ==========  ====================================================
+Tag     Codec       Body
+======  ==========  ====================================================
+0x00    raw         the chunk verbatim (every codec's incompressible
+                    escape — shared, so any reader can decode it)
+0x01    zlib        raw DEFLATE stream (no zlib header/checksum)
+0x02    zstd        one zstd frame with embedded content size
+0x03    lz4         one lz4 block, ``store_size=False`` (the logical
+                    size travels in the PBN record instead)
+0x04    modeled     the chunk verbatim; ``stored_size`` is modelled
+======  ==========  ====================================================
+
+Every codec honours the zero-copy discipline (DESIGN.md §5.4): the
+incompressible escape stores a *view* of the caller's buffer, and the
+single sanctioned copy happens at the container boundary via
+:meth:`~repro.datared.compression.CompressedChunk.materialize`.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from functools import partial
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
+
+from ..errors import MissingDependencyError
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from .compression import (
+    Buffer,
+    CompressedChunk,
+    Compressor,
+    ModeledCompressor,
+    ZlibCompressor,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..parallel import StagePool
+
+try:  # optional: the `codecs` extras group
+    import zstandard
+except ImportError:  # pragma: no cover - environment-dependent
+    zstandard = None
+
+try:  # optional: the `codecs` extras group
+    import lz4.block
+except ImportError:  # pragma: no cover - environment-dependent
+    lz4 = None
+
+__all__ = [
+    "Codec",
+    "TAG_RAW",
+    "TAG_DEFLATE",
+    "TAG_ZSTD",
+    "TAG_LZ4",
+    "TAG_MODELED",
+    "RawCodec",
+    "ZstdCodec",
+    "Lz4Codec",
+    "AdaptiveCodec",
+    "register_codec",
+    "register_decoder",
+    "create_codec",
+    "codec_names",
+    "codec_available",
+    "available_codecs",
+    "decode_chunk",
+    "decode_many",
+]
+
+#: The plugin interface every codec implements.  An alias, not a copy:
+#: :class:`~repro.datared.compression.Compressor` *is* the contract
+#: (compress/decompress plus the batched ``*_many`` forms that carry the
+#: ``requires_pickling`` semantics for process-backed pools).
+Codec = Compressor
+
+# -- tag allocation (append-only; never renumber a shipped tag) -------------
+TAG_RAW = 0x00
+TAG_DEFLATE = 0x01
+TAG_ZSTD = 0x02
+TAG_LZ4 = 0x03
+TAG_MODELED = 0x04
+
+_RAW_PREFIX = bytes([TAG_RAW])
+
+# The zlib codec predates the registry; its private tag bytes are the
+# on-disk format every pre-registry container used, so the allocation
+# table above must agree with them byte-for-byte.
+assert ZlibCompressor._RAW == bytes([TAG_RAW])
+assert ZlibCompressor._DEFLATE == bytes([TAG_DEFLATE])
+
+
+def _raw_escape(data: Buffer, size: int) -> CompressedChunk:  # repro-lint: hot-path
+    """The shared store-uncompressed escape: tag 0x00, borrowed view."""
+    raw = data if type(data) is bytes else memoryview(data)
+    return CompressedChunk(
+        payload=raw, logical_size=size, stored_size=size, prefix=_RAW_PREFIX
+    )
+
+
+def _tag_and_body(chunk: CompressedChunk) -> Tuple[int, Buffer]:  # repro-lint: hot-path
+    """Split a chunk into its codec tag and body without copying."""
+    if chunk.prefix:
+        return chunk.prefix[0], chunk.payload
+    if not len(chunk.payload):
+        raise ValueError("empty compressed payload")
+    view = memoryview(chunk.payload)
+    return view[0], view[1:]
+
+
+def _check_size(data: bytes, chunk: CompressedChunk) -> bytes:
+    if len(data) != chunk.logical_size:
+        raise ValueError(
+            f"decompressed to {len(data)} bytes, expected {chunk.logical_size}"
+        )
+    return data
+
+
+# -- per-tag decoders --------------------------------------------------------
+
+
+def _decode_raw(chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+    _, body = _tag_and_body(chunk)
+    return _check_size(bytes(body), chunk)  # repro-lint: copy-ok reads return owned bytes
+
+
+def _decode_deflate(chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+    _, body = _tag_and_body(chunk)
+    # A full 32-KB window decodes any raw-deflate stream compressed with
+    # a smaller one, so the reader needs no codec parameters.  Output is
+    # capped at logical_size + 1 so corrupt input cannot balloon memory.
+    inflater = zlib.decompressobj(-15)
+    return _check_size(
+        inflater.decompress(body, chunk.logical_size + 1), chunk
+    )
+
+
+_ZSTD_LOCAL = threading.local()
+
+
+def _decode_zstd(chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+    if zstandard is None:
+        raise MissingDependencyError(
+            "chunk stored with the 'zstd' codec but the 'zstandard' module "
+            "is not installed (install the repro[codecs] extras)"
+        )
+    _, body = _tag_and_body(chunk)
+    try:
+        dctx = _ZSTD_LOCAL.dctx
+    except AttributeError:
+        dctx = _ZSTD_LOCAL.dctx = zstandard.ZstdDecompressor()
+    return _check_size(dctx.decompress(body), chunk)
+
+
+def _decode_lz4(chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+    if lz4 is None:
+        raise MissingDependencyError(
+            "chunk stored with the 'lz4' codec but the 'lz4' module is not "
+            "installed (install the repro[codecs] extras)"
+        )
+    _, body = _tag_and_body(chunk)
+    return _check_size(
+        lz4.block.decompress(body, uncompressed_size=chunk.logical_size),
+        chunk,
+    )
+
+
+def _decode_modeled(chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+    _, body = _tag_and_body(chunk)
+    return _check_size(bytes(body), chunk)  # repro-lint: copy-ok reads return owned bytes
+
+
+#: Tag byte -> decoder.  Reads dispatch here regardless of the codec
+#: currently configured for writes, which is what makes mixed-codec
+#: containers (and reconfiguration without rewrite) safe.
+_DECODERS: Dict[int, Callable[[CompressedChunk], bytes]] = {
+    TAG_RAW: _decode_raw,
+    TAG_DEFLATE: _decode_deflate,
+    TAG_ZSTD: _decode_zstd,
+    TAG_LZ4: _decode_lz4,
+    TAG_MODELED: _decode_modeled,
+}
+
+
+def register_decoder(
+    tag: int,
+    decode: Callable[[CompressedChunk], bytes],
+    *,
+    replace: bool = False,
+) -> None:
+    """Claim ``tag`` for ``decode`` (third-party codecs register here).
+
+    Tags are a shared on-disk namespace: claiming an allocated tag
+    without ``replace=True`` is an error, because two decoders for one
+    tag means stored data whose meaning depends on import order.
+    """
+    if not 0 <= tag <= 0xFF:
+        raise ValueError(f"codec tag must fit one byte, got {tag}")
+    if not replace and tag in _DECODERS:
+        raise ValueError(f"codec tag 0x{tag:02x} is already allocated")
+    _DECODERS[tag] = decode
+
+
+def decode_chunk(
+    chunk: CompressedChunk, fallback: Optional[Compressor] = None
+) -> bytes:  # repro-lint: hot-path
+    """Decode one chunk by its codec tag.
+
+    ``fallback`` (typically the engine's configured compressor) handles
+    what tag dispatch cannot: payloads predating the tag discipline
+    (whose first byte is arbitrary chunk data) and codecs whose decode
+    needs out-of-band state such as a trained dictionary.  A
+    :class:`~repro.errors.MissingDependencyError` is never silently
+    masked — a missing library needs installing, not reinterpreting the
+    bytes — but when the tag byte came from the *payload* (a container
+    read, where a pre-tag chunk's first byte is arbitrary data) the
+    fallback gets one attempt first, and the install error resurfaces
+    only if it cannot decode either.  A fresh chunk's ``prefix`` tag is
+    authoritative, so there the error propagates immediately.
+    """
+    tag = chunk.prefix[0] if chunk.prefix else (
+        chunk.payload[0] if len(chunk.payload) else -1
+    )
+    decoder = _DECODERS.get(tag)
+    if decoder is not None:
+        try:
+            return decoder(chunk)
+        except MissingDependencyError as exc:
+            if fallback is None or chunk.prefix:
+                raise
+            try:
+                return fallback.decompress(chunk)
+            except Exception:
+                raise exc
+        except Exception:
+            if fallback is None:
+                raise
+    elif fallback is None:
+        raise ValueError(f"unknown codec tag 0x{tag:02x} and no fallback decoder")
+    return fallback.decompress(chunk)
+
+
+def decode_many(
+    chunks: Sequence[CompressedChunk],
+    pool: Optional["StagePool"] = None,
+    *,
+    min_batch: int = 0,
+    fallback: Optional[Compressor] = None,
+) -> List[bytes]:  # repro-lint: hot-path
+    """Tag-dispatched batch decode, in input order.
+
+    The batched twin of :func:`decode_chunk`, mirroring
+    :meth:`~repro.datared.compression.Compressor.decompress_many`:
+    ``min_batch`` gates the fan-out so small reads decompress inline.
+    The mapped callable is a partial of a module-level function, so it
+    crosses a process-backed pool's pickling boundary when ``fallback``
+    does.
+    """
+    if pool is None:
+        return [decode_chunk(chunk, fallback) for chunk in chunks]
+    return pool.map(
+        partial(decode_chunk, fallback=fallback), chunks, min_batch=min_batch
+    )
+
+
+# -- codec implementations ---------------------------------------------------
+
+
+class RawCodec(Compressor):
+    """Store chunks verbatim (tag 0x00): compression disabled.
+
+    The measurement control for codec sweeps, and the target the
+    adaptive codec routes incompressible chunks to.  ``stored_size``
+    equals ``logical_size``, exactly like every codec's raw escape.
+    """
+
+    name = "raw"
+
+    def compress(self, data: Buffer) -> CompressedChunk:  # repro-lint: hot-path
+        size = len(data)
+        if not size:
+            raise ValueError("cannot compress an empty chunk")
+        return _raw_escape(data, size)
+
+    def decompress(self, chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+        tag, body = _tag_and_body(chunk)
+        if tag != TAG_RAW:
+            raise ValueError(f"unknown compression tag 0x{tag:02x}")
+        return _check_size(bytes(body), chunk)  # repro-lint: copy-ok reads return owned bytes
+
+
+class ZstdCodec(Compressor):
+    """Zstandard compression (tag 0x02), optionally dictionary-trained.
+
+    Requires the optional ``zstandard`` module (``repro[codecs]``).
+    Each thread keeps one reused compression/decompression context —
+    zstd context setup dominates the per-4-KB cost the same way
+    ``deflateInit`` does for zlib — and the contexts are rebuilt lazily
+    per process-pool worker (they hold C state that cannot be pickled).
+
+    ``dictionary`` carries trained-dictionary bytes: chunks then
+    compress against it, and *reading them back requires a codec bound
+    to the same dictionary* — tag dispatch alone cannot decode them, so
+    the engine's fallback path (its configured compressor) does.  See
+    DESIGN.md §5.6 for the dictionary lifecycle.
+    """
+
+    name = "zstd"
+    _TAG = bytes([TAG_ZSTD])
+
+    def __init__(
+        self, level: int = 3, dictionary: Optional[bytes] = None
+    ) -> None:
+        if zstandard is None:
+            raise MissingDependencyError(
+                "the 'zstd' codec requires the 'zstandard' module "
+                "(install the repro[codecs] extras)"
+            )
+        if not 1 <= level <= 22:
+            raise ValueError(f"zstd level must be 1-22, got {level}")
+        self.level = level
+        self.dictionary = dictionary
+        self._local = threading.local()
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Compression contexts hold C state; process-pool workers
+        # rebuild them lazily from the parameters.
+        return {"level": self.level, "dictionary": self.dictionary}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.level = cast(int, state["level"])
+        self.dictionary = cast(Optional[bytes], state["dictionary"])
+        self._local = threading.local()
+
+    def _contexts(self) -> Tuple[object, object]:
+        local = self._local
+        try:
+            return local.cctx, local.dctx
+        except AttributeError:
+            dict_data = (
+                zstandard.ZstdCompressionDict(self.dictionary)
+                if self.dictionary
+                else None
+            )
+            if dict_data is not None:
+                cctx = zstandard.ZstdCompressor(
+                    level=self.level, dict_data=dict_data
+                )
+                dctx = zstandard.ZstdDecompressor(dict_data=dict_data)
+            else:
+                cctx = zstandard.ZstdCompressor(level=self.level)
+                dctx = zstandard.ZstdDecompressor()
+            local.cctx, local.dctx = cctx, dctx
+            return cctx, dctx
+
+    def train(
+        self, samples: Sequence[Buffer], dict_size: int = 16384
+    ) -> "ZstdCodec":
+        """A new codec bound to a dictionary trained on ``samples``.
+
+        The returned codec's :attr:`dictionary` bytes are the caller's
+        to persist — dictionary-compressed chunks are only readable
+        through a codec carrying the same dictionary (DESIGN.md §5.6).
+        """
+        trained = zstandard.train_dictionary(
+            dict_size, [bytes(sample) for sample in samples]
+        )
+        return ZstdCodec(level=self.level, dictionary=trained.as_bytes())
+
+    def compress(self, data: Buffer) -> CompressedChunk:  # repro-lint: hot-path
+        size = len(data)
+        if not size:
+            raise ValueError("cannot compress an empty chunk")
+        cctx, _ = self._contexts()
+        body = cctx.compress(data)  # type: ignore[attr-defined]
+        if 1 + len(body) <= size:
+            return CompressedChunk(
+                payload=body,
+                logical_size=size,
+                stored_size=1 + len(body),
+                prefix=self._TAG,
+            )
+        return _raw_escape(data, size)
+
+    def decompress(self, chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+        tag, body = _tag_and_body(chunk)
+        if tag == TAG_ZSTD:
+            _, dctx = self._contexts()
+            return _check_size(dctx.decompress(body), chunk)  # type: ignore[attr-defined]
+        if tag == TAG_RAW:
+            return _check_size(bytes(body), chunk)  # repro-lint: copy-ok reads return owned bytes
+        raise ValueError(f"unknown compression tag 0x{tag:02x}")
+
+
+class Lz4Codec(Compressor):
+    """LZ4 block compression (tag 0x03): speed-first, ratio-second.
+
+    Requires the optional ``lz4`` module (``repro[codecs]``).  Blocks
+    are stored without the embedded size header (``store_size=False``)
+    — the logical size already travels in the PBN record, so the body
+    carries no redundant bytes.
+    """
+
+    name = "lz4"
+    _TAG = bytes([TAG_LZ4])
+
+    def __init__(self, acceleration: int = 1) -> None:
+        if lz4 is None:
+            raise MissingDependencyError(
+                "the 'lz4' codec requires the 'lz4' module "
+                "(install the repro[codecs] extras)"
+            )
+        if acceleration < 1:
+            raise ValueError(
+                f"lz4 acceleration must be >= 1, got {acceleration}"
+            )
+        self.acceleration = acceleration
+
+    def compress(self, data: Buffer) -> CompressedChunk:  # repro-lint: hot-path
+        size = len(data)
+        if not size:
+            raise ValueError("cannot compress an empty chunk")
+        body = lz4.block.compress(
+            data,
+            mode="fast",
+            acceleration=self.acceleration,
+            store_size=False,
+        )
+        if 1 + len(body) <= size:
+            return CompressedChunk(
+                payload=body,
+                logical_size=size,
+                stored_size=1 + len(body),
+                prefix=self._TAG,
+            )
+        return _raw_escape(data, size)
+
+    def decompress(self, chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+        tag, body = _tag_and_body(chunk)
+        if tag == TAG_LZ4:
+            return _check_size(
+                lz4.block.decompress(
+                    body, uncompressed_size=chunk.logical_size
+                ),
+                chunk,
+            )
+        if tag == TAG_RAW:
+            return _check_size(bytes(body), chunk)  # repro-lint: copy-ok reads return owned bytes
+        raise ValueError(f"unknown compression tag 0x{tag:02x}")
+
+
+class AdaptiveCodec(Compressor):
+    """Per-chunk codec routing from a cheap entropy probe.
+
+    Samples up to ``probe_bytes`` bytes (strided across the chunk, so
+    mixed content is seen end to end) and counts distinct byte values —
+    a crude but monotone entropy proxy costing well under a microsecond:
+
+    * distinct fraction >= ``raw_threshold``: effectively random; skip
+      compression entirely (the ``raw`` escape) instead of paying the
+      dominant-stage cost for nothing,
+    * >= ``fast_threshold``: moderately redundant; take the *fast*
+      codec (lz4 when available),
+    * below: highly redundant; the *primary* codec's better ratio is
+      nearly free on such chunks (zstd when available, zlib otherwise).
+
+    Routing decisions publish as ``codec.adaptive.chosen.<name>``
+    counters; batch fan-out probes in the submitting thread and
+    delegates each partition to the target codec's own
+    ``compress_many``, preserving input order.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        primary: Optional[Compressor] = None,
+        fast: Optional[Compressor] = None,
+        *,
+        probe_bytes: int = 64,
+        raw_threshold: float = 0.80,
+        fast_threshold: float = 0.30,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+    ) -> None:
+        if probe_bytes < 8:
+            raise ValueError(f"probe_bytes must be >= 8, got {probe_bytes}")
+        if not 0.0 < fast_threshold < raw_threshold <= 1.0:
+            raise ValueError(
+                "thresholds must satisfy 0 < fast_threshold < "
+                f"raw_threshold <= 1, got {fast_threshold}/{raw_threshold}"
+            )
+        if primary is None:
+            primary = (
+                ZstdCodec() if zstandard is not None else ZlibCompressor()
+            )
+        if fast is None:
+            fast = Lz4Codec() if lz4 is not None else primary
+        self.primary = primary
+        self.fast = fast
+        self.skip = RawCodec()
+        self.probe_bytes = probe_bytes
+        self.raw_threshold = raw_threshold
+        self.fast_threshold = fast_threshold
+        self._build_counters(registry)
+
+    def _build_counters(
+        self, registry: Optional[_metrics.MetricsRegistry]
+    ) -> None:
+        reg = registry if registry is not None else _metrics.get_registry()
+        self._chosen: Dict[int, _metrics.Counter] = {
+            id(target): reg.counter(f"codec.adaptive.chosen.{target.name}")
+            for target in (self.skip, self.fast, self.primary)
+        }
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Counters hold locks; workers re-resolve them from their own
+        # process registry.
+        return {
+            "primary": self.primary,
+            "fast": self.fast,
+            "skip": self.skip,
+            "probe_bytes": self.probe_bytes,
+            "raw_threshold": self.raw_threshold,
+            "fast_threshold": self.fast_threshold,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.primary = cast(Compressor, state["primary"])
+        self.fast = cast(Compressor, state["fast"])
+        self.skip = cast(RawCodec, state["skip"])
+        self.probe_bytes = cast(int, state["probe_bytes"])
+        self.raw_threshold = cast(float, state["raw_threshold"])
+        self.fast_threshold = cast(float, state["fast_threshold"])
+        self._build_counters(None)
+
+    def _route(self, data: Buffer) -> Compressor:  # repro-lint: hot-path
+        size = len(data)
+        step = size // self.probe_bytes or 1
+        sample = bytes(memoryview(data)[::step])  # repro-lint: copy-ok probe sample is <= probe_bytes bytes
+        distinct = len(set(sample)) / len(sample)
+        if distinct >= self.raw_threshold:
+            return self.skip
+        if distinct >= self.fast_threshold:
+            return self.fast
+        return self.primary
+
+    def compress(self, data: Buffer) -> CompressedChunk:  # repro-lint: hot-path
+        target = self._route(data)
+        self._chosen[id(target)].inc()
+        return target.compress(data)
+
+    def compress_many(
+        self,
+        buffers: Sequence[Buffer],
+        pool: Optional["StagePool"] = None,
+    ) -> List[CompressedChunk]:  # repro-lint: hot-path
+        """Probe in the submitting thread, fan each partition out.
+
+        Probing is two orders of magnitude cheaper than compressing, so
+        running it serially costs little while keeping the routing
+        counters (and process-pool delegation) in the parent.
+        """
+        with _trace.span("compress." + self.name, chunks=len(buffers)):
+            groups: Dict[int, Tuple[Compressor, List[int]]] = {}
+            for index, data in enumerate(buffers):
+                target = self._route(data)
+                entry = groups.get(id(target))
+                if entry is None:
+                    entry = groups[id(target)] = (target, [])
+                entry[1].append(index)
+            results: List[Optional[CompressedChunk]] = [None] * len(buffers)
+            for target, positions in groups.values():
+                self._chosen[id(target)].inc(len(positions))
+                packed = target.compress_many(
+                    [buffers[position] for position in positions], pool=pool
+                )
+                for position, chunk in zip(positions, packed):
+                    results[position] = chunk
+            return cast(List[CompressedChunk], results)
+
+    def decompress(self, chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
+        # Tag dispatch covers everything the sub-codecs emit; the
+        # primary is the fallback so dictionary-bound chunks decode too.
+        return decode_chunk(chunk, self.primary)
+
+
+# -- the registry ------------------------------------------------------------
+
+
+class _CodecEntry(NamedTuple):
+    factory: Callable[..., Compressor]
+    available: Callable[[], bool]
+
+
+_CODECS: Dict[str, _CodecEntry] = {}
+
+
+def register_codec(
+    name: str,
+    factory: Callable[..., Compressor],
+    *,
+    available: Optional[Callable[[], bool]] = None,
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` under ``name``.
+
+    ``available`` reports whether the codec's backing library is
+    importable *right now* — absent codecs stay listed (so CLIs can name
+    them) but :func:`create_codec` raises
+    :class:`~repro.errors.MissingDependencyError` for them.
+    """
+    if not name:
+        raise ValueError("codec name must be non-empty")
+    if not replace and name in _CODECS:
+        raise ValueError(f"codec {name!r} is already registered")
+    _CODECS[name] = _CodecEntry(
+        factory, available if available is not None else _always
+    )
+
+
+def _always() -> bool:
+    return True
+
+
+def _zstd_importable() -> bool:
+    return zstandard is not None
+
+
+def _lz4_importable() -> bool:
+    return lz4 is not None
+
+
+def codec_names() -> List[str]:
+    """Every registered codec name, available or not."""
+    return sorted(_CODECS)
+
+
+def codec_available(name: str) -> bool:
+    """Whether ``name`` is registered *and* its backing library imports."""
+    entry = _CODECS.get(name)
+    return entry is not None and entry.available()
+
+
+def available_codecs() -> List[str]:
+    """The codec names that can actually be constructed here."""
+    return [name for name in codec_names() if _CODECS[name].available()]
+
+
+def create_codec(name: str, **params: object) -> Compressor:
+    """Build the codec registered as ``name`` with ``params``.
+
+    Raises ``ValueError`` for an unknown name and
+    :class:`~repro.errors.MissingDependencyError` for a registered codec
+    whose optional backing library is absent.
+    """
+    entry = _CODECS.get(name)
+    if entry is None:
+        raise ValueError(
+            f"unknown codec {name!r}; registered: {', '.join(codec_names())}"
+        )
+    if not entry.available():
+        raise MissingDependencyError(
+            f"codec {name!r} is registered but its backing library is not "
+            "installed (install the repro[codecs] extras)"
+        )
+    return entry.factory(**params)
+
+
+register_codec("zlib", ZlibCompressor)
+register_codec("raw", RawCodec)
+register_codec("modeled", ModeledCompressor)
+register_codec("zstd", ZstdCodec, available=_zstd_importable)
+register_codec("lz4", Lz4Codec, available=_lz4_importable)
+register_codec("adaptive", AdaptiveCodec)

@@ -31,6 +31,8 @@ import threading
 import zlib
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
+from ..obs import trace as _trace
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..parallel import StagePool
 
@@ -107,13 +109,37 @@ class CompressedChunk:
 
 
 class Compressor:
-    """Strategy interface: compress/decompress one chunk."""
+    """Strategy interface: compress/decompress one chunk.
+
+    This is the codec plugin contract (see :mod:`repro.datared.codecs`
+    for the registry, the on-disk tag allocation, and the optional
+    implementations).  Implementations stamp each payload with a 1-byte
+    codec tag — either as :attr:`CompressedChunk.prefix` on a fresh
+    chunk or as the first payload byte once materialized — so reads can
+    dispatch on the tag independent of the configured write codec.
+    ``name`` identifies the codec in the registry, in per-codec
+    ``compress.<name>`` trace spans, and in routing counters.
+    """
+
+    name = "custom"
 
     def compress(self, data: Buffer) -> CompressedChunk:
         raise NotImplementedError
 
     def decompress(self, chunk: CompressedChunk) -> bytes:
         raise NotImplementedError
+
+    def train(self, samples: Sequence[Buffer]) -> "Compressor":
+        """A new codec tuned to ``samples`` (trained dictionary).
+
+        Codecs without dictionary support — the default — raise
+        ``NotImplementedError``; see
+        :meth:`repro.datared.codecs.ZstdCodec.train` for the one that
+        implements it and DESIGN.md §5.6 for the dictionary lifecycle.
+        """
+        raise NotImplementedError(
+            f"codec {self.name!r} does not support trained dictionaries"
+        )
 
     def compress_many(
         self,
@@ -128,16 +154,22 @@ class Compressor:
         outputs, so buffers are materialized before crossing the IPC
         boundary and results come back with ``bytes`` payloads.
         Results are in input order either way.
+
+        The batch runs under a ``compress.<name>`` trace span, so when
+        tracing is enabled each codec's stage time lands in its own
+        ``compress.<name>.ns`` histogram; disabled, the span is the
+        shared no-op (one dict lookup per batch).
         """
-        if pool is None:
-            return [self.compress(data) for data in buffers]
-        if pool.requires_pickling:
-            portable = [
-                data if type(data) is bytes else bytes(data)  # repro-lint: copy-ok process pools serialize arguments anyway
-                for data in buffers
-            ]
-            return pool.map(self._compress_portable, portable)
-        return pool.map(self.compress, buffers)
+        with _trace.span("compress." + self.name, chunks=len(buffers)):
+            if pool is None:
+                return [self.compress(data) for data in buffers]
+            if pool.requires_pickling:
+                portable = [
+                    data if type(data) is bytes else bytes(data)  # repro-lint: copy-ok process pools serialize arguments anyway
+                    for data in buffers
+                ]
+                return pool.map(self._compress_portable, portable)
+            return pool.map(self.compress, buffers)
 
     def _compress_portable(self, data: bytes) -> CompressedChunk:
         """Compress with a picklable result (views pinned to bytes)."""
@@ -162,9 +194,10 @@ class Compressor:
         (decompression is several times cheaper than compression, so
         small batches are not worth a dispatch — see the engine's read
         path)."""
-        if pool is None:
-            return [self.decompress(chunk) for chunk in chunks]
-        return pool.map(self.decompress, chunks, min_batch=min_batch)
+        with _trace.span("decompress." + self.name, chunks=len(chunks)):
+            if pool is None:
+                return [self.decompress(chunk) for chunk in chunks]
+            return pool.map(self.decompress, chunks, min_batch=min_batch)
 
 
 class ZlibCompressor(Compressor):
@@ -195,6 +228,7 @@ class ZlibCompressor(Compressor):
     ``_DEFLATE`` tag byte.
     """
 
+    name = "zlib"
     _RAW = b"\x00"
     _DEFLATE = b"\x01"
 
@@ -287,7 +321,19 @@ class ModeledCompressor(Compressor):
     stored size is ``logical_size * ratio``, clamped to at least one
     byte.  ``ratio`` is the *compressed fraction*: the paper's "50%
     compression ratio" stores half the bytes, i.e. ``ratio=0.5``.
+
+    Modelled chunks carry the registry's ``0x04`` codec tag like every
+    real codec, so they flow through the same tag-dispatched read path
+    and mixed-codec containers (a modelled sweep followed by a real
+    write, or vice versa) read back correctly.  The tag byte is *not*
+    added to ``stored_size`` — the stored size is the model's output,
+    not an on-disk measurement.  Pre-tag payloads (stored verbatim with
+    no tag byte) remain readable via the length check in
+    :meth:`decompress`.
     """
+
+    name = "modeled"
+    _MODELED = b"\x04"
 
     def __init__(self, ratio: float = 0.5) -> None:
         if not 0.0 < ratio <= 1.0:
@@ -300,14 +346,36 @@ class ModeledCompressor(Compressor):
         stored = max(1, min(len(data), round(len(data) * self.ratio)))
         payload = data if type(data) is bytes else memoryview(data)
         return CompressedChunk(
-            payload=payload, logical_size=len(data), stored_size=stored
+            payload=payload,
+            logical_size=len(data),
+            stored_size=stored,
+            prefix=self._MODELED,
         )
 
     def decompress(self, chunk: CompressedChunk) -> bytes:  # repro-lint: hot-path
-        payload = chunk.payload
-        if type(payload) is bytes:
-            return payload
-        return bytes(payload)  # repro-lint: copy-ok reads return owned bytes
+        if chunk.prefix:
+            if chunk.prefix != self._MODELED:
+                raise ValueError(
+                    f"unknown compression tag {chunk.prefix!r}"  # repro-lint: copy-ok error-path formatting
+                )
+            body: Buffer = chunk.payload
+        else:
+            view = memoryview(chunk.payload)
+            if (
+                len(view) == chunk.logical_size + 1
+                and view[0] == self._MODELED[0]
+            ):
+                body = view[1:]
+            else:
+                # Pre-tag container payload: the chunk bytes verbatim.
+                body = chunk.payload
+        data = body if type(body) is bytes else bytes(body)  # repro-lint: copy-ok reads return owned bytes
+        if len(data) != chunk.logical_size:
+            raise ValueError(
+                f"decompressed to {len(data)} bytes, expected "
+                f"{chunk.logical_size}"
+            )
+        return data
 
 
 def compression_ratio(

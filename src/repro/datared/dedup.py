@@ -17,9 +17,8 @@ from __future__ import annotations
 
 import math
 import os
-import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -40,11 +39,12 @@ from typing import (
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..parallel import StagePool
 from ..sync import DisciplinedLock
+from . import codecs as _codecs
 from .chunking import BLOCK_SIZE, Chunk, FixedChunker
 from .compression import CompressedChunk, Compressor, ZlibCompressor
 from .container import ContainerStore, Placement
 from .hash_pbn import HashPbnTable
-from .hashing import fingerprint, fingerprint_many
+from .hashing import SHA256, Fingerprinter
 from .lba_map import LbaMap, PbnAllocator, PbnMap, PbnRecord
 
 #: Distinguishes "LBA never consulted" from "LBA unmapped" in the
@@ -79,7 +79,8 @@ class WriteOptions:
     Replaces the kwarg sprawl that accreted on :meth:`DedupEngine.write`
     / :meth:`DedupEngine.write_many` (PR 5 API consolidation): every
     per-call knob lives here, construction-time knobs stay on the engine
-    constructor, and the old keywords survive only as deprecated shims.
+    constructor.  The PR-5 ``digests=`` keyword shim has been removed;
+    this object is the only way to pass per-call options.
 
     ``digests``
         Precomputed SHA-256 fingerprints (e.g. from a NIC that hashed on
@@ -332,6 +333,7 @@ class DedupEngine:
         pool: Optional[StagePool] = None,
         read_cache_chunks: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        fingerprinter: Optional[Fingerprinter] = None,
     ) -> None:
         """``observer`` receives metadata-mutation callbacks
         (``on_new_chunk``/``on_map``/``on_free``) — the hook
@@ -349,7 +351,12 @@ class DedupEngine:
         ``registry`` is the :class:`~repro.obs.metrics.MetricsRegistry`
         this engine publishes ``engine.*`` gauges into at snapshot time
         (default: the process registry); publication is pull-based via a
-        weakly-held collector, so the hot path never touches it."""
+        weakly-held collector, so the hot path never touches it.
+        ``fingerprinter`` selects the content-identity algorithm (a
+        :class:`~repro.datared.hashing.Fingerprinter`, default SHA-256);
+        switching it stops deduplicating against chunks hashed by the
+        old algorithm but never corrupts data — digests are identity,
+        not payload."""
         #: Guards every piece of mutable metadata below.  Concurrent
         #: callers (the race-stress harness, any future multi-threaded
         #: front end) serialize on it; the single-threaded serving
@@ -361,6 +368,7 @@ class DedupEngine:
         self.chunker = FixedChunker(chunk_size)
         self.table = table if table is not None else HashPbnTable(num_buckets)  # guarded-by: self.lock
         self.compressor = compressor if compressor is not None else ZlibCompressor()
+        self.fingerprinter = fingerprinter if fingerprinter is not None else SHA256
         self.containers = containers if containers is not None else ContainerStore()  # guarded-by: self.lock
         self.lba_map: LbaStore = lba_map if lba_map is not None else LbaMap()  # guarded-by: self.lock
         self.pbn_map = PbnMap()  # guarded-by: self.lock
@@ -528,8 +536,6 @@ class DedupEngine:
         self,
         requests: Iterable[Tuple[int, Union[bytes, bytearray, memoryview]]],
         options: Optional[WriteOptions] = None,
-        *,
-        digests: Optional[Sequence[bytes]] = None,
     ) -> List[WriteReport]:
         """Write a batch of ``(lba, payload)`` requests, stage-split.
 
@@ -546,29 +552,11 @@ class DedupEngine:
 
         Per-call behaviour is configured by ``options``
         (:class:`WriteOptions`): precomputed digests skip the hash
-        stage, ``flush`` seals the open container after the batch.  The
-        ``digests=`` keyword is a deprecated alias for
-        ``WriteOptions(digests=...)`` and will be removed.
+        stage, ``flush`` seals the open container after the batch.
+        (The PR-5 deprecated ``digests=`` keyword has been removed.)
 
         Returns one :class:`WriteReport` per request, in order.
         """
-        if digests is not None:
-            warnings.warn(
-                "DedupEngine.write_many(digests=...) is deprecated; "
-                "pass WriteOptions(digests=...) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if options is not None and options.digests is not None:
-                raise ValueError(
-                    "digests passed both via WriteOptions and the "
-                    "deprecated keyword"
-                )
-            options = (
-                WriteOptions(digests=digests)
-                if options is None
-                else replace(options, digests=digests)
-            )
         if options is None:
             options = _NO_OPTIONS
         with self.lock:
@@ -605,10 +593,10 @@ class DedupEngine:
         if digests is None:
             views = [chunk.data for _, chunk in flat]
             if clock is None:
-                digests = fingerprint_many(views, pool=self.pool)
+                digests = self.fingerprinter.digest_many(views, pool=self.pool)
             else:
                 with clock.stage("hash"):
-                    digests = fingerprint_many(views, pool=self.pool)
+                    digests = self.fingerprinter.digest_many(views, pool=self.pool)
         else:
             digests = list(digests)
             if len(digests) != len(flat):
@@ -754,7 +742,7 @@ class DedupEngine:
     ) -> ChunkOutcome:
         clock = self._active_clock()
         if digest is None:
-            digest = fingerprint(chunk.data)
+            digest = self.fingerprinter.digest(chunk.data)
         if clock is None:
             existing_pbn = self.table.lookup(digest)
         else:
@@ -934,11 +922,16 @@ class DedupEngine:
             report.stored_bytes_read += record.stored_size
         if pending:
             # Fan out only when the batch is big enough to amortize the
-            # dispatch (min_batch): small reads decompress inline.
-            plain = self.compressor.decompress_many(
+            # dispatch (min_batch): small reads decompress inline.  The
+            # tag-dispatched decoder reads every registered codec's
+            # payloads regardless of the *configured* write codec; the
+            # engine's compressor is only the fallback for pre-tag
+            # legacy payloads and dictionary-bound chunks.
+            plain = _codecs.decode_many(
                 pending,
                 pool=self.pool if self.pool.is_parallel else None,
                 min_batch=READ_FANOUT_MIN_CHUNKS,
+                fallback=self.compressor,
             )
             for position, pbn, data in zip(pending_at, pending_pbn, plain):
                 slots[position] = data

@@ -24,6 +24,7 @@ __all__ = [
     "ProtocolError",
     "AlignmentError",
     "CapacityError",
+    "MissingDependencyError",
     "ErrorCode",
     "error_code_for",
     "exception_for_code",
@@ -46,6 +47,17 @@ class AlignmentError(ReproError, ValueError):
 
 class CapacityError(ReproError, ValueError):
     """A resource (cache, container, queue) cannot hold the request."""
+
+
+class MissingDependencyError(ReproError, ValueError):
+    """An optional codec/fingerprint backend is not installed.
+
+    Raised when a :mod:`repro.datared.codecs` or
+    :mod:`repro.datared.hashing` plugin is selected (or a stored chunk's
+    codec tag is encountered) whose backing library — ``zstandard``,
+    ``lz4``, ``blake3`` — is absent from the environment.  Install the
+    ``codecs`` extras group or pick an always-available plugin.
+    """
 
 
 class ErrorCode(enum.IntEnum):

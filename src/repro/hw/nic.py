@@ -26,7 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..datared.hashing import fingerprint
+from ..datared.hashing import SHA256, Fingerprinter
 from .specs import NicSpec, FIDR_NIC_64G
 
 __all__ = ["NicTraffic", "BaselineNic", "FidrNic", "BufferedWrite"]
@@ -75,9 +75,19 @@ class BaselineNic:
 class FidrNic:
     """FPGA NIC with in-NIC buffering, hashing, and batch scheduling."""
 
-    def __init__(self, spec: Optional[NicSpec] = None, name: str = "fidr-nic"):
+    def __init__(
+        self,
+        spec: Optional[NicSpec] = None,
+        name: str = "fidr-nic",
+        fingerprinter: Optional[Fingerprinter] = None,
+    ):
+        """``fingerprinter`` is the hash core this NIC models (default
+        SHA-256, the paper's RTL core).  It must match the engine the
+        digests are shipped to — FIDR wires the engine's own
+        fingerprinter in — or every buffered digest would miss."""
         self.spec = spec if spec is not None else FIDR_NIC_64G
         self.name = name
+        self.fingerprinter = fingerprinter if fingerprinter is not None else SHA256
         self.traffic = NicTraffic()
         # Write buffer: LBA → buffered chunk, insertion-ordered so the
         # oldest batch drains first.  OrderedDict gives O(1) lookup for
@@ -101,7 +111,7 @@ class FidrNic:
                 f"{self.name}: write buffer overflow "
                 f"({self._buffered_bytes + len(data)} bytes)"
             )
-        digest = fingerprint(data)
+        digest = self.fingerprinter.digest(data)
         self.traffic.hashed_bytes += len(data)
         self.traffic.nic_dram += len(data)  # buffered once on arrival
         self._buffer[lba] = BufferedWrite(lba=lba, data=data, digest=digest)

@@ -25,8 +25,10 @@ import asyncio
 import sys
 from typing import List, Optional
 
+from ..datared import codecs as _codecs
+from ..datared import hashing as _hashing
 from ..obs import trace as _trace
-from ..systems.config import SystemConfig
+from ..systems.config import CodecPolicy, SystemConfig
 from ..systems.server import StorageServer, SystemKind
 from .aserver import AsyncProtocolServer
 
@@ -34,7 +36,18 @@ __all__ = ["main"]
 
 
 def _build_storage(args: argparse.Namespace) -> StorageServer:
-    config = SystemConfig(parallelism=args.parallelism)
+    # CLI mode degrades gracefully: a requested codec whose optional
+    # library is missing falls back to zlib/sha256 with a warning
+    # instead of refusing to start.
+    config = SystemConfig(
+        parallelism=args.parallelism,
+        executor=args.executor,
+        codec=CodecPolicy(
+            codec=args.codec,
+            fingerprint=args.fingerprint,
+            on_missing="fallback",
+        ),
+    )
     return StorageServer.build(SystemKind(args.system), config=config)
 
 
@@ -51,6 +64,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker threads for the hash/compress pipeline stages "
         "(1 = fully serial; results are identical at every setting)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["thread", "process", "auto"],
+        default="auto",
+        help="stage-pool backend; auto = processes when parallel on a "
+        "multi-core host (results are identical at every setting)",
+    )
+    parser.add_argument(
+        "--codec",
+        choices=_codecs.codec_names(),
+        default="zlib",
+        help="compression codec for unique chunks (optional codecs "
+        "fall back to zlib when their library is missing); "
+        f"available here: {', '.join(_codecs.available_codecs())}",
+    )
+    parser.add_argument(
+        "--fingerprint",
+        choices=_hashing.fingerprinter_names(),
+        default="sha256",
+        help="chunk fingerprint algorithm (optional algorithms fall "
+        "back to sha256 when their library is missing)",
     )
     parser.add_argument(
         "--workers",
@@ -97,6 +132,7 @@ async def _serve(args: argparse.Namespace) -> int:
         print(
             f"serving {args.system} on {server.host}:{server.port} "
             f"(parallelism={args.parallelism}, "
+            f"codec={storage.system.engine.compressor.name}, "
             f"offload={not args.no_offload}, "
             f"tracing={_trace.is_enabled()})",
             flush=True,

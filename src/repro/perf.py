@@ -43,7 +43,8 @@ import tracemalloc
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-from .datared.compression import ZlibCompressor
+from .datared import codecs as _codecs
+from .datared import hashing as _hashing
 from .datared.dedup import DedupEngine
 from .obs import trace as _trace
 from .obs.trace import TracedStages
@@ -150,10 +151,28 @@ def bench_meta() -> Dict[str, Any]:
     }
 
 
-def make_workload(num_batches: int, seed: int = SEED) -> List[List[bytes]]:
-    """Half-random/half-zero chunk batches with a duplicate pool."""
+#: Chunk generators per ``--corpus`` choice: ``mixed`` is the canonical
+#: half-random/half-zero shape, ``random`` is incompressible (adaptive
+#: should route it to the raw escape), ``zero`` compresses maximally.
+_CORPORA = ("mixed", "random", "zero")
+
+
+def make_workload(
+    num_batches: int, seed: int = SEED, corpus: str = "mixed"
+) -> List[List[bytes]]:
+    """Chunk batches with a duplicate pool (``corpus`` sets the shape)."""
+    if corpus not in _CORPORA:
+        raise ValueError(f"corpus must be one of {_CORPORA}, got {corpus!r}")
     rng = random.Random(seed)
-    pool = [rng.randbytes(CHUNK // 2) + bytes(CHUNK // 2) for _ in range(8)]
+
+    def fresh() -> bytes:
+        if corpus == "random":
+            return rng.randbytes(CHUNK)
+        if corpus == "zero":
+            return bytes(CHUNK)
+        return rng.randbytes(CHUNK // 2) + bytes(CHUNK // 2)
+
+    pool = [fresh() for _ in range(8)]
     batches = []
     for _ in range(num_batches):
         batch = []
@@ -161,18 +180,26 @@ def make_workload(num_batches: int, seed: int = SEED) -> List[List[bytes]]:
             if rng.random() < DUPLICATE_FRACTION:
                 batch.append(pool[rng.randrange(len(pool))])
             else:
-                batch.append(rng.randbytes(CHUNK // 2) + bytes(CHUNK // 2))
+                batch.append(fresh())
         batches.append(batch)
     return batches
 
 
 def _drive(
-    batches: List[List[bytes]], clock: Optional[StageClock], parallelism: int
+    batches: List[List[bytes]],
+    clock: Optional[StageClock],
+    parallelism: int,
+    codec: str = "zlib",
+    executor: str = "thread",
+    fingerprint: str = "sha256",
 ) -> int:
     """One full write pass; returns total wall nanoseconds."""
-    with StagePool(parallelism) as pool:
+    with StagePool(parallelism, backend=executor) as pool:
         engine = DedupEngine(
-            num_buckets=1 << 14, compressor=ZlibCompressor(), pool=pool
+            num_buckets=1 << 14,
+            compressor=_codecs.create_codec(codec),
+            pool=pool,
+            fingerprinter=_hashing.create_fingerprinter(fingerprint),
         )
         engine.stage_clock = clock
         start = time.perf_counter_ns()
@@ -227,10 +254,16 @@ def run_obs_overhead(num_batches: int = 12, rounds: int = 5) -> Dict[str, Any]:
 
 
 def run_stage_bench(
-    num_batches: int = 48, rounds: int = 3, parallelism: int = 1
+    num_batches: int = 48,
+    rounds: int = 3,
+    parallelism: int = 1,
+    codec: str = "zlib",
+    executor: str = "thread",
+    fingerprint: str = "sha256",
+    corpus: str = "mixed",
 ) -> Dict[str, Any]:
     """Run the per-stage benchmark; returns the BENCH_stages payload."""
-    batches = make_workload(num_batches)
+    batches = make_workload(num_batches, corpus=corpus)
     chunks = num_batches * BATCH_CHUNKS
 
     # Timing pass: min over rounds, per stage and for the total.
@@ -238,7 +271,10 @@ def run_stage_bench(
     best_clock = None
     for _ in range(rounds):
         clock = StageClock()
-        total = _drive(batches, clock, parallelism)
+        total = _drive(
+            batches, clock, parallelism,
+            codec=codec, executor=executor, fingerprint=fingerprint,
+        )
         if best_total is None or total < best_total:
             best_total, best_clock = total, clock
     assert best_clock is not None and best_total is not None
@@ -248,7 +284,10 @@ def run_stage_bench(
     memory_clock = StageClock(memory=True)
     tracemalloc.start()
     try:
-        _drive(batches, memory_clock, parallelism)
+        _drive(
+            batches, memory_clock, parallelism,
+            codec=codec, executor=executor, fingerprint=fingerprint,
+        )
     finally:
         tracemalloc.stop()
 
@@ -274,6 +313,10 @@ def run_stage_bench(
         "benchmark": "engine-stage-breakdown",
         "meta": bench_meta(),
         "parallelism": parallelism,
+        "codec": codec,
+        "executor": executor,
+        "fingerprint": fingerprint,
+        "corpus": corpus,
         "chunk_size": CHUNK,
         "batch_chunks": BATCH_CHUNKS,
         "num_batches": num_batches,
@@ -312,6 +355,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="StagePool worker threads (default 1 = serial)",
     )
     parser.add_argument(
+        "--codec", choices=_codecs.codec_names(), default="zlib",
+        help="compression codec for the write path (default zlib); "
+        f"available here: {', '.join(_codecs.available_codecs())}",
+    )
+    parser.add_argument(
+        "--executor", choices=["thread", "process", "auto"],
+        default="thread",
+        help="StagePool backend (default thread; the serve/bench CLIs "
+        "default to auto)",
+    )
+    parser.add_argument(
+        "--fingerprint", choices=_hashing.fingerprinter_names(),
+        default="sha256",
+        help="chunk fingerprint algorithm (default sha256)",
+    )
+    parser.add_argument(
+        "--corpus", choices=list(_CORPORA), default="mixed",
+        help="chunk content shape: mixed (half random/half zero), "
+        "random (incompressible), zero (maximally compressible)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="small workload for CI smoke runs",
     )
@@ -324,9 +388,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     if num_batches is None:
         num_batches = 6 if args.smoke else 48
 
+    if not _codecs.codec_available(args.codec):
+        parser.error(
+            f"codec {args.codec!r} is registered but its library is not "
+            "installed here (install the repro[codecs] extras); "
+            f"available: {', '.join(_codecs.available_codecs())}"
+        )
+    if not _hashing.fingerprinter_available(args.fingerprint):
+        parser.error(
+            f"fingerprinter {args.fingerprint!r} is registered but its "
+            "library is not installed here (install the repro[codecs] "
+            f"extras); available: "
+            f"{', '.join(_hashing.available_fingerprinters())}"
+        )
+
     payload = run_stage_bench(
         num_batches=num_batches, rounds=args.rounds,
-        parallelism=args.parallelism,
+        parallelism=args.parallelism, codec=args.codec,
+        executor=args.executor, fingerprint=args.fingerprint,
+        corpus=args.corpus,
     )
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -334,6 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"engine stage breakdown ({chunks} chunks, "
         f"parallelism={payload['parallelism']}, "
+        f"codec={payload['codec']}, executor={payload['executor']}, "
+        f"corpus={payload['corpus']}, "
         f"{payload['write_mb_s']} MB/s, min of {args.rounds} rounds)"
     )
     print(f"  {'stage':<9}{'us/chunk':>10}{'share':>8}{'alloc KB':>10}")

@@ -3,7 +3,7 @@
 from .accounting import CpuTask, FIG5B_GROUPS, MemPath, SystemReport, TABLE2_GROUPS
 from .base import CacheDelta, ReductionSystem
 from .baseline import BaselineSystem
-from .config import CpuCosts, SystemConfig
+from .config import CodecPolicy, CpuCosts, SystemConfig
 from .extensions import ExtendedFidrSystem, HotReadCache
 from .fidr import FidrSystem
 from .latency import (
@@ -19,6 +19,7 @@ from .server import StorageServer, SystemKind
 __all__ = [
     "BaselineSystem",
     "CacheDelta",
+    "CodecPolicy",
     "CpuCosts",
     "CpuTask",
     "FIG5B_GROUPS",

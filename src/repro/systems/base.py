@@ -18,13 +18,15 @@ from their staging buffer).
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from ..cache.table_cache import CacheIndex, TableCache
 from ..errors import AlignmentError
+from ..datared import codecs as _codecs
 from ..datared.chunking import Chunk
-from ..datared.compression import Compressor, ZlibCompressor
+from ..datared.compression import Compressor
 from ..datared.container import Container, ContainerStore
 from ..datared.dedup import ChunkOutcome, DedupEngine, WriteOptions
 from ..datared.hash_pbn import HashPbnTable
@@ -74,10 +76,23 @@ class ReductionSystem:
         config: Optional[SystemConfig] = None,
         num_buckets: int = 1 << 15,
         cache_lines: int = 1024,
-        compressor: Optional[Compressor] = None,
+        compressor: Optional[Union[Compressor, str]] = None,
     ):
+        """``compressor`` overrides the config's codec policy with a
+        ready-built :class:`~repro.datared.compression.Compressor`
+        instance.  Passing a codec *name* string here is deprecated —
+        set ``SystemConfig(codec=CodecPolicy(codec=...))`` instead."""
         self.server = server if server is not None else PROTOTYPE_SERVER
         self.config = config if config is not None else SystemConfig()
+        if isinstance(compressor, str):
+            warnings.warn(
+                "passing a codec name string as ReductionSystem's "
+                "compressor= is deprecated; use "
+                "SystemConfig(codec=CodecPolicy(codec=...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            compressor = _codecs.create_codec(compressor)
 
         # Device ledgers.  Charged only while the engine lock is held
         # (every client entry point below takes it), so byte/cycle
@@ -110,11 +125,16 @@ class ReductionSystem:
         )
         self.engine = DedupEngine(
             table=table,
-            compressor=compressor if compressor is not None else ZlibCompressor(),
+            compressor=(
+                compressor
+                if compressor is not None
+                else self.config.codec.build_compressor()
+            ),
             containers=containers,
             chunk_size=self.config.chunk_size,
             pool=self.pool,
             read_cache_chunks=self.config.read_cache_chunks,
+            fingerprinter=self.config.codec.build_fingerprinter(),
         )
         #: Always-installed stage tracing.  While tracing is disabled
         #: the clock reports itself inactive and the engine takes its

@@ -18,9 +18,16 @@ All cycle figures are cycles on a 2.2-GHz Xeon core.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Optional
 
-__all__ = ["CpuCosts", "SystemConfig"]
+from ..datared import codecs as _codecs
+from ..datared import hashing as _hashing
+from ..datared.compression import Compressor
+from ..datared.hashing import Fingerprinter
+
+__all__ = ["CodecPolicy", "CpuCosts", "SystemConfig"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,104 @@ class CpuCosts:
 
 
 @dataclass(frozen=True)
+class CodecPolicy:
+    """Which data-reduction plugins a system builds its engine with.
+
+    The typed front door to the :mod:`repro.datared.codecs` and
+    :mod:`repro.datared.hashing` registries: names plus construction
+    parameters, resolved when the system is built.  ``on_missing``
+    decides what happens when the named plugin is registered but its
+    backing library is absent (``zstd``/``lz4``/``blake3`` without the
+    ``codecs`` extras): ``"error"`` (default) raises
+    :class:`~repro.errors.MissingDependencyError`, ``"fallback"``
+    silently degrades to the always-available defaults (``zlib`` /
+    ``sha256``) with a :class:`RuntimeWarning` — the CLI mode, where a
+    best-effort run beats a crash.  Unknown *names* always raise: a
+    typo is a bug, not a missing wheel.
+    """
+
+    codec: str = "zlib"
+    fingerprint: str = "sha256"
+    #: Compression level for codecs that take one (zlib 0-9, zstd 1-22);
+    #: ``None`` keeps each codec's own default.
+    level: Optional[int] = None
+    #: Trained zstd dictionary bytes (see ``ZstdCodec.train``).
+    dictionary: Optional[bytes] = None
+    #: Size ratio for the ``modeled`` codec.
+    modeled_ratio: float = 0.5
+    on_missing: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.on_missing not in ("error", "fallback"):
+            raise ValueError(
+                f"on_missing must be 'error' or 'fallback', "
+                f"got {self.on_missing!r}"
+            )
+
+    def resolved_codec(self) -> str:
+        """The codec name that will actually be constructed.
+
+        Unknown names pass through untouched so ``create_codec`` raises
+        the informative ``ValueError``; only a *registered* codec whose
+        library is missing falls back (when ``on_missing`` allows).
+        """
+        if (
+            self.on_missing == "fallback"
+            and self.codec in _codecs.codec_names()
+            and not _codecs.codec_available(self.codec)
+        ):
+            return "zlib"
+        return self.codec
+
+    def resolved_fingerprint(self) -> str:
+        """The fingerprint algorithm that will actually be constructed."""
+        if (
+            self.on_missing == "fallback"
+            and self.fingerprint in _hashing.fingerprinter_names()
+            and not _hashing.fingerprinter_available(self.fingerprint)
+        ):
+            return "sha256"
+        return self.fingerprint
+
+    def build_compressor(self) -> Compressor:
+        """Construct the configured codec (honouring ``on_missing``)."""
+        name = self.resolved_codec()
+        if name != self.codec:
+            warnings.warn(
+                f"codec {self.codec!r} is not available in this "
+                "environment; falling back to 'zlib' (install the "
+                "repro[codecs] extras for the optional codecs)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        params = {}
+        if name == "zlib" and self.level is not None:
+            params["level"] = self.level
+        elif name == "zstd":
+            if self.level is not None:
+                params["level"] = self.level
+            if self.dictionary is not None:
+                params["dictionary"] = self.dictionary
+        elif name == "modeled":
+            params["ratio"] = self.modeled_ratio
+        return _codecs.create_codec(name, **params)
+
+    def build_fingerprinter(self) -> Fingerprinter:
+        """Construct the configured fingerprinter (honouring
+        ``on_missing``)."""
+        name = self.resolved_fingerprint()
+        if name != self.fingerprint:
+            warnings.warn(
+                f"fingerprinter {self.fingerprint!r} is not available in "
+                "this environment; falling back to 'sha256' (install the "
+                "repro[codecs] extras for the optional algorithms)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return _hashing.create_fingerprinter(name)
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Knobs shared by both end-to-end systems."""
 
@@ -103,12 +208,18 @@ class SystemConfig:
     #: identical at every setting.
     parallelism: int = 1
     #: Executor backend for the stage pool: ``"thread"`` (default;
-    #: exploits the GIL-releasing stages with cheap dispatch) or
+    #: exploits the GIL-releasing stages with cheap dispatch),
     #: ``"process"`` (GIL-free multi-core fan-out at IPC/pickling cost —
-    #: see DESIGN.md §5.4 for the trade-off).  Results are identical.
+    #: see DESIGN.md §5.4 for the trade-off), or ``"auto"`` (process
+    #: when parallel on a multi-core host, thread otherwise — what the
+    #: CLIs pass).  Results are identical at every setting.
     executor: str = "thread"
     #: Decompressed-read LRU capacity in chunks (0 disables).  Hot
     #: re-reads served from the cache skip the container fetch and
     #: ``zlib.decompress``; entries are invalidated on free/GC.
     read_cache_chunks: int = 0
+    #: Which codec/fingerprint plugins the engine is built with (see
+    #: :class:`CodecPolicy`).  The default policy is the byte-stable
+    #: ``zlib`` + ``sha256`` pair.
+    codec: CodecPolicy = field(default_factory=CodecPolicy)
     cpu: CpuCosts = field(default_factory=CpuCosts)

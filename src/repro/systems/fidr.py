@@ -23,7 +23,6 @@ from typing import List, Optional
 from ..cache.table_cache import CacheIndex, HwTreeIndex
 from ..datared.chunking import Chunk
 from ..datared.compression import Compressor
-from ..datared.hashing import fingerprint
 from ..obs.metrics import MetricsRegistry
 from ..datared.container import Container
 from ..hw.fpga import CompressionEngine, DecompressionEngine
@@ -76,7 +75,12 @@ class FidrSystem(ReductionSystem):
             cache_lines=cache_lines,
             compressor=compressor,
         )
-        self.nic = FidrNic(self.server.nic)
+        # The NIC's hash core models the engine's own fingerprinter, so
+        # the digests it ships match whatever algorithm the codec policy
+        # selected (idea a end-to-end, whichever plugin is configured).
+        self.nic = FidrNic(
+            self.server.nic, fingerprinter=self.engine.fingerprinter
+        )
         self.compression = CompressionEngine(
             compressor=self.engine.compressor, spec=self.server.fpga
         )
@@ -150,7 +154,7 @@ class FidrSystem(ReductionSystem):
             if entry is not None and entry.data == chunk.data:
                 digests.append(entry.digest)
             else:
-                digests.append(fingerprint(chunk.data))
+                digests.append(self.engine.fingerprinter.digest(chunk.data))
         outcomes, delta = self._dedup_batch(chunks, digests=digests)
         self._charge_table_cache(delta)
         self.pcie.transfer(_CACHE_ENGINE, HOST, self.config.bucket_index_bytes * count)

@@ -528,6 +528,90 @@ class TestR007ObservabilityDiscipline:
         assert lint_source(planted, module="repro.net.fixture") == []
 
 
+# -- R008: codec/hash plugin discipline ---------------------------------------
+
+
+class TestR008PluginDiscipline:
+    FIXTURE = src(
+        """
+        import hashlib
+        import zlib
+
+        def pack(data):
+            digest = hashlib.sha256(data).digest()
+            return digest + zlib.compress(data)
+        """
+    )
+
+    def test_direct_backend_calls_are_flagged_in_datared(self):
+        findings = lint_source(self.FIXTURE, module="repro.datared.fixture")
+        assert rules_of(findings) == ["R008"] * 2
+        assert lines_of(findings, "R008") == [6, 7]
+
+    def test_systems_package_is_covered_too(self):
+        findings = lint_source(self.FIXTURE, module="repro.systems.fixture")
+        assert "R008" in rules_of(findings)
+
+    def test_registry_modules_are_exempt(self):
+        for module in (
+            "repro.datared.codecs",
+            "repro.datared.compression",
+            "repro.datared.hashing",
+        ):
+            assert lint_source(self.FIXTURE, module=module) == [], module
+
+    def test_other_packages_are_not_policed(self):
+        for module in ("repro.net.fixture", "repro.perf", "tests.datared.fixture"):
+            assert "R008" not in rules_of(
+                lint_source(self.FIXTURE, module=module)
+            ), module
+
+    def test_journal_checksums_stay_allowed(self):
+        clean = src(
+            """
+            import zlib
+
+            def checksum(record):
+                return zlib.crc32(record) & 0xFFFFFFFF
+            """
+        )
+        assert lint_source(clean, module="repro.datared.fixture") == []
+
+    def test_optional_backends_are_flagged_by_prefix(self):
+        planted = src(
+            """
+            import zstandard
+
+            def squeeze(data):
+                return zstandard.ZstdCompressor().compress(data)
+            """
+        )
+        findings = lint_source(planted, module="repro.datared.fixture")
+        assert rules_of(findings) == ["R008"]
+
+    def test_registry_calls_are_clean(self):
+        clean = src(
+            """
+            from . import codecs as _codecs
+
+            def build(name):
+                return _codecs.create_codec(name)
+            """
+        )
+        assert lint_source(clean, module="repro.datared.fixture") == []
+
+    def test_suppression(self):
+        planted = src(
+            """
+            import zlib
+
+            def legacy_probe(data):
+                return zlib.compress(data)  # repro-lint: disable=R008
+            """
+        )
+        assert lint_source(planted, module="repro.datared.fixture") == []
+
+
 class TestMachinery:
     def test_syntax_error_becomes_a_finding(self):
         findings = lint_source("def broken(:\n", module="repro.net.fixture")

@@ -1,0 +1,668 @@
+"""The codec/fingerprint plugin API: registry behavior, 1-byte tag
+round-trips, tag-dispatched reads independent of the configured write
+codec, mixed-codec containers surviving reconfiguration and GC, and the
+missing-optional-dependency error path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datared import codecs
+from repro.datared import hashing
+from repro.datared.codecs import (
+    AdaptiveCodec,
+    RawCodec,
+    TAG_DEFLATE,
+    TAG_LZ4,
+    TAG_MODELED,
+    TAG_RAW,
+    TAG_ZSTD,
+    available_codecs,
+    codec_available,
+    codec_names,
+    create_codec,
+    decode_chunk,
+    decode_many,
+    register_codec,
+    register_decoder,
+)
+from repro.datared.compression import (
+    CompressedChunk,
+    Compressor,
+    ModeledCompressor,
+    ZlibCompressor,
+)
+from repro.datared.dedup import DedupEngine
+from repro.datared.hashing import (
+    FINGERPRINT_SIZE,
+    Fingerprinter,
+    Sha256Fingerprinter,
+    available_fingerprinters,
+    create_fingerprinter,
+    fingerprint,
+    fingerprint_many,
+    fingerprinter_names,
+    register_fingerprinter,
+)
+from repro.errors import MissingDependencyError
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import StagePool
+
+CHUNK = 4096
+
+
+def make_chunk(rng, size: int = CHUNK) -> bytes:
+    """A random (incompressible) chunk."""
+    return rng.randbytes(size)
+
+
+def make_compressible_chunk(rng, size: int = CHUNK) -> bytes:
+    """Half random, half zeros: medium entropy, compresses about 2:1."""
+    head = rng.randbytes(size // 2)
+    return head + b"\x00" * (size - len(head))
+
+
+def corpus(rng, count: int = 8):
+    """A deterministic mix of incompressible/compressible/zero chunks."""
+    chunks = []
+    for index in range(count):
+        if index % 3 == 0:
+            chunks.append(make_chunk(rng, CHUNK))
+        elif index % 3 == 1:
+            chunks.append(make_compressible_chunk(rng, CHUNK))
+        else:
+            chunks.append(b"\x00" * CHUNK)
+    return chunks
+
+
+def as_container_chunk(chunk: CompressedChunk) -> CompressedChunk:
+    """Re-shape a fresh chunk the way the container read path sees it:
+    tag folded into the payload bytes, no prefix."""
+    return CompressedChunk(
+        payload=chunk.materialize(),
+        logical_size=chunk.logical_size,
+        stored_size=chunk.stored_size,
+    )
+
+
+# -- registry ---------------------------------------------------------------
+
+
+class TestCodecRegistry:
+    def test_builtin_codecs_are_registered(self):
+        names = codec_names()
+        for name in ("zlib", "raw", "modeled", "adaptive", "zstd", "lz4"):
+            assert name in names
+
+    def test_always_available_codecs(self):
+        for name in ("zlib", "raw", "modeled", "adaptive"):
+            assert codec_available(name)
+            assert name in available_codecs()
+
+    def test_create_codec_builds_the_registered_type(self):
+        assert isinstance(create_codec("zlib"), ZlibCompressor)
+        assert isinstance(create_codec("raw"), RawCodec)
+        assert isinstance(create_codec("modeled"), ModeledCompressor)
+        assert isinstance(create_codec("adaptive"), AdaptiveCodec)
+
+    def test_create_codec_forwards_params(self):
+        modeled = create_codec("modeled", ratio=0.25)
+        chunk = modeled.compress(b"\x00" * CHUNK)
+        assert chunk.stored_size == CHUNK // 4
+
+    def test_unknown_codec_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            create_codec("snappy")
+
+    def test_duplicate_registration_is_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_codec("zlib", ZlibCompressor)
+
+    def test_empty_name_is_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_codec("", ZlibCompressor)
+
+    def test_replace_allows_reregistration(self):
+        register_codec("zlib", ZlibCompressor, replace=True)
+        assert isinstance(create_codec("zlib"), ZlibCompressor)
+
+    def test_missing_library_raises_typed_error(self, monkeypatch):
+        monkeypatch.setattr(codecs, "zstandard", None)
+        monkeypatch.setattr(codecs, "lz4", None)
+        assert not codec_available("zstd")
+        assert not codec_available("lz4")
+        assert "zstd" in codec_names()  # registered, just not available
+        with pytest.raises(MissingDependencyError, match="codecs"):
+            create_codec("zstd")
+        with pytest.raises(MissingDependencyError, match="codecs"):
+            create_codec("lz4")
+
+    def test_missing_dependency_is_also_a_value_error(self, monkeypatch):
+        # Callers that pre-date the typed hierarchy catch ValueError.
+        monkeypatch.setattr(codecs, "zstandard", None)
+        with pytest.raises(ValueError):
+            create_codec("zstd")
+
+
+# -- tag round-trips --------------------------------------------------------
+
+
+class TestTagRoundTrips:
+    @pytest.mark.parametrize("name", ["zlib", "raw", "modeled", "adaptive"])
+    def test_fresh_and_container_chunks_decode(self, name, rng):
+        codec = create_codec(name)
+        for data in corpus(rng):
+            fresh = codec.compress(data)
+            assert decode_chunk(fresh) == data
+            assert decode_chunk(as_container_chunk(fresh)) == data
+            assert codec.decompress(fresh) == data
+
+    def test_fresh_chunks_carry_the_tag(self, rng):
+        compressible = make_compressible_chunk(rng, CHUNK)
+        # zlib's deflate branch folds the tag into the payload in one
+        # join (materialize() is then a no-op); the others keep it in
+        # the prefix and borrow the caller's buffer.
+        zlib_chunk = create_codec("zlib").compress(compressible)
+        assert zlib_chunk.prefix == b""
+        assert zlib_chunk.payload[0] == TAG_DEFLATE
+        assert create_codec("raw").compress(compressible).prefix == bytes(
+            [TAG_RAW]
+        )
+        assert create_codec("modeled").compress(compressible).prefix == bytes(
+            [TAG_MODELED]
+        )
+
+    def test_incompressible_chunks_share_the_raw_escape(self, rng):
+        data = make_chunk(rng, CHUNK)
+        chunk = create_codec("zlib").compress(data)
+        assert chunk.prefix == bytes([TAG_RAW])
+        assert chunk.stored_size == CHUNK
+        # Any codec's reader decodes another codec's escape.
+        assert create_codec("raw").decompress(chunk) == data
+
+    def test_raw_codec_never_compresses(self, rng):
+        chunk = create_codec("raw").compress(b"\x00" * CHUNK)
+        assert chunk.stored_size == CHUNK
+        assert chunk.prefix == bytes([TAG_RAW])
+
+    def test_decode_many_preserves_order(self, rng):
+        codec = create_codec("zlib")
+        data = corpus(rng, 12)
+        chunks = [as_container_chunk(codec.compress(d)) for d in data]
+        assert decode_many(chunks) == data
+
+    def test_decode_many_fans_out_on_a_pool(self, rng):
+        codec = create_codec("zlib")
+        data = corpus(rng, 12)
+        chunks = [as_container_chunk(codec.compress(d)) for d in data]
+        pool = StagePool(2)
+        try:
+            assert decode_many(chunks, pool=pool, fallback=codec) == data
+        finally:
+            pool.shutdown()
+
+
+# -- decode_chunk fallback semantics ----------------------------------------
+
+
+class LegacyVerbatimCompressor(Compressor):
+    """A pre-tag-era codec: payload is the chunk verbatim, no tag byte.
+
+    Stands in for any container written before the tag discipline: the
+    first payload byte is arbitrary chunk data, so tag dispatch must
+    fail cleanly and hand the bytes to the configured fallback.
+    """
+
+    name = "legacy"
+
+    def compress(self, data) -> CompressedChunk:
+        size = len(data)
+        return CompressedChunk(
+            payload=bytes(data), logical_size=size, stored_size=size // 2
+        )
+
+    def decompress(self, chunk: CompressedChunk) -> bytes:
+        if len(chunk.payload) != chunk.logical_size:
+            raise ValueError("not a legacy verbatim payload")
+        return bytes(chunk.payload)
+
+
+class TestDecodeFallback:
+    def test_legacy_payload_starting_with_zero_byte(self):
+        # An all-zeros legacy chunk: payload[0] == TAG_RAW, but the body
+        # is one byte short of a tagged raw chunk, so the raw decoder's
+        # size check fails and the fallback decodes it.
+        legacy = LegacyVerbatimCompressor()
+        chunk = legacy.compress(b"\x00" * CHUNK)
+        assert decode_chunk(chunk, legacy) == b"\x00" * CHUNK
+
+    def test_legacy_payload_starting_with_deflate_tag(self):
+        # First byte 0x01 routes to the DEFLATE decoder, which cannot
+        # produce logical_size bytes from chunk data; fallback wins.
+        legacy = LegacyVerbatimCompressor()
+        data = b"\x01" + b"\x00" * (CHUNK - 1)
+        chunk = legacy.compress(data)
+        assert decode_chunk(chunk, legacy) == data
+
+    def test_legacy_payloads_survive_any_first_byte(self, rng):
+        legacy = LegacyVerbatimCompressor()
+        for first in range(8):
+            data = bytes([first]) + make_chunk(rng, CHUNK - 1)
+            assert decode_chunk(legacy.compress(data), legacy) == data
+
+    def test_unknown_tag_without_fallback_is_an_error(self):
+        chunk = CompressedChunk(
+            payload=b"\x7fbody", logical_size=4, stored_size=5
+        )
+        with pytest.raises(ValueError, match="unknown codec tag 0x7f"):
+            decode_chunk(chunk)
+
+    def test_failed_decode_without_fallback_propagates(self):
+        chunk = CompressedChunk(
+            payload=b"\x00" * CHUNK, logical_size=CHUNK, stored_size=CHUNK
+        )
+        with pytest.raises(ValueError):
+            decode_chunk(chunk)
+
+    def test_missing_dependency_is_never_masked_by_fallback(self, monkeypatch):
+        # A prefix-tagged zstd chunk with the library absent must
+        # surface the install problem, not hand the frame bytes to the
+        # fallback codec — a fresh chunk's prefix is authoritative.
+        monkeypatch.setattr(codecs, "zstandard", None)
+        chunk = CompressedChunk(
+            payload=b"frame-bytes",
+            logical_size=CHUNK,
+            stored_size=12,
+            prefix=bytes([TAG_ZSTD]),
+        )
+        with pytest.raises(MissingDependencyError, match="zstandard"):
+            decode_chunk(chunk, ZlibCompressor())
+
+    def test_missing_lz4_surfaces_the_same_way(self, monkeypatch):
+        monkeypatch.setattr(codecs, "lz4", None)
+        chunk = CompressedChunk(
+            payload=b"block-bytes",
+            logical_size=CHUNK,
+            stored_size=12,
+            prefix=bytes([TAG_LZ4]),
+        )
+        with pytest.raises(MissingDependencyError, match="lz4"):
+            decode_chunk(chunk, ZlibCompressor())
+
+    def test_container_read_of_zstd_chunk_still_surfaces_install(
+        self, monkeypatch
+    ):
+        # Payload-tagged (container-read) zstd chunk, library absent:
+        # the fallback gets one attempt because the tag byte might be
+        # legacy chunk data — but when it cannot decode the body, the
+        # install error resurfaces instead of the fallback's.
+        monkeypatch.setattr(codecs, "zstandard", None)
+        chunk = CompressedChunk(
+            payload=bytes([TAG_ZSTD]) + b"frame-bytes",
+            logical_size=CHUNK,
+            stored_size=12,
+        )
+        with pytest.raises(MissingDependencyError, match="zstandard"):
+            decode_chunk(chunk, ZlibCompressor())
+
+    def test_legacy_payload_colliding_with_optional_tag(self, monkeypatch):
+        # A pre-tag verbatim payload whose first byte happens to be the
+        # zstd tag must stay readable even without the library: the
+        # fallback decodes it, so the install error never fires.
+        monkeypatch.setattr(codecs, "zstandard", None)
+        legacy = LegacyVerbatimCompressor()
+        data = bytes([TAG_ZSTD]) + b"\x11" * (CHUNK - 1)
+        assert decode_chunk(legacy.compress(data), legacy) == data
+
+
+class TestRegisterDecoder:
+    def test_new_tag_dispatches(self):
+        tag = 0x7E
+
+        def decode(chunk: CompressedChunk) -> bytes:
+            return bytes(chunk.payload[1:])
+
+        register_decoder(tag, decode)
+        try:
+            chunk = CompressedChunk(
+                payload=bytes([tag]) + b"data", logical_size=4, stored_size=5
+            )
+            assert decode_chunk(chunk) == b"data"
+        finally:
+            codecs._DECODERS.pop(tag, None)
+
+    def test_allocated_tag_is_protected(self):
+        with pytest.raises(ValueError, match="already allocated"):
+            register_decoder(TAG_DEFLATE, lambda chunk: b"")
+
+    def test_replace_takes_an_allocated_tag(self):
+        original = codecs._DECODERS[TAG_MODELED]
+        try:
+            register_decoder(TAG_MODELED, lambda chunk: b"x", replace=True)
+            chunk = CompressedChunk(
+                payload=bytes([TAG_MODELED]), logical_size=1, stored_size=1
+            )
+            assert decode_chunk(chunk) == b"x"
+        finally:
+            register_decoder(TAG_MODELED, original, replace=True)
+
+    def test_tag_must_fit_one_byte(self):
+        with pytest.raises(ValueError, match="one byte"):
+            register_decoder(0x100, lambda chunk: b"")
+        with pytest.raises(ValueError, match="one byte"):
+            register_decoder(-1, lambda chunk: b"")
+
+
+# -- the adaptive codec -----------------------------------------------------
+
+
+class TestAdaptiveCodec:
+    def test_routes_by_entropy_probe(self, rng):
+        codec = AdaptiveCodec()
+        assert codec._route(b"\x00" * CHUNK) is codec.primary
+        assert codec._route(make_chunk(rng, CHUNK)) is codec.skip
+        assert (
+            codec._route(make_compressible_chunk(rng, CHUNK)) is codec.fast
+        )
+
+    def test_random_chunks_skip_compression(self, rng):
+        codec = AdaptiveCodec()
+        chunk = codec.compress(make_chunk(rng, CHUNK))
+        assert chunk.prefix == bytes([TAG_RAW])
+        assert chunk.stored_size == CHUNK
+
+    def test_routing_publishes_counters(self, rng):
+        registry = MetricsRegistry()
+        codec = AdaptiveCodec(registry=registry)
+        codec.compress(b"\x00" * CHUNK)  # -> primary
+        codec.compress(make_chunk(rng, CHUNK))  # -> skip
+        primary = registry.counter(
+            f"codec.adaptive.chosen.{codec.primary.name}"
+        )
+        skipped = registry.counter("codec.adaptive.chosen.raw")
+        assert primary.value == 1
+        assert skipped.value == 1
+
+    def test_compress_many_preserves_order_and_counts(self, rng):
+        registry = MetricsRegistry()
+        codec = AdaptiveCodec(registry=registry)
+        data = corpus(rng, 9)
+        chunks = codec.compress_many(data)
+        assert [decode_chunk(c, codec.primary) for c in chunks] == data
+        total = sum(
+            registry.counter(f"codec.adaptive.chosen.{t.name}").value
+            for t in {
+                id(t): t for t in (codec.skip, codec.fast, codec.primary)
+            }.values()
+        )
+        assert total == len(data)
+
+    def test_survives_pickling(self, rng):
+        import pickle
+
+        codec = AdaptiveCodec()
+        clone = pickle.loads(pickle.dumps(codec))
+        data = make_compressible_chunk(rng, CHUNK)
+        assert decode_chunk(clone.compress(data), clone.primary) == data
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="probe_bytes"):
+            AdaptiveCodec(probe_bytes=4)
+        with pytest.raises(ValueError, match="thresholds"):
+            AdaptiveCodec(raw_threshold=0.2, fast_threshold=0.5)
+
+
+# -- engine-level mixed-codec containers ------------------------------------
+
+
+class TestMixedCodecEngine:
+    def test_reconfigure_overwrite_and_gc(self, rng):
+        # Phase 1: write with zlib.  Phase 2: reconfigure to a different
+        # codec, overwrite half the LBAs and add new ones.  Every read —
+        # before and after GC compaction — must return exact bytes, with
+        # containers now holding chunks from both codecs.
+        engine = DedupEngine(num_buckets=256, compressor=create_codec("zlib"))
+        first = {
+            lba * 8: make_compressible_chunk(rng, CHUNK) for lba in range(6)
+        }
+        for lba, data in first.items():
+            engine.write(lba, data)
+
+        engine.compressor = create_codec("adaptive")
+        expected = dict(first)
+        for lba in list(first)[::2]:
+            expected[lba] = make_chunk(rng, CHUNK)
+            engine.write(lba, expected[lba])
+        for lba in range(6, 10):
+            expected[lba * 8] = make_compressible_chunk(rng, CHUNK)
+            engine.write(lba * 8, expected[lba * 8])
+
+        for lba, data in expected.items():
+            assert engine.read(lba, 1).data == data
+
+        engine.collect_garbage(threshold=0.01)
+        for lba, data in expected.items():
+            assert engine.read(lba, 1).data == data
+
+    def test_legacy_pre_tag_containers_stay_readable(self, rng):
+        # An engine whose containers were written before the tag
+        # discipline: untagged verbatim payloads, including all-zero
+        # chunks (first byte == TAG_RAW) and chunks whose first byte
+        # collides with the DEFLATE tag.
+        legacy = LegacyVerbatimCompressor()
+        engine = DedupEngine(num_buckets=256, compressor=legacy)
+        payloads = {
+            0: b"\x00" * CHUNK,
+            8: b"\x01" + make_chunk(rng, CHUNK - 1),
+            16: make_chunk(rng, CHUNK),
+        }
+        for lba, data in payloads.items():
+            engine.write(lba, data)
+        for lba, data in payloads.items():
+            assert engine.read(lba, 1).data == data
+        # Multi-chunk read exercises decode_many's fallback plumbing.
+        bulk = b"".join(payloads[lba] for lba in (0, 8, 16))
+        engine.write(64, bulk)
+        assert engine.read(64, 3).data == bulk
+
+    def test_modeled_chunks_flow_through_the_tag_path(self, rng):
+        # Satellite: ModeledCompressor emits tag 0x04 chunks that decode
+        # via the registry even when the engine is later reconfigured.
+        engine = DedupEngine(
+            num_buckets=256, compressor=ModeledCompressor(0.5)
+        )
+        data = make_chunk(rng, CHUNK)
+        engine.write(0, data)
+        engine.compressor = create_codec("zlib")
+        assert engine.read(0, 1).data == data
+        snap = engine.stats_snapshot()
+        assert snap.stored_bytes == CHUNK // 2  # modeled accounting held
+
+
+# -- differential: serial / thread / process, every available codec ---------
+
+
+class TestExecutorDifferential:
+    @pytest.mark.parametrize("name", sorted(available_codecs()))
+    def test_bytes_and_ledgers_identical_across_backends(self, name, rng):
+        requests = []
+        lba = 0
+        for data in corpus(rng, 8) + [b"\x07" * CHUNK]:
+            requests.append((lba, data))
+            lba += CHUNK // 512
+        requests.append(requests[1])  # a duplicate write
+
+        def run(pool):
+            engine = DedupEngine(
+                num_buckets=256, compressor=create_codec(name), pool=pool
+            )
+            engine.write_many(requests)
+            reads = [engine.read(lba, 1).data for lba, _ in requests]
+            return reads, engine.stats_snapshot()
+
+        serial_reads, serial_stats = run(None)
+        assert serial_reads == [data for _, data in requests]
+
+        for backend in ("thread", "process"):
+            pool = StagePool(2, backend=backend)
+            try:
+                reads, stats = run(pool)
+            finally:
+                pool.shutdown()
+            assert reads == serial_reads, backend
+            assert stats == serial_stats, backend
+
+
+# -- fingerprinter registry -------------------------------------------------
+
+
+class TestFingerprinterRegistry:
+    def test_builtin_names(self):
+        assert "sha256" in fingerprinter_names()
+        assert "blake3" in fingerprinter_names()
+        assert "sha256" in available_fingerprinters()
+
+    def test_sha256_matches_module_functions(self, rng):
+        algo = create_fingerprinter("sha256")
+        assert isinstance(algo, Sha256Fingerprinter)
+        data = make_chunk(rng, CHUNK)
+        assert algo.digest(data) == fingerprint(data)
+        batch = corpus(rng, 5)
+        assert algo.digest_many(batch) == fingerprint_many(batch)
+
+    def test_unknown_name_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown fingerprinter"):
+            create_fingerprinter("md5")
+
+    def test_missing_blake3_raises_typed_error(self, monkeypatch):
+        monkeypatch.setattr(hashing, "blake3", None)
+        assert "blake3" not in available_fingerprinters()
+        with pytest.raises(MissingDependencyError, match="codecs"):
+            create_fingerprinter("blake3")
+
+    def test_wrong_digest_width_is_rejected(self):
+        class Short(Fingerprinter):
+            name = "short"
+            digest_size = 16
+
+            def digest(self, data) -> bytes:
+                return fingerprint(data)[:16]
+
+        register_fingerprinter("short16", Short)
+        try:
+            with pytest.raises(ValueError, match="32"):
+                create_fingerprinter("short16")
+        finally:
+            hashing._FINGERPRINTERS.pop("short16", None)
+
+    def test_duplicate_registration_is_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_fingerprinter("sha256", Sha256Fingerprinter)
+
+    def test_digest_many_fans_out_on_thread_pools_only(self, rng):
+        algo = create_fingerprinter("sha256")
+        batch = corpus(rng, 6)
+        expected = [fingerprint(data) for data in batch]
+        thread_pool = StagePool(2, backend="thread")
+        process_pool = StagePool(2, backend="process")
+        try:
+            assert algo.digest_many(batch, pool=thread_pool) == expected
+            # Process pools hash inline (pickling 4-KB buffers costs
+            # more than SHA-256 does) — results identical either way.
+            assert algo.digest_many(batch, pool=process_pool) == expected
+        finally:
+            thread_pool.shutdown()
+            process_pool.shutdown()
+
+    def test_engine_accepts_an_injected_fingerprinter(self, rng):
+        default = DedupEngine(num_buckets=256)
+        injected = DedupEngine(
+            num_buckets=256, fingerprinter=create_fingerprinter("sha256")
+        )
+        data = make_chunk(rng, CHUNK)
+        default.write(0, data)
+        default.write(8, data)
+        injected.write(0, data)
+        injected.write(8, data)
+        assert injected.stats_snapshot() == default.stats_snapshot()
+
+
+# -- real optional libraries (run only on the extras CI leg) -----------------
+
+
+@pytest.mark.skipif(not codec_available("zstd"), reason="zstandard not installed")
+class TestZstdCodec:
+    def test_roundtrip_and_tag(self, rng):
+        codec = create_codec("zstd")
+        data = make_compressible_chunk(rng, CHUNK)
+        chunk = codec.compress(data)
+        assert chunk.prefix == bytes([TAG_ZSTD])
+        assert chunk.stored_size == 1 + len(chunk.payload)
+        assert chunk.stored_size < CHUNK
+        assert decode_chunk(chunk) == data
+        assert decode_chunk(as_container_chunk(chunk)) == data
+
+    def test_incompressible_takes_the_raw_escape(self, rng):
+        chunk = create_codec("zstd").compress(make_chunk(rng, CHUNK))
+        assert chunk.prefix == bytes([TAG_RAW])
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError, match="level"):
+            create_codec("zstd", level=23)
+
+    def test_pickles_for_process_pools(self, rng):
+        import pickle
+
+        codec = create_codec("zstd", level=5)
+        clone = pickle.loads(pickle.dumps(codec))
+        assert clone.level == 5
+        data = make_compressible_chunk(rng, CHUNK)
+        assert clone.decompress(clone.compress(data)) == data
+
+    def test_trained_dictionary_needs_the_fallback_path(self, rng):
+        base = create_codec("zstd")
+        samples = [make_compressible_chunk(rng, CHUNK) for _ in range(64)]
+        trained = base.train(samples)
+        assert trained.dictionary
+        data = samples[0]
+        chunk = trained.compress(data)
+        if chunk.prefix == bytes([TAG_ZSTD]):
+            # Dictionary-bound frames decode only through a codec that
+            # carries the same dictionary — the engine's fallback.
+            assert decode_chunk(chunk, trained) == data
+            assert trained.decompress(chunk) == data
+
+
+@pytest.mark.skipif(not codec_available("lz4"), reason="lz4 not installed")
+class TestLz4Codec:
+    def test_roundtrip_and_tag(self, rng):
+        codec = create_codec("lz4")
+        data = make_compressible_chunk(rng, CHUNK)
+        chunk = codec.compress(data)
+        assert chunk.prefix == bytes([TAG_LZ4])
+        assert decode_chunk(chunk) == data
+        assert decode_chunk(as_container_chunk(chunk)) == data
+
+    def test_acceleration_validation(self):
+        with pytest.raises(ValueError, match="acceleration"):
+            create_codec("lz4", acceleration=0)
+
+    def test_adaptive_routes_medium_entropy_here(self, rng):
+        codec = AdaptiveCodec()
+        assert codec.fast.name == "lz4"
+        data = make_compressible_chunk(rng, CHUNK)
+        assert decode_chunk(codec.compress(data)) == data
+
+
+@pytest.mark.skipif(
+    not hashing.fingerprinter_available("blake3"),
+    reason="blake3 not installed",
+)
+class TestBlake3Fingerprinter:
+    def test_digest_width_and_determinism(self, rng):
+        algo = create_fingerprinter("blake3")
+        data = make_chunk(rng, CHUNK)
+        digest = algo.digest(data)
+        assert len(digest) == FINGERPRINT_SIZE
+        assert digest == algo.digest(data)
+        assert digest != fingerprint(data)

@@ -1,7 +1,7 @@
 """The typed write-call surface: WriteOptions replaces the kwarg
-sprawl, the deprecated ``digests=`` keyword still works (with a
-warning), and EngineStats/stats_snapshot give a lock-consistent typed
-view of the ledgers plus the registry publication."""
+sprawl (the PR-5 deprecated ``digests=`` keyword is now gone), and
+EngineStats/stats_snapshot give a lock-consistent typed view of the
+ledgers plus the registry publication."""
 
 from __future__ import annotations
 
@@ -60,26 +60,15 @@ class TestWriteOptions:
         engine.write(8, b"r" * CHUNK, WriteOptions(flush=True))
         assert engine.containers.sealed_count == 1
 
-    def test_deprecated_digests_keyword_warns_and_still_works(self):
+    def test_digests_keyword_shim_is_gone(self):
+        # The PR-5 deprecated ``digests=`` alias was removed; the typed
+        # WriteOptions object is the only way to pass precomputed
+        # digests now, and the old spelling fails loudly.
         engine = make_engine()
         requests = requests_for(3)
         digests = [fingerprint(payload) for _, payload in requests]
-        with pytest.warns(DeprecationWarning, match="WriteOptions"):
-            reports = engine.write_many(requests, digests=digests)
-        assert len(reports) == 3
-        assert engine.stats.logical_bytes == 3 * CHUNK
-
-    def test_digests_in_both_places_is_an_error(self):
-        engine = make_engine()
-        requests = requests_for(1)
-        digests = [fingerprint(requests[0][1])]
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError):
-                engine.write_many(
-                    requests,
-                    WriteOptions(digests=digests),
-                    digests=digests,
-                )
+        with pytest.raises(TypeError, match="digests"):
+            engine.write_many(requests, digests=digests)
 
     def test_options_are_immutable(self):
         options = WriteOptions(flush=True)
