@@ -46,6 +46,13 @@ R008   No direct compression/hashing backend calls (``zlib.*``,
        the configured algorithms are actually the ones running
        (DESIGN.md §5.6).  CRC helpers (``zlib.crc32``/``adler32``)
        are not payload codecs and stay allowed.
+R009   No direct ``DedupEngine(…)``/``ShardedDedupEngine(…)``
+       construction in ``repro.net``/``repro.systems`` outside
+       ``repro.systems.factory`` — the serving layer must build
+       engines through ``build_engine`` so ``SystemConfig.shards``
+       (and the factory's table wiring and seal-lock policy) decide
+       the sharding; an ad-hoc engine could silently diverge from the
+       configured cluster (DESIGN.md §5.7).
 =====  ==============================================================
 
 Suppress a single line with ``# repro-lint: disable=R001`` (comma
@@ -91,6 +98,7 @@ RULES: Dict[str, str] = {
     "R006": "byte copy inside a hot-path function without a copy-ok reason",
     "R007": "ad-hoc timing/print instrumentation outside repro.obs",
     "R008": "direct codec/hash backend call outside the plugin registries",
+    "R009": "direct engine construction outside the shard factory",
 }
 
 _DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
@@ -197,6 +205,18 @@ _R008_BACKEND_CALLS = frozenset({"hashlib.sha256", "hashlib.new"})
 #: Checksum helpers that merely share zlib's namespace — not payload
 #: codecs (the journal's record CRCs use them).
 _R008_ALLOWED = frozenset({"zlib.crc32", "zlib.adler32"})
+
+#: Modules R009 covers: the serving/system layers must build engines
+#: through the shard factory so ``SystemConfig.shards`` is the one
+#: sharding decision point.
+_R009_PACKAGES = ("repro.net", "repro.systems")
+
+#: The factory itself is where direct construction is the job.
+_R009_FACTORY_MODULES = ("repro.systems.factory",)
+
+#: Engine constructors R009 flags (matched on the last dotted
+#: component, so ``dedup.DedupEngine(...)`` is caught too).
+_R009_ENGINE_NAMES = frozenset({"DedupEngine", "ShardedDedupEngine"})
 
 #: Target names R004 treats as integral ledgers.
 _COUNTER_RE = re.compile(
@@ -529,6 +549,11 @@ class _RuleWalker(ast.NodeVisitor):
             and module.startswith(_R008_PACKAGES)
             and module not in _R008_REGISTRY_MODULES
         )
+        self.check_engine_factory = (
+            "R009" in rules
+            and module.startswith(_R009_PACKAGES)
+            and module not in _R009_FACTORY_MODULES
+        )
         self.name_based_guards = module.startswith("repro")
         self.class_stack: List[str] = []
         #: (function name, held guards, body-is-directly-async)
@@ -741,6 +766,19 @@ class _RuleWalker(ast.NodeVisitor):
                         "chunks carry their codec tag and the configured "
                         "plugins actually run",
                     )
+            if (
+                self.check_engine_factory
+                and name.rsplit(".", 1)[-1] in _R009_ENGINE_NAMES
+            ):
+                self._emit(
+                    "R009",
+                    node,
+                    f"direct {name}() construction in the serving layer; "
+                    "build engines through "
+                    "repro.systems.factory.build_engine so "
+                    "SystemConfig.shards (and the factory's table/seal "
+                    "wiring) decide the sharding",
+                )
         self.generic_visit(node)
 
     # -- R005 -------------------------------------------------------------

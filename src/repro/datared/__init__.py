@@ -70,6 +70,7 @@ from .hash_pbn import (
 )
 from .journal import JournalRecord, MetadataJournal, RecordKind, recover_engine
 from .lba_store import ENTRIES_PER_PAGE, PagedLbaStore
+from .sharded import ShardedDedupEngine, shard_for_digest
 from .hashing import (
     FINGERPRINT_SIZE,
     MAX_PBN,
@@ -163,6 +164,8 @@ __all__ = [
     "ReadReport",
     "ReductionStats",
     "RmwStats",
+    "ShardedDedupEngine",
+    "shard_for_digest",
     "WriteOptions",
     "WriteReport",
     "Bucket",

@@ -191,6 +191,8 @@ class LbaStore(Protocol):
 
     def set(self, lba: int, pbn: int) -> Optional[int]: ...
 
+    def unmap(self, lba: int) -> Optional[int]: ...
+
     def __len__(self) -> int: ...
 
     def items(self) -> Iterator[Tuple[int, int]]: ...
@@ -944,6 +946,26 @@ class DedupEngine:
         return report
 
     # -- maintenance -------------------------------------------------------------
+    def trim(self, lba: int) -> WriteReport:
+        """Drop ``lba``'s mapping (TRIM/discard), releasing its chunk ref.
+
+        The returned report carries ``reclaimed_chunks=1`` when the
+        dropped reference was the chunk's last (its space is reclaimed
+        and its fingerprint retired, exactly like an overwrite's
+        release); trimming an unmapped LBA is a no-op.  The sharded
+        engine and the scatter-gather router use this to evict an LBA's
+        stale mapping from a shard the LBA no longer lives on.  Note the
+        unmap itself is not journaled — the metadata journal records
+        map/free events, so a replay of a trimmed-then-idle LBA would
+        resurrect the mapping only if its chunk was never freed.
+        """
+        with self.lock:
+            report = self._new_report()
+            old_pbn = self.lba_map.unmap(lba)
+            if old_pbn is not None:
+                self._release(old_pbn, report)
+            return report
+
     def flush(self) -> None:
         """Seal the open container (batch boundary / shutdown)."""
         with self.lock:

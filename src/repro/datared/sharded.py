@@ -1,0 +1,564 @@
+"""Fingerprint-sharded dedup engine: N-way parallel resolve+publish.
+
+:class:`ShardedDedupEngine` splits fingerprint space into ``N``
+contiguous digest-prefix ranges, each owned by an independent
+:class:`~repro.datared.dedup.DedupEngine` shard with its own lock,
+Hash-PBN table, containers, PBN space and byte ledgers.  The batched
+write path keeps the engine's parallel hash fan-out, then partitions the
+chunks by :func:`shard_for_digest` and runs the serial resolve+publish
+section **concurrently per shard** — the stage
+``BENCH_stages.json`` showed as the post-compression ceiling.
+
+Two invariants make dedup stay *global* while the index scales out
+(DESIGN.md §5.7):
+
+* **Shard selection is a pure function of content.**  Identical chunks
+  always hash to the same shard, so a duplicate is found no matter
+  which client, batch, or LBA wrote the first copy; cross-shard
+  duplicate storage is structurally impossible.
+* **LBA ownership lives in the router's directory.**  A rewrite whose
+  new content hashes to a different shard publishes on the new shard
+  first, then trims the stale mapping from the old shard, so every LBA
+  is mapped in exactly one shard and the per-shard ledgers sum to the
+  global ledger (:func:`repro.analysis.invariants.check_sharded_engine`
+  verifies both laws).
+
+With ``num_shards=1`` the scatter degenerates to a single sub-batch on
+one shard and the results — bytes, stats, container layout, report
+contents — are identical to a plain :class:`DedupEngine`; the
+differential suite proves it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..errors import ShardError
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..parallel import StagePool
+from ..sync import DisciplinedLock
+from .chunking import BLOCK_SIZE, Chunk, FixedChunker
+from .compression import Compressor
+from .dedup import (
+    DedupEngine,
+    EngineStats,
+    ReadReport,
+    ReductionStats,
+    StageTimer,
+    WriteOptions,
+    WriteReport,
+    _NO_OPTIONS,
+)
+from .hashing import Fingerprinter
+
+__all__ = ["ShardedDedupEngine", "shard_for_digest"]
+
+#: Payload type accepted by the write entry points (mirrors DedupEngine).
+_Payload = Union[bytes, bytearray, memoryview]
+
+
+def shard_for_digest(digest: bytes, num_shards: int) -> int:
+    """Map a fingerprint to its owning shard.
+
+    The first 8 digest bytes index a contiguous range partition of the
+    64-bit prefix space (``prefix * N >> 64``), so each shard owns one
+    consistent slice of fingerprint space and a uniform hash spreads
+    chunks evenly.  Pure function of content: the single shard-selection
+    helper every path (batched write, single write, router) must use —
+    divergent selection would silently break global dedup.
+    """
+    if num_shards == 1:
+        return 0
+    prefix = int.from_bytes(digest[:8], "big")
+    return (prefix * num_shards) >> 64
+
+
+class ShardedDedupEngine:
+    """N independent dedup shards behind one scatter-gather front door.
+
+    The router owns a single :class:`~repro.sync.DisciplinedLock` with
+    the same external semantics as the plain engine's batch-wide lock —
+    concurrent callers serialize at the front door — and the win is the
+    *intra-batch* cross-shard parallelism of the resolve+publish stage.
+
+    ``stage_clock`` accepts the same timers as ``DedupEngine``; setting
+    it propagates the clock to every shard, which is safe for the
+    thread-aware :class:`~repro.obs.trace.TracedStages` but **not** for
+    ``repro.perf``'s single-threaded ``StageClock`` — the perf harness
+    installs one private clock per shard instead.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        compressor: Optional[Compressor] = None,
+        chunk_size: int = BLOCK_SIZE,
+        num_buckets: int = 1 << 16,
+        pool: Optional[StagePool] = None,
+        read_cache_chunks: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        fingerprinter: Optional[Fingerprinter] = None,
+        shard_factory: Optional[Callable[[int], DedupEngine]] = None,
+    ) -> None:
+        """``pool`` is the shared hash/compress fan-out pool (the same
+        role it has on ``DedupEngine``); the shard scatter itself runs
+        on a private thread pool sized to ``num_shards``.  Each shard
+        gets a **private** metrics registry so N ``engine.*`` collectors
+        never collide — this engine publishes the summed ``engine.*``
+        gauges plus per-shard ``engine.shard.<i>.*`` gauges into
+        ``registry`` (default: the process registry).  ``shard_factory``
+        overrides shard construction (the systems factory wires custom
+        containers per shard); it must honour the shared chunk size.
+        ``read_cache_chunks`` and ``num_buckets`` are per-shard budgets.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.lock = DisciplinedLock("sharded-router")
+        self.chunker = FixedChunker(chunk_size)
+        self.pool = pool if pool is not None else StagePool(1)
+        if shard_factory is None:
+            def _default_factory(index: int) -> DedupEngine:
+                return DedupEngine(
+                    compressor=compressor,
+                    chunk_size=chunk_size,
+                    num_buckets=num_buckets,
+                    pool=self.pool,
+                    read_cache_chunks=read_cache_chunks,
+                    registry=MetricsRegistry(),
+                    fingerprinter=fingerprinter,
+                )
+
+            shard_factory = _default_factory
+        #: The shards, index-addressed by :func:`shard_for_digest`.
+        #: Strongly referenced here: each shard's registry holds its
+        #: collector only weakly, and this list also keeps the shard
+        #: engines alive for the per-shard gauges below.
+        self.shards: List[DedupEngine] = [
+            shard_factory(index) for index in range(num_shards)
+        ]
+        for index, shard in enumerate(self.shards):
+            if shard.chunker.chunk_size != chunk_size:
+                raise ValueError(
+                    f"shard {index} chunk_size "
+                    f"{shard.chunker.chunk_size} != {chunk_size}"
+                )
+        self.compressor = self.shards[0].compressor
+        self.fingerprinter = self.shards[0].fingerprinter
+        #: LBA → owning shard directory.  Every written LBA is recorded
+        #: under the router lock; reads and trims resolve through it.
+        #: An absent LBA is unmapped everywhere (shard 0 then serves the
+        #: canonical zero-fill read).
+        self._lba_shard: Dict[int, int] = {}  # guarded-by: self.lock
+        #: Scatter pool: one thread per shard, ``min_slice_items=1`` so
+        #: a handful of shard tasks never collapse into one serial
+        #: slice (the StagePool default of 8 would serialize any
+        #: fan-out below 8 shards).  Serial when there is one shard.
+        self._fanout = StagePool(
+            num_shards if num_shards > 1 else 1,
+            backend="thread",
+            slices_per_worker=1,
+            min_slice_items=1,
+        )
+        self._stage_clock: Optional[StageTimer] = None
+        self.registry = registry if registry is not None else get_registry()
+        self.registry.register_collector(self._publish_metrics)
+
+    # -- instrumentation ---------------------------------------------------------
+    @property
+    def stage_clock(self) -> Optional[StageTimer]:
+        return self._stage_clock
+
+    @stage_clock.setter
+    def stage_clock(self, clock: Optional[StageTimer]) -> None:
+        self._stage_clock = clock
+        for shard in self.shards:
+            shard.stage_clock = clock
+
+    def _active_clock(self) -> Optional[StageTimer]:
+        clock = self._stage_clock
+        if clock is None or not getattr(clock, "active", True):
+            return None
+        return clock
+
+    # -- stats -------------------------------------------------------------------
+    @property
+    def stats(self) -> ReductionStats:
+        """Cluster-wide :class:`ReductionStats` (summed over shards)."""
+        with self.lock:
+            merged = ReductionStats()
+            for shard in self.shards:
+                stats = shard.stats
+                with shard.lock:
+                    merged.logical_bytes += stats.logical_bytes
+                    merged.unique_logical_bytes += stats.unique_logical_bytes
+                    merged.stored_bytes += stats.stored_bytes
+                    merged.reclaimed_stored_bytes += (
+                        stats.reclaimed_stored_bytes
+                    )
+                    merged.duplicate_chunks += stats.duplicate_chunks
+                    merged.unique_chunks += stats.unique_chunks
+            return merged
+
+    def shard_snapshots(self) -> List[EngineStats]:
+        """Per-shard lock-consistent :class:`EngineStats` snapshots."""
+        with self.lock:
+            return [shard.stats_snapshot() for shard in self.shards]
+
+    def stats_snapshot(self) -> EngineStats:
+        """Cluster-wide :class:`EngineStats` (summed over shards)."""
+        return _merge_snapshots(self.shard_snapshots())
+
+    def _publish_metrics(self, registry: MetricsRegistry) -> None:
+        """Collector: summed ``engine.*`` plus ``engine.shard.<i>.*``.
+
+        The aggregate gauges carry the exact names the plain engine
+        publishes, so every ``repro.stats/v1`` consumer (loadgen, obs
+        top, the bench CLIs) reads a sharded engine unchanged; ratios
+        are recomputed from the summed ledgers.
+        """
+        snaps = self.shard_snapshots()
+        snap = _merge_snapshots(snaps)
+        registry.gauge("engine.shards").set(self.num_shards)
+        registry.gauge("engine.logical_bytes").set(snap.logical_bytes)
+        registry.gauge("engine.unique_logical_bytes").set(
+            snap.unique_logical_bytes
+        )
+        registry.gauge("engine.stored_bytes").set(snap.stored_bytes)
+        registry.gauge("engine.live_stored_bytes").set(snap.live_stored_bytes)
+        registry.gauge("engine.reclaimed_stored_bytes").set(
+            snap.reclaimed_stored_bytes
+        )
+        registry.gauge("engine.duplicate_chunks").set(snap.duplicate_chunks)
+        registry.gauge("engine.unique_chunks").set(snap.unique_chunks)
+        registry.gauge("engine.read_cache.hits").set(snap.read_cache_hits)
+        registry.gauge("engine.read_cache.misses").set(snap.read_cache_misses)
+        registry.gauge("engine.gc.containers_reclaimed").set(
+            snap.gc_containers_reclaimed
+        )
+        registry.gauge("engine.gc.bytes_moved").set(snap.gc_bytes_moved)
+        registry.gauge("engine.plan.fallback_compressions").set(
+            snap.plan_fallback_compressions
+        )
+        registry.gauge("engine.plan.wasted_compressions").set(
+            snap.plan_wasted_compressions
+        )
+        registry.gauge("engine.containers_sealed").set(snap.containers_sealed)
+        registry.gauge("engine.dedup_ratio").set(snap.dedup_ratio)
+        registry.gauge("engine.compression_ratio").set(snap.compression_ratio)
+        reduction = snap.reduction_factor
+        if not math.isfinite(reduction):
+            reduction = 0.0
+        registry.gauge("engine.reduction_factor").set(reduction)
+        for index, shard_snap in enumerate(snaps):
+            prefix = f"engine.shard.{index}"
+            registry.gauge(f"{prefix}.logical_bytes").set(
+                shard_snap.logical_bytes
+            )
+            registry.gauge(f"{prefix}.stored_bytes").set(
+                shard_snap.stored_bytes
+            )
+            registry.gauge(f"{prefix}.live_stored_bytes").set(
+                shard_snap.live_stored_bytes
+            )
+            registry.gauge(f"{prefix}.unique_chunks").set(
+                shard_snap.unique_chunks
+            )
+            registry.gauge(f"{prefix}.duplicate_chunks").set(
+                shard_snap.duplicate_chunks
+            )
+            registry.gauge(f"{prefix}.containers_sealed").set(
+                shard_snap.containers_sealed
+            )
+
+    # -- write path --------------------------------------------------------------
+    def write(
+        self,
+        lba: int,
+        payload: _Payload,
+        options: Optional[WriteOptions] = None,
+    ) -> WriteReport:
+        """Write ``payload`` at chunk-aligned ``lba``.
+
+        A single write is a batch of one: it runs the exact batched
+        scatter path, so shard selection cannot diverge between the
+        entry points (the satellite regression test pins this).
+        """
+        return self.write_many([(lba, payload)], options)[0]
+
+    def write_many(
+        self,
+        requests: Iterable[Tuple[int, _Payload]],
+        options: Optional[WriteOptions] = None,
+    ) -> List[WriteReport]:
+        """Scatter a batch across shards; gather per-request reports.
+
+        Chunks are fingerprinted on the shared pool (unchanged hash
+        fan-out), partitioned by digest prefix, and each shard's
+        sub-batch runs resolve+publish concurrently on the scatter
+        pool.  Reports and LBA mappings re-merge in submission order;
+        a rewrite that moved an LBA to a new shard trims the stale
+        mapping from the old one before the call returns.
+
+        If a shard fails, the other shards complete and stay conserved,
+        the directory reflects only the applied writes, and a
+        :class:`~repro.errors.ShardError` naming the failed shards is
+        raised (per-chunk atomicity, like a split write).
+        """
+        if options is None:
+            options = _NO_OPTIONS
+        with self.lock:
+            reports = self._write_many_locked(list(requests), options.digests)
+            if options.flush:
+                for shard in self.shards:
+                    shard.flush()
+            return reports
+
+    def _write_many_locked(  # repro-lint: holds self.lock, hot-path
+        self,
+        requests: List[Tuple[int, _Payload]],
+        digests: Optional[Sequence[bytes]],
+    ) -> List[WriteReport]:
+        clock = self._active_clock()
+        reports = [WriteReport() for _ in requests]
+        flat: List[Tuple[int, Chunk]] = []
+        if clock is None:
+            for index, (lba, payload) in enumerate(requests):
+                for chunk in self.chunker.split(lba, payload):
+                    flat.append((index, chunk))
+        else:
+            with clock.stage("chunk"):
+                for index, (lba, payload) in enumerate(requests):
+                    for chunk in self.chunker.split(lba, payload):
+                        flat.append((index, chunk))
+        if not flat:
+            return reports
+
+        # Stage 1 (parallel): the unchanged hash fan-out, now at the
+        # router so one digest both routes the chunk and skips the
+        # shard's own hash stage.
+        if digests is None:
+            views = [chunk.data for _, chunk in flat]
+            if clock is None:
+                digests = self.fingerprinter.digest_many(views, pool=self.pool)
+            else:
+                with clock.stage("hash"):
+                    digests = self.fingerprinter.digest_many(
+                        views, pool=self.pool
+                    )
+        else:
+            digests = list(digests)
+            if len(digests) != len(flat):
+                raise ValueError(
+                    f"got {len(digests)} digests for {len(flat)} chunks"
+                )
+
+        # Stage 2: partition by digest prefix, preserving flat order
+        # within each shard's sub-batch.
+        assignment = [
+            shard_for_digest(digest, self.num_shards) for digest in digests
+        ]
+        per_shard: List[List[int]] = [[] for _ in range(self.num_shards)]
+        for position, shard_index in enumerate(assignment):
+            per_shard[shard_index].append(position)
+        work = [
+            (shard_index, positions)
+            for shard_index, positions in enumerate(per_shard)
+            if positions
+        ]
+
+        # Stage 3 (parallel): per-shard resolve+publish.  Every chunk is
+        # its own single-chunk sub-request so the gather can rebuild
+        # per-request reports chunk by chunk.  Exceptions are captured
+        # per shard — never raised through the pool — so the scatter
+        # always runs to completion before the gather inspects it.
+        digest_list = list(digests)
+
+        def scatter(
+            item: Tuple[int, List[int]],
+        ) -> Tuple[int, Union[List[WriteReport], BaseException]]:
+            shard_index, positions = item
+            shard = self.shards[shard_index]
+            sub_requests: List[Tuple[int, _Payload]] = [
+                (flat[position][1].lba, flat[position][1].data)
+                for position in positions
+            ]
+            sub_digests = [digest_list[position] for position in positions]
+            try:
+                return shard_index, shard.write_many(
+                    sub_requests, WriteOptions(digests=sub_digests)
+                )
+            except Exception as error:  # gathered below, per shard
+                return shard_index, error
+
+        results = self._fanout.map(scatter, work)
+
+        failed: Set[int] = set()
+        failures: List[Tuple[int, BaseException]] = []
+        by_position: Dict[int, WriteReport] = {}
+        for (shard_index, positions), (_, result) in zip(work, results):
+            if isinstance(result, BaseException):
+                failed.add(shard_index)
+                failures.append((shard_index, result))
+                continue
+            for position, sub_report in zip(positions, result):
+                by_position[position] = sub_report
+
+        # Stage 4 (serial): gather in submission order.  Last writer of
+        # an LBA owns it; every other shard that wrote it this batch —
+        # plus its previous owner — gets a trim, and the reclaims credit
+        # the owning request exactly as an in-shard overwrite would.
+        writers: Dict[int, Set[int]] = {}
+        final: Dict[int, Tuple[int, int]] = {}  # lba -> (shard, request)
+        for position, (request_index, chunk) in enumerate(flat):
+            shard_index = assignment[position]
+            if shard_index in failed:
+                continue
+            sub_report = by_position[position]
+            reports[request_index].add(sub_report.chunks[0])
+            reports[request_index].containers_sealed += (
+                sub_report.containers_sealed
+            )
+            reports[request_index].reclaimed_chunks += (
+                sub_report.reclaimed_chunks
+            )
+            writers.setdefault(chunk.lba, set()).add(shard_index)
+            final[chunk.lba] = (shard_index, request_index)
+
+        for lba, (owner, request_index) in final.items():
+            stale = writers[lba] - {owner}
+            previous = self._lba_shard.get(lba)
+            if previous is not None and previous != owner:
+                stale.add(previous)
+            for shard_index in sorted(stale):
+                if shard_index in failed:
+                    continue  # unknown state; leave it for the caller
+                trim_report = self.shards[shard_index].trim(lba)
+                reports[request_index].reclaimed_chunks += (
+                    trim_report.reclaimed_chunks
+                )
+            self._lba_shard[lba] = owner
+
+        if failures:
+            detail = "; ".join(
+                f"shard {shard_index}: {error!r}"
+                for shard_index, error in failures
+            )
+            raise ShardError(
+                f"{len(failures)} shard(s) failed during write_many: "
+                f"{detail}",
+                tuple(sorted(failed)),
+            )
+        return reports
+
+    # -- read path ---------------------------------------------------------------
+    def read(self, lba: int, num_chunks: int = 1) -> ReadReport:
+        """Read ``num_chunks`` chunks starting at chunk-aligned ``lba``.
+
+        Positions resolve to shards through the LBA directory, collapse
+        into contiguous same-shard runs, and the runs fan out on the
+        scatter pool; the merged report reassembles in LBA order.
+        LBAs absent from the directory are unmapped everywhere, so
+        shard 0 serves their canonical zero-fill (identical data and
+        accounting to the plain engine's hole reads).
+        """
+        if num_chunks < 1:
+            raise ValueError("must read at least one chunk")
+        step = self.chunker.blocks_per_chunk
+        if lba % step != 0:
+            raise ValueError(f"LBA {lba} is not chunk-aligned")
+        with self.lock:
+            runs: List[Tuple[int, int, int]] = []  # (shard, start, count)
+            for position in range(num_chunks):
+                chunk_lba = lba + position * step
+                shard_index = self._lba_shard.get(chunk_lba, 0)
+                if (
+                    runs
+                    and runs[-1][0] == shard_index
+                    and runs[-1][1] + runs[-1][2] * step == chunk_lba
+                ):
+                    runs[-1] = (shard_index, runs[-1][1], runs[-1][2] + 1)
+                else:
+                    runs.append((shard_index, chunk_lba, 1))
+
+            def gather(run: Tuple[int, int, int]) -> ReadReport:
+                shard_index, start, count = run
+                return self.shards[shard_index].read(start, count)
+
+            sub_reports = self._fanout.map(gather, runs)
+            merged = ReadReport()
+            pieces: List[bytes] = []
+            for sub_report in sub_reports:
+                pieces.append(sub_report.data)
+                merged.chunks_read += sub_report.chunks_read
+                merged.stored_bytes_read += sub_report.stored_bytes_read
+                merged.unmapped_chunks += sub_report.unmapped_chunks
+                merged.cache_hits += sub_report.cache_hits
+            merged.data = pieces[0] if len(pieces) == 1 else b"".join(pieces)
+            return merged
+
+    # -- maintenance -------------------------------------------------------------
+    def trim(self, lba: int) -> WriteReport:
+        """Drop ``lba``'s mapping from its owning shard (TRIM/discard)."""
+        with self.lock:
+            shard_index = self._lba_shard.pop(lba, 0)
+            return self.shards[shard_index].trim(lba)
+
+    def flush(self) -> None:
+        """Seal every shard's open container (batch boundary)."""
+        with self.lock:
+            for shard in self.shards:
+                shard.flush()
+
+    def collect_garbage(self, threshold: float = 0.5) -> int:
+        """Compact each shard's containers; returns total reclaimed."""
+        with self.lock:
+            return sum(
+                shard.collect_garbage(threshold) for shard in self.shards
+            )
+
+    def shutdown(self) -> None:
+        """Stop the scatter pool's workers (the shared pool is the
+        caller's to manage, as with the plain engine)."""
+        self._fanout.shutdown()
+
+
+def _merge_snapshots(snaps: Sequence[EngineStats]) -> EngineStats:
+    """Sum per-shard snapshots into one cluster-wide snapshot.
+
+    Every :class:`EngineStats` field is an integral ledger, so the
+    cluster view is the plain field-wise sum; the derived ratios then
+    recompute from the summed ledgers.
+    """
+    return EngineStats(
+        logical_bytes=sum(s.logical_bytes for s in snaps),
+        unique_logical_bytes=sum(s.unique_logical_bytes for s in snaps),
+        stored_bytes=sum(s.stored_bytes for s in snaps),
+        reclaimed_stored_bytes=sum(s.reclaimed_stored_bytes for s in snaps),
+        duplicate_chunks=sum(s.duplicate_chunks for s in snaps),
+        unique_chunks=sum(s.unique_chunks for s in snaps),
+        read_cache_hits=sum(s.read_cache_hits for s in snaps),
+        read_cache_misses=sum(s.read_cache_misses for s in snaps),
+        gc_containers_reclaimed=sum(
+            s.gc_containers_reclaimed for s in snaps
+        ),
+        gc_bytes_moved=sum(s.gc_bytes_moved for s in snaps),
+        plan_fallback_compressions=sum(
+            s.plan_fallback_compressions for s in snaps
+        ),
+        plan_wasted_compressions=sum(
+            s.plan_wasted_compressions for s in snaps
+        ),
+        containers_sealed=sum(s.containers_sealed for s in snaps),
+    )

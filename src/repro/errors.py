@@ -25,6 +25,7 @@ __all__ = [
     "AlignmentError",
     "CapacityError",
     "MissingDependencyError",
+    "ShardError",
     "ErrorCode",
     "error_code_for",
     "exception_for_code",
@@ -60,6 +61,22 @@ class MissingDependencyError(ReproError, ValueError):
     """
 
 
+class ShardError(ReproError, ValueError):
+    """A shard of a sharded engine (or cluster backend) failed.
+
+    Raised by :class:`~repro.datared.sharded.ShardedDedupEngine` and the
+    scatter-gather router when one shard's resolve+publish fails while
+    the others complete: the healthy shards' ledgers stay conserved, but
+    the batch is only partially applied (the same per-chunk atomicity a
+    split write already has).  ``shard_indexes`` names the shards that
+    failed.
+    """
+
+    def __init__(self, message: str, shard_indexes: Tuple[int, ...] = ()):
+        super().__init__(message)
+        self.shard_indexes = shard_indexes
+
+
 class ErrorCode(enum.IntEnum):
     """Structured codes carried in ``Op.ERROR`` payloads."""
 
@@ -70,11 +87,13 @@ class ErrorCode(enum.IntEnum):
     CAPACITY = 4
     CORRUPT_FRAME = 5
     INTERNAL = 6
+    SHARD_FAILED = 7
 
 
 _CODE_FOR_EXCEPTION = (
     (AlignmentError, ErrorCode.ALIGNMENT),
     (CapacityError, ErrorCode.CAPACITY),
+    (ShardError, ErrorCode.SHARD_FAILED),
     (ProtocolError, ErrorCode.BAD_REQUEST),
     (ReproError, ErrorCode.INTERNAL),
 )
@@ -87,6 +106,7 @@ _EXCEPTION_FOR_CODE = {
     ErrorCode.CAPACITY: CapacityError,
     ErrorCode.CORRUPT_FRAME: ProtocolError,
     ErrorCode.INTERNAL: ReproError,
+    ErrorCode.SHARD_FAILED: ShardError,
 }
 
 

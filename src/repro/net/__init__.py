@@ -1,10 +1,12 @@
 """The storage network protocol layer (paper §6.2).
 
 ``protocol`` is the wire format (v1 + v2) with synchronous endpoints;
-``aserver`` is the concurrent asyncio serving layer on top of it.
+``aserver`` is the concurrent asyncio serving layer on top of it;
+``router`` scatter-gathers one endpoint across N shard backends.
 """
 
 from .aserver import AsyncProtocolClient, AsyncProtocolServer, ServerMetrics
+from .router import ShardRouter
 from .protocol import (
     Frame,
     FrameDecoder,
@@ -27,6 +29,7 @@ __all__ = [
     "ProtocolError",
     "ProtocolServer",
     "ServerMetrics",
+    "ShardRouter",
     "encode_frame",
     "encode_frame_v2",
     "encode_reply",

@@ -16,6 +16,10 @@ Run a FIDR-architecture server with a 4-way stage pool::
 Measure the serving layer end to end::
 
     python -m repro.net bench --clients 8 --ops 100 --parallelism 4
+
+Front a self-hosted 4-shard cluster with the scatter-gather router::
+
+    python -m repro.net route --spawn 4 --port 9876
 """
 
 from __future__ import annotations
@@ -28,9 +32,11 @@ from typing import List, Optional
 from ..datared import codecs as _codecs
 from ..datared import hashing as _hashing
 from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry, get_registry, set_registry
 from ..systems.config import CodecPolicy, SystemConfig
 from ..systems.server import StorageServer, SystemKind
 from .aserver import AsyncProtocolServer
+from .router import ShardRouter
 
 __all__ = ["main"]
 
@@ -42,6 +48,7 @@ def _build_storage(args: argparse.Namespace) -> StorageServer:
     config = SystemConfig(
         parallelism=args.parallelism,
         executor=args.executor,
+        shards=getattr(args, "shards", 1),
         codec=CodecPolicy(
             codec=args.codec,
             fingerprint=args.fingerprint,
@@ -86,6 +93,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="sha256",
         help="chunk fingerprint algorithm (optional algorithms fall "
         "back to sha256 when their library is missing)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fingerprint-space shards inside the storage engine "
+        "(>= 2 scatter-gathers resolve+publish across shard threads)",
     )
     parser.add_argument(
         "--workers",
@@ -147,6 +161,77 @@ async def _serve(args: argparse.Namespace) -> int:
             await asyncio.Event().wait()
         except asyncio.CancelledError:
             pass
+    return 0
+
+
+def _parse_backend(spec: str) -> tuple:
+    host, _, port = spec.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--backend takes host:port, got {spec!r}"
+        ) from None
+
+
+async def _route(args: argparse.Namespace) -> int:
+    """Host a :class:`ShardRouter` over external and/or spawned backends."""
+    _trace.set_enabled(not args.no_trace)
+    backends: List[tuple] = list(args.backend or [])
+    spawned: List[AsyncProtocolServer] = []
+    if args.spawn:
+        # Each spawned backend gets a private registry (as separate
+        # processes would) so the router's STATS merge aggregates real
+        # per-shard snapshots; the router is the sharding layer, so the
+        # backends themselves are built single-shard.
+        args.shards = 1
+        original = get_registry()
+        try:
+            for _ in range(args.spawn):
+                registry = MetricsRegistry()
+                set_registry(registry)
+                server = AsyncProtocolServer(
+                    _build_storage(args),
+                    queue_depth=args.queue_depth,
+                    workers=args.workers,
+                    offload=not args.no_offload,
+                    write_split_chunks=args.write_split_chunks,
+                    registry=registry,
+                )
+                await server.start()
+                spawned.append(server)
+                backends.append(server.address)
+        finally:
+            set_registry(original)
+    if not backends:
+        print("route needs --backend and/or --spawn", file=sys.stderr)
+        return 2
+    fingerprinter = CodecPolicy(
+        fingerprint=args.fingerprint, on_missing="fallback"
+    ).build_fingerprinter()
+    try:
+        async with ShardRouter(
+            backends,
+            host=args.host,
+            port=args.port,
+            fingerprinter=fingerprinter,
+        ) as router:
+            print(
+                f"routing {len(backends)} shards on "
+                f"{router.host}:{router.port} "
+                f"(spawned={len(spawned)}, "
+                f"fingerprint={fingerprinter.name})",
+                flush=True,
+            )
+            for index, address in enumerate(router.backend_addresses):
+                print(f"  shard {index}: {address[0]}:{address[1]}")
+            try:
+                await asyncio.Event().wait()
+            except asyncio.CancelledError:
+                pass
+    finally:
+        for server in spawned:
+            await server.stop()
     return 0
 
 
@@ -212,6 +297,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stay live; only the per-stage span histograms go dark)",
     )
 
+    route = commands.add_parser(
+        "route",
+        help="host a scatter-gather router over N shard backends",
+    )
+    _add_common(route)
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    route.add_argument(
+        "--backend",
+        action="append",
+        type=_parse_backend,
+        metavar="HOST:PORT",
+        help="an already-running shard server (repeat per shard, "
+        "shard index = argument order)",
+    )
+    route.add_argument(
+        "--spawn",
+        type=int,
+        default=0,
+        help="additionally self-host this many single-shard backends "
+        "in-process (appended after --backend shards)",
+    )
+    route.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable trace spans on the router and spawned backends",
+    )
+
     bench = commands.add_parser(
         "bench", help="drive an in-process server with the load generator"
     )
@@ -224,9 +337,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.parallelism < 1:
         parser.error("--parallelism must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
     if args.command == "serve":
         try:
             return asyncio.run(_serve(args))
+        except KeyboardInterrupt:
+            return 0
+    if args.command == "route":
+        if args.spawn < 0:
+            parser.error("--spawn must be >= 0")
+        try:
+            return asyncio.run(_route(args))
         except KeyboardInterrupt:
             return 0
     return _bench(args)

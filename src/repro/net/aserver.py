@@ -551,6 +551,14 @@ class AsyncProtocolClient:
             raise_for_error_payload(response.payload, "read failed")
         return response.payload
 
+    async def trim(self, lba: int, num_chunks: int = 1) -> None:
+        """Drop ``num_chunks`` chunk mappings at ``lba`` (v2-only)."""
+        if self.version < 2:
+            raise ProtocolError("TRIM requires protocol version 2")
+        response = await self._request(Op.TRIM, lba, count=num_chunks)
+        if response.op != Op.TRIM_ACK:
+            raise_for_error_payload(response.payload, "trim failed")
+
     async def stats(self) -> Dict[str, Any]:
         """Scrape the server's live ``repro.stats/v1`` snapshot (v2-only;
         a v1 client fails locally with :class:`ProtocolError`)."""

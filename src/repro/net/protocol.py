@@ -85,11 +85,17 @@ class Op:
     #: structured ``UNSUPPORTED_OP`` error, never a wedge.
     STATS = 6
     STATS_ACK = 7
+    #: v2-only: drop ``count`` chunk mappings starting at ``lba``
+    #: (TRIM/discard).  The scatter-gather router uses it to evict an
+    #: LBA's stale mapping from a backend the LBA moved away from; a v1
+    #: TRIM gets the same structured ``UNSUPPORTED_OP`` as STATS.
+    TRIM = 8
+    TRIM_ACK = 9
 
 
 _KNOWN_OPS = (
     Op.WRITE, Op.READ, Op.WRITE_ACK, Op.READ_ACK, Op.ERROR,
-    Op.STATS, Op.STATS_ACK,
+    Op.STATS, Op.STATS_ACK, Op.TRIM, Op.TRIM_ACK,
 )
 
 
@@ -348,6 +354,17 @@ class ProtocolServer:
                     allow_nan=False,
                 ).encode("utf-8")
                 return encode_reply(frame, Op.STATS_ACK, 0, payload)
+            if frame.op == Op.TRIM:
+                if frame.version < 2:
+                    return encode_reply(
+                        frame, Op.ERROR, frame.lba,
+                        encode_error_payload(
+                            ErrorCode.UNSUPPORTED_OP,
+                            "TRIM requires protocol v2",
+                        ),
+                    )
+                self.server.trim(frame.lba, frame.read_count)
+                return encode_reply(frame, Op.TRIM_ACK, frame.lba)
             raise ProtocolError(f"unexpected op {frame.op}")
         except (ReproError, ValueError) as error:
             return encode_reply(
@@ -406,6 +423,16 @@ class ProtocolClient:
         if response.op != Op.READ_ACK:
             raise_for_error_payload(response.payload, "read failed")
         return response.payload
+
+    def trim(self, lba: int, num_chunks: int = 1) -> None:
+        """Drop ``num_chunks`` chunk mappings at ``lba`` (v2-only)."""
+        if self.version < 2:
+            raise ProtocolError("TRIM requires protocol version 2")
+        response = self._roundtrip(
+            self._encode_request(Op.TRIM, lba, count=num_chunks)
+        )
+        if response.op != Op.TRIM_ACK:
+            raise_for_error_payload(response.payload, "trim failed")
 
     def stats(self) -> Dict[str, Any]:
         """Scrape the server's live ``repro.stats/v1`` snapshot.

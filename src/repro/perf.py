@@ -46,6 +46,7 @@ from typing import Any, Dict, List, Optional
 from .datared import codecs as _codecs
 from .datared import hashing as _hashing
 from .datared.dedup import DedupEngine
+from .datared.sharded import ShardedDedupEngine
 from .obs import trace as _trace
 from .obs.trace import TracedStages
 from .parallel import StagePool
@@ -54,6 +55,7 @@ __all__ = [
     "StageClock",
     "bench_meta",
     "run_obs_overhead",
+    "run_shard_bench",
     "run_stage_bench",
     "main",
 ]
@@ -312,6 +314,10 @@ def run_stage_bench(
     return {
         "benchmark": "engine-stage-breakdown",
         "meta": bench_meta(),
+        # The stage breakdown always drives the plain (single-shard)
+        # engine; the stamp keeps BENCH JSON self-describing next to
+        # the BENCH_shards sweep.
+        "shards": 1,
         "parallelism": parallelism,
         "codec": codec,
         "executor": executor,
@@ -335,6 +341,172 @@ def run_stage_bench(
             num_batches=max(4, num_batches // 4), rounds=rounds + 2
         ),
     }
+
+
+def _drive_sharded(
+    batches: List[List[bytes]],
+    num_shards: int,
+    parallelism: int,
+    codec: str = "zlib",
+    executor: str = "thread",
+    fingerprint: str = "sha256",
+) -> tuple:
+    """One sharded write pass; returns ``(total_ns, router_clock,
+    shard_clocks)``.
+
+    The router clock only sees the front-door stages (chunk, hash);
+    each shard gets a *private* :class:`StageClock` because the clock
+    is not thread-safe and shard tasks run concurrently — installing
+    the router clock everywhere (what the ``stage_clock`` setter does,
+    correct for the thread-safe ``TracedStages``) would corrupt its
+    counters here.
+    """
+    with StagePool(parallelism, backend=executor) as pool:
+        engine = ShardedDedupEngine(
+            num_shards,
+            num_buckets=1 << 14,
+            compressor=_codecs.create_codec(codec),
+            pool=pool,
+            fingerprinter=_hashing.create_fingerprinter(fingerprint),
+        )
+        router_clock = StageClock()
+        shard_clocks = [StageClock() for _ in range(num_shards)]
+        engine.stage_clock = router_clock
+        for shard, shard_clock in zip(engine.shards, shard_clocks):
+            shard.stage_clock = shard_clock
+        try:
+            start = time.perf_counter_ns()
+            lba = 0
+            for batch in batches:
+                requests = []
+                for data in batch:
+                    requests.append((lba, data))
+                    lba += engine.chunker.blocks_per_chunk
+                engine.write_many(requests)
+            engine.flush()
+            total = time.perf_counter_ns() - start
+        finally:
+            engine.shutdown()
+        return total, router_clock, shard_clocks
+
+
+def run_shard_bench(
+    shard_counts: List[int],
+    num_batches: int = 48,
+    rounds: int = 3,
+    parallelism: int = 1,
+    codec: str = "zlib",
+    executor: str = "thread",
+    fingerprint: str = "sha256",
+    corpus: str = "mixed",
+) -> Dict[str, Any]:
+    """Scaling sweep over shard counts; returns the BENCH_shards payload.
+
+    Every run drives the identical workload.  The ``unsharded`` entry
+    is the plain :class:`DedupEngine` (no scatter layer at all) and is
+    the denominator of each run's ``vs_unsharded`` ratio — CI gates
+    ``shards=1`` at 0.9x of it, so the scatter-gather layer itself must
+    stay near-free.  Per-shard ``resolve_publish_ns`` is the §5.7
+    parallel section (lookup + pack + publish on the shard thread).
+    """
+    if not shard_counts:
+        raise ValueError("need at least one shard count")
+    if any(count < 1 for count in shard_counts):
+        raise ValueError(f"shard counts must be >= 1, got {shard_counts}")
+    batches = make_workload(num_batches, corpus=corpus)
+    chunks = num_batches * BATCH_CHUNKS
+    moved = chunks * CHUNK
+
+    best_unsharded: Optional[int] = None
+    for _ in range(rounds):
+        total = _drive(
+            batches, None, parallelism,
+            codec=codec, executor=executor, fingerprint=fingerprint,
+        )
+        if best_unsharded is None or total < best_unsharded:
+            best_unsharded = total
+    assert best_unsharded is not None
+    unsharded_mb_s = moved / 1e6 / (best_unsharded / 1e9)
+
+    runs: List[Dict[str, Any]] = []
+    for count in shard_counts:
+        best: Optional[tuple] = None
+        for _ in range(rounds):
+            attempt = _drive_sharded(
+                batches, count, parallelism,
+                codec=codec, executor=executor, fingerprint=fingerprint,
+            )
+            if best is None or attempt[0] < best[0]:
+                best = attempt
+        assert best is not None
+        total, router_clock, shard_clocks = best
+        mb_s = moved / 1e6 / (total / 1e9)
+        per_shard: List[Dict[str, Any]] = []
+        for index, clock in enumerate(shard_clocks):
+            lookup = clock.ns.get("lookup", 0)
+            pack = clock.ns.get("pack", 0)
+            publish = clock.ns.get("publish", 0)
+            per_shard.append({
+                "shard": index,
+                "chunks": clock.calls.get("lookup", 0),
+                "lookup_ns": lookup,
+                "compress_ns": clock.ns.get("compress", 0),
+                "pack_ns": pack,
+                "publish_ns": publish,
+                "resolve_publish_ns": lookup + pack + publish,
+            })
+        runs.append({
+            "shards": count,
+            "total_ns": total,
+            "write_mb_s": round(mb_s, 2),
+            "vs_unsharded": round(mb_s / unsharded_mb_s, 4),
+            "router": {
+                "chunk_ns": router_clock.ns.get("chunk", 0),
+                "hash_ns": router_clock.ns.get("hash", 0),
+            },
+            "per_shard": per_shard,
+        })
+
+    return {
+        "benchmark": "sharded-engine-scaling",
+        "meta": bench_meta(),
+        "shards": list(shard_counts),
+        "parallelism": parallelism,
+        "codec": codec,
+        "executor": executor,
+        "fingerprint": fingerprint,
+        "corpus": corpus,
+        "chunk_size": CHUNK,
+        "batch_chunks": BATCH_CHUNKS,
+        "num_batches": num_batches,
+        "duplicate_fraction": DUPLICATE_FRACTION,
+        "rounds": rounds,
+        "unsharded": {
+            "total_ns": best_unsharded,
+            "write_mb_s": round(unsharded_mb_s, 2),
+        },
+        "runs": runs,
+        "note": (
+            "vs_unsharded compares each sharded run against the plain "
+            "DedupEngine on the identical workload (min over rounds); "
+            "per-shard ns come from private StageClocks on the shard "
+            "threads of the best round"
+        ),
+    }
+
+
+def _parse_shards(value: str) -> List[int]:
+    try:
+        counts = [int(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--shards takes a comma list of counts, got {value!r}"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError(
+            f"shard counts must be >= 1, got {value!r}"
+        )
+    return counts
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -380,10 +552,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="small workload for CI smoke runs",
     )
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_stages.json"),
-        help="output path (default ./BENCH_stages.json)",
+        "--shards", type=_parse_shards, default=None, metavar="N[,N...]",
+        help="run the sharded-engine scaling sweep over these shard "
+        "counts (e.g. 1,2,4) instead of the stage breakdown; emits "
+        "BENCH_shards.json",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output path (default ./BENCH_stages.json, or "
+        "./BENCH_shards.json with --shards)",
     )
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = Path(
+            "BENCH_shards.json" if args.shards else "BENCH_stages.json"
+        )
     num_batches = args.batches
     if num_batches is None:
         num_batches = 6 if args.smoke else 48
@@ -401,6 +584,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"extras); available: "
             f"{', '.join(_hashing.available_fingerprinters())}"
         )
+
+    if args.shards:
+        payload = run_shard_bench(
+            args.shards,
+            num_batches=num_batches, rounds=args.rounds,
+            parallelism=args.parallelism, codec=args.codec,
+            executor=args.executor, fingerprint=args.fingerprint,
+            corpus=args.corpus,
+        )
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        chunks = num_batches * BATCH_CHUNKS
+        print(
+            f"sharded engine scaling ({chunks} chunks, "
+            f"parallelism={args.parallelism}, codec={args.codec}, "
+            f"unsharded {payload['unsharded']['write_mb_s']} MB/s, "
+            f"min of {args.rounds} rounds)"
+        )
+        print(f"  {'shards':<8}{'MB/s':>10}{'vs unsharded':>14}"
+              f"{'resolve+publish ms':>20}")
+        for run in payload["runs"]:
+            resolve_ms = sum(
+                shard["resolve_publish_ns"] for shard in run["per_shard"]
+            ) / 1e6
+            print(
+                f"  {run['shards']:<8}{run['write_mb_s']:>10.2f}"
+                f"{run['vs_unsharded']:>13.3f}x{resolve_ms:>19.2f}"
+            )
+        print(f"wrote {args.out}")
+        return 0
 
     payload = run_stage_bench(
         num_batches=num_batches, rounds=args.rounds,

@@ -5,6 +5,7 @@ from .base import CacheDelta, ReductionSystem
 from .baseline import BaselineSystem
 from .config import CodecPolicy, CpuCosts, SystemConfig
 from .extensions import ExtendedFidrSystem, HotReadCache
+from .factory import build_engine
 from .fidr import FidrSystem
 from .latency import (
     LatencyConfig,
@@ -19,6 +20,7 @@ from .server import StorageServer, SystemKind
 __all__ = [
     "BaselineSystem",
     "CacheDelta",
+    "build_engine",
     "CodecPolicy",
     "CpuCosts",
     "CpuTask",

@@ -27,9 +27,8 @@ from ..errors import AlignmentError
 from ..datared import codecs as _codecs
 from ..datared.chunking import Chunk
 from ..datared.compression import Compressor
-from ..datared.container import Container, ContainerStore
-from ..datared.dedup import ChunkOutcome, DedupEngine, WriteOptions
-from ..datared.hash_pbn import HashPbnTable
+from ..datared.container import Container
+from ..datared.dedup import ChunkOutcome, WriteOptions
 from ..hw.cpu import CpuLedger
 from ..hw.memory import MemoryLedger
 from ..hw.pcie import PcieTopology
@@ -40,6 +39,7 @@ from ..obs.trace import TracedStages
 from ..parallel import StagePool
 from .accounting import SystemReport
 from .config import SystemConfig
+from .factory import build_engine
 
 __all__ = ["CacheDelta", "ReductionSystem"]
 
@@ -115,26 +115,22 @@ class ReductionSystem:
             index=self._make_index(),
             eviction_batch=self.config.eviction_batch,
         )
-        table = HashPbnTable(num_buckets, store=self.table_cache)
-        containers = ContainerStore(on_seal=self._on_container_seal)
         #: Shared fan-out pool for the GIL-releasing stages; serial (no
         #: workers) unless ``config.parallelism`` > 1.  The backend
         #: (``config.executor``) picks threads or processes.
         self.pool = StagePool(
             self.config.parallelism, backend=self.config.executor
         )
-        self.engine = DedupEngine(
-            table=table,
-            compressor=(
-                compressor
-                if compressor is not None
-                else self.config.codec.build_compressor()
-            ),
-            containers=containers,
-            chunk_size=self.config.chunk_size,
+        #: Built through the R009 factory: ``config.shards`` decides
+        #: between the plain engine over the table cache and the
+        #: fingerprint-sharded engine (DESIGN.md §5.7).
+        self.engine = build_engine(
+            self.config,
+            num_buckets=num_buckets,
+            table_store=self.table_cache,
+            compressor=compressor,
+            on_seal=self._on_container_seal,
             pool=self.pool,
-            read_cache_chunks=self.config.read_cache_chunks,
-            fingerprinter=self.config.codec.build_fingerprinter(),
         )
         #: Always-installed stage tracing.  While tracing is disabled
         #: the clock reports itself inactive and the engine takes its
@@ -210,6 +206,27 @@ class ReductionSystem:
                 with _trace.span("system.batch", chunks=len(batch)):
                     self._process_batch(batch)
             self.engine.flush()
+
+    def trim(self, lba: int, num_chunks: int = 1) -> None:
+        """TRIM ``num_chunks`` chunk-aligned LBAs: drop their mappings.
+
+        Staged writes drain first — the client was acked before its
+        batch processed, so the trim must apply to the newest acked
+        state (and draining also clears any NIC-buffered copy a read
+        could otherwise still hit).  Trimmed LBAs read back as zeros.
+        """
+        if num_chunks < 1:
+            raise AlignmentError("must trim at least one chunk")
+        step = self.engine.chunker.blocks_per_chunk
+        if lba % step != 0:
+            raise AlignmentError(f"LBA {lba} is not chunk-aligned")
+        with self.lock:
+            if self._pending:
+                batch, self._pending = self._pending, []
+                with _trace.span("system.batch", chunks=len(batch)):
+                    self._process_batch(batch)
+            for position in range(num_chunks):
+                self.engine.trim(lba + position * step)
 
     def read(self, lba: int, num_chunks: int = 1) -> bytes:
         """Client read of ``num_chunks`` chunks at chunk-aligned ``lba``."""

@@ -214,6 +214,13 @@ class SystemConfig:
     #: when parallel on a multi-core host, thread otherwise — what the
     #: CLIs pass).  Results are identical at every setting.
     executor: str = "thread"
+    #: Fingerprint-space shards behind the scatter-gather front door
+    #: (DESIGN.md §5.7).  ``1`` (default) builds the plain
+    #: :class:`~repro.datared.dedup.DedupEngine` over the table cache;
+    #: ``>= 2`` builds a :class:`~repro.datared.sharded.ShardedDedupEngine`
+    #: whose shards keep private in-memory tables (the table-cache /
+    #: device charging model is calibrated for the unsharded path).
+    shards: int = 1
     #: Decompressed-read LRU capacity in chunks (0 disables).  Hot
     #: re-reads served from the cache skip the container fetch and
     #: ``zlib.decompress``; entries are invalidated on free/GC.

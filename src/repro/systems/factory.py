@@ -1,0 +1,107 @@
+"""The one place a system constructs its dedup engine.
+
+``repro-lint`` rule R009 bans direct ``DedupEngine(...)`` /
+``ShardedDedupEngine(...)`` construction everywhere else in
+``repro.systems`` and ``repro.net``: shard-count policy, table wiring
+and the seal callback's thread-safety all live here, so a serving-layer
+call site cannot quietly build an engine whose shard selection diverges
+from the configured cluster (DESIGN.md §5.7).
+
+``SystemConfig.shards == 1`` (the default) builds the exact engine the
+pre-sharding systems built — the Hash-PBN table over the system's
+:class:`~repro.cache.table_cache.TableCache`, containers charging the
+data SSDs through ``on_seal`` — so the unsharded path is untouched.
+``shards >= 2`` builds a
+:class:`~repro.datared.sharded.ShardedDedupEngine` whose shards keep
+private in-memory tables: bucket ids from different shards would
+collide in the one shared bucket store, and the table-cache/device
+charging model is calibrated for the unsharded walk, so sharded mode
+trades the device-model fidelity of table caching for the scatter
+parallelism (the per-shard byte ledgers stay exact).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..datared.compression import Compressor
+from ..datared.container import Container, ContainerStore
+from ..datared.dedup import DedupEngine
+from ..datared.hash_pbn import BucketStore, HashPbnTable
+from ..datared.sharded import ShardedDedupEngine
+from ..obs.metrics import MetricsRegistry
+from ..parallel import StagePool
+from ..sync import DisciplinedLock
+from .config import SystemConfig
+
+__all__ = ["build_engine"]
+
+
+def build_engine(
+    config: SystemConfig,
+    num_buckets: int = 1 << 15,
+    table_store: Optional[BucketStore] = None,
+    compressor: Optional[Compressor] = None,
+    on_seal: Optional[Callable[[Container], None]] = None,
+    pool: Optional[StagePool] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Union[DedupEngine, ShardedDedupEngine]:
+    """Build the engine ``config`` asks for (the R009 factory).
+
+    ``table_store`` backs the Hash-PBN table in the unsharded case
+    (sharded engines keep per-shard private tables, see the module
+    docstring); ``on_seal`` is the system's container-seal charge hook,
+    wrapped with a lock for sharded engines because shard threads seal
+    concurrently; ``pool`` is the shared hash/compress fan-out pool.
+    """
+    if config.shards < 1:
+        raise ValueError(f"config.shards must be >= 1, got {config.shards}")
+    resolved_compressor = (
+        compressor if compressor is not None else config.codec.build_compressor()
+    )
+    fingerprinter = config.codec.build_fingerprinter()
+    if config.shards == 1:
+        return DedupEngine(
+            table=HashPbnTable(num_buckets, store=table_store),
+            compressor=resolved_compressor,
+            containers=ContainerStore(on_seal=on_seal),
+            chunk_size=config.chunk_size,
+            pool=pool,
+            read_cache_chunks=config.read_cache_chunks,
+            registry=registry,
+            fingerprinter=fingerprinter,
+        )
+
+    seal_hook = on_seal
+    if on_seal is not None:
+        # Shard threads seal containers concurrently; the system's
+        # ledger charges assume one mutator at a time, so serialize
+        # the callback (ledger sums are order-independent).
+        seal_lock = DisciplinedLock("shard-seal")
+        captured = on_seal
+
+        def locked_seal(container: Container) -> None:
+            with seal_lock:
+                captured(container)
+
+        seal_hook = locked_seal
+
+    def shard_factory(index: int) -> DedupEngine:
+        return DedupEngine(
+            table=HashPbnTable(num_buckets),
+            compressor=resolved_compressor,
+            containers=ContainerStore(on_seal=seal_hook),
+            chunk_size=config.chunk_size,
+            pool=pool,
+            read_cache_chunks=config.read_cache_chunks,
+            registry=MetricsRegistry(),
+            fingerprinter=fingerprinter,
+        )
+
+    return ShardedDedupEngine(
+        config.shards,
+        chunk_size=config.chunk_size,
+        pool=pool,
+        registry=registry,
+        shard_factory=shard_factory,
+    )

@@ -71,6 +71,15 @@ class StorageServer:
         """Drain staged writes and seal the open container."""
         self.system.flush()
 
+    def trim(self, lba: int, num_chunks: int = 1) -> None:
+        """Drop ``num_chunks`` chunk-aligned LBAs' mappings (TRIM).
+
+        The scatter-gather router issues these to evict an LBA's stale
+        mapping from a backend the LBA no longer lives on; trimmed LBAs
+        read back as zeros.
+        """
+        self.system.trim(lba, num_chunks)
+
     # -- introspection -------------------------------------------------------------
     @property
     def reduction_stats(self) -> ReductionStats:

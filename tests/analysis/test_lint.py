@@ -658,6 +658,76 @@ class TestMachinery:
             assert rule in out
 
 
+# -- R009: engines come from the factory in the serving layer ----------------
+
+
+class TestR009EngineFactory:
+    FIXTURE = src(
+        """
+        from repro.datared.dedup import DedupEngine
+        from repro.datared.sharded import ShardedDedupEngine
+
+        def build_backend():
+            return DedupEngine(num_buckets=1024)
+
+        def build_cluster():
+            return ShardedDedupEngine(4, num_buckets=1024)
+        """
+    )
+
+    def test_direct_construction_flagged_in_net_and_systems(self):
+        for module in ("repro.net.fixture", "repro.systems.fixture"):
+            findings = lint_source(self.FIXTURE, module=module)
+            assert rules_of(findings) == ["R009"] * 2, module
+            assert lines_of(findings, "R009") == [6, 9], module
+
+    def test_attribute_style_construction_is_flagged_too(self):
+        fixture = src(
+            """
+            import repro.datared.dedup as dedup
+
+            def build():
+                return dedup.DedupEngine(num_buckets=64)
+            """
+        )
+        findings = lint_source(fixture, module="repro.net.router_fixture")
+        assert rules_of(findings) == ["R009"]
+
+    def test_factory_module_is_exempt(self):
+        assert lint_source(self.FIXTURE, module="repro.systems.factory") == []
+
+    def test_other_packages_are_not_policed(self):
+        for module in (
+            "repro.datared.fixture",
+            "repro.perf",
+            "repro.analysis.fixture",
+            "tests.systems.fixture",
+        ):
+            assert "R009" not in rules_of(
+                lint_source(self.FIXTURE, module=module)
+            ), module
+
+    def test_non_engine_calls_stay_allowed(self):
+        clean = src(
+            """
+            from repro.systems.factory import build_engine
+            from repro.systems.config import SystemConfig
+
+            def build():
+                return build_engine(SystemConfig(shards=2))
+            """
+        )
+        assert lint_source(clean, module="repro.net.fixture") == []
+
+    def test_suppression_comment(self):
+        suppressed = self.FIXTURE.replace(
+            "return DedupEngine(num_buckets=1024)",
+            "return DedupEngine(num_buckets=1024)  # repro-lint: disable=R009",
+        )
+        findings = lint_source(suppressed, module="repro.net.fixture")
+        assert lines_of(findings, "R009") == [9]
+
+
 # -- the acceptance bar: the real tree is lint-clean --------------------------
 
 
