@@ -6,9 +6,11 @@ Two families live here:
   scale-out planning, cost modelling (``projection``, ``throughput``,
   ``scaleout``, ``cost``, ``report``).
 * **Correctness analysis** — the concurrency-discipline suite
-  (``lint``: AST rules R001-R005, ``racecheck``: Eraser-style lock-set
-  race detection, ``invariants``: ledger/index conservation checks).
-  Run ``python -m repro.analysis --help`` for the CLI.
+  (``lint``: AST rules R001-R011, ``racecheck``: Eraser-style lock-set
+  race detection, ``lockgraph``: whole-program lock-order analysis
+  merged with runtime lockdep edges, ``invariants``: ledger/index
+  conservation checks).  Run ``python -m repro.analysis --help`` for
+  the CLI.
 
 Symbols are resolved lazily (PEP 562) so that importing the lightweight
 correctness tools does not pull in the numpy-backed projection stack,
@@ -37,7 +39,7 @@ _EXPORTS = {
     "sweep": ("projection", "sweep"),
 }
 
-__all__ = sorted(_EXPORTS) + ["invariants", "lint", "racecheck"]
+__all__ = sorted(_EXPORTS) + ["invariants", "lint", "lockgraph", "racecheck"]
 
 if TYPE_CHECKING:  # pragma: no cover - static-analysis convenience only
     from .cost import CostBreakdown, CostParameters, StorageCostModel  # noqa: F401

@@ -365,7 +365,10 @@ class DedupEngine:
         #: backend pays one uncontended RLock acquire per request.  The
         #: StagePool workers never touch guarded state (they run pure
         #: hash/compress/decompress), so holding the lock across a
-        #: fan-out cannot deadlock.
+        #: fan-out cannot deadlock.  Rank 20 in
+        #: :data:`repro.sync.LOCK_ORDER`: nests inside the
+        #: sharded-router lock (10) and around the shard-seal lock (30)
+        #: — the lockgraph/lockdep validators enforce the order.
         self.lock = DisciplinedLock("dedup-engine")
         self.chunker = FixedChunker(chunk_size)
         self.table = table if table is not None else HashPbnTable(num_buckets)  # guarded-by: self.lock

@@ -125,6 +125,10 @@ class ShardedDedupEngine:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.num_shards = num_shards
+        #: Rank 10 in :data:`repro.sync.LOCK_ORDER`: the router lock is
+        #: the outermost lock in the stack — shard dedup-engine locks
+        #: (rank 20) nest inside it on the caller thread (stats, trim),
+        #: never the other way around.
         self.lock = DisciplinedLock("sharded-router")
         self.chunker = FixedChunker(chunk_size)
         self.pool = pool if pool is not None else StagePool(1)
@@ -200,7 +204,7 @@ class ShardedDedupEngine:
             merged = ReductionStats()
             for shard in self.shards:
                 stats = shard.stats
-                with shard.lock:
+                with shard.lock:  # lock: dedup-engine
                     merged.logical_bytes += stats.logical_bytes
                     merged.unique_logical_bytes += stats.unique_logical_bytes
                     merged.stored_bytes += stats.stored_bytes

@@ -343,7 +343,11 @@ class AsyncProtocolServer:
         other connections interleave between the pieces.
         """
         if self._backend is None:
-            return self.endpoint.handle_frame(frame)
+            # Sanctioned loop-thread lock acquisition: offload=False means
+            # the storage stack (and its dedup-engine lock) runs inline on
+            # the event loop — single-threaded mode, the lock is always
+            # uncontended, so it cannot park the loop.
+            return self.endpoint.handle_frame(frame)  # lockgraph: async-ok offload=False is single-threaded, lock uncontended
         self.metrics.backend_offloaded += 1
         loop = asyncio.get_running_loop()
         split_bytes = self.write_split_chunks * self.storage.chunk_size

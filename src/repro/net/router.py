@@ -117,7 +117,10 @@ class ShardRouter:
         self._server: Optional[asyncio.base_events.Server] = None
         # One frame mutates at a time (asyncio.Lock wakes waiters FIFO,
         # so frames apply in arrival order); *within* a frame the
-        # sub-requests fan out concurrently.
+        # sub-requests fan out concurrently.  An asyncio.Lock lives in
+        # the cooperative domain — it never blocks a thread, so it sits
+        # outside the DisciplinedLock hierarchy (repro.sync.LOCK_ORDER)
+        # and the lockgraph/lockdep validators deliberately ignore it.
         self._lock = asyncio.Lock()
         self.requests_served = 0
         self.registry.register_collector(self._publish_metrics)

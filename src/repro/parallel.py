@@ -165,7 +165,7 @@ class StagePool:
         """
         return self._executor is not None and self.backend == "process"
 
-    def map(
+    def map(  # lockgraph: blocking-ok stage fns are lock-free, wait cannot deadlock
         self,
         fn: Callable[[_T], _R],
         items: Iterable[_T],
@@ -176,6 +176,11 @@ class StagePool:
 
         ``fn`` must be pure with respect to shared storage state — the
         pool gives no ordering between items, only between stages.
+        That purity contract is also why callers may wait on the pool
+        while holding a storage lock: a stage function can never try to
+        take one, so the ``future.result()`` waits below cannot re-enter
+        the lock order (sanctioned for ``repro.analysis.lockgraph`` on
+        the ``def`` line above).
 
         ``min_batch`` is an inline threshold: batches smaller than it
         run on the calling thread even when the pool is parallel.

@@ -76,7 +76,11 @@ def build_engine(
     if on_seal is not None:
         # Shard threads seal containers concurrently; the system's
         # ledger charges assume one mutator at a time, so serialize
-        # the callback (ledger sums are order-independent).
+        # the callback (ledger sums are order-independent).  Rank 30 in
+        # repro.sync.LOCK_ORDER: the seal fires while the sealing
+        # shard's dedup-engine lock (20) is held, so it must rank above
+        # every engine lock — runtime lockdep observes exactly that
+        # dedup-engine -> shard-seal edge under the stress harness.
         seal_lock = DisciplinedLock("shard-seal")
         captured = on_seal
 

@@ -5,7 +5,12 @@ Drives a watched :class:`~repro.datared.dedup.DedupEngine` and a full
 mixing ``write_many``, single writes, reads, flushes, and garbage
 collection, and asserts the detector stays silent — then proves the
 same detector *does* fire when the lock discipline is deliberately
-bypassed, so "silent" means "clean", not "blind"."""
+bypassed, so "silent" means "clean", not "blind".
+
+The fixture arms the runtime **lockdep** validator alongside the race
+detector, so every stress run also proves the observed lock-order
+graph stays cycle- and inversion-free (the CI analysis job runs this
+file with both ``REPRO_RACE_DETECT=1`` and ``REPRO_LOCKDEP=1``)."""
 
 from __future__ import annotations
 
@@ -15,6 +20,7 @@ import threading
 
 import pytest
 
+from repro import sync
 from repro.analysis import racecheck
 from repro.analysis.invariants import check_engine, check_system
 from repro.datared.chunking import BLOCK_SIZE
@@ -31,7 +37,17 @@ OPS_PER_THREAD = 48
 def detector():
     racecheck.reset()
     racecheck.enable()
+    lockdep_was_on = sync.lockdep_enabled()
+    sync.enable_lockdep()
+    sync.reset_lockdep()
     yield racecheck
+    # Every stress run doubles as a lockdep run: the observed
+    # held-set -> acquired edges must stay free of cycles, rank
+    # inversions, and unranked classes.
+    assert sync.lockdep_violations() == []
+    sync.reset_lockdep()
+    if not lockdep_was_on:
+        sync.disable_lockdep()
     racecheck.disable()
     racecheck.reset()
 
