@@ -19,6 +19,20 @@ runs*, not what it does:
 Both variants use this class; the system layers charge the per-event
 costs (CPU cycles, DRAM bytes, SSD transfers) to different devices using
 the :class:`CacheStats` event counts it maintains.
+
+Packed-index interplay (DESIGN.md §5.9): the cache implements only the
+byte-page half of the :class:`~repro.datared.hash_pbn.BucketStore`
+interface, so a packed table running over it uses the inherited
+``load_packed``/``store_packed`` defaults — every bucket access still
+flows through :meth:`read_bucket`/:meth:`write_bucket` and the
+:class:`CacheStats` counts (hence the calibrated device charges) are
+bit-for-bit what the legacy decoded path produced.  What changes is
+only the CPU-side cost of one access: wrapping the 4-KB page in a
+:class:`~repro.datared.hash_pbn.PackedBucket` cursor replaces the
+per-entry decode into tuple lists.  The table's *negative filter* and
+*batched resolve* stay off over this store (the auto rule keys on
+private in-memory stores) precisely because they would elide bucket
+accesses the device models are calibrated to observe.
 """
 
 from __future__ import annotations

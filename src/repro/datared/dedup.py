@@ -125,6 +125,14 @@ class EngineStats:
     plan_fallback_compressions: int
     plan_wasted_compressions: int
     containers_sealed: int
+    #: Hash-PBN index counters (PR 9): negative-filter outcomes, probes
+    #: the batched resolve saved via intra-batch digest dedupe, and
+    #: total buckets touched.  Defaults keep older snapshot call sites
+    #: (and merged sharded snapshots built field-by-field) valid.
+    index_filter_hits: int = 0
+    index_filter_misses: int = 0
+    index_saved_lookups: int = 0
+    index_probes: int = 0
 
     @property
     def live_stored_bytes(self) -> int:
@@ -336,6 +344,7 @@ class DedupEngine:
         read_cache_chunks: int = 0,
         registry: Optional[MetricsRegistry] = None,
         fingerprinter: Optional[Fingerprinter] = None,
+        batched_resolve: Optional[bool] = None,
     ) -> None:
         """``observer`` receives metadata-mutation callbacks
         (``on_new_chunk``/``on_map``/``on_free``) — the hook
@@ -358,7 +367,15 @@ class DedupEngine:
         :class:`~repro.datared.hashing.Fingerprinter`, default SHA-256);
         switching it stops deduplicating against chunks hashed by the
         old algorithm but never corrupts data — digests are identity,
-        not payload."""
+        not payload.
+        ``batched_resolve`` routes :meth:`write_many`'s Hash-PBN stage
+        through :meth:`~repro.datared.hash_pbn.HashPbnTable.lookup_many`
+        (one home-sorted, digest-deduped batch probe instead of a table
+        lookup per chunk; DESIGN.md §5.9).  Default ``None`` = auto:
+        enabled exactly when the table's store is private — an
+        interposing store (the table cache under a calibrated device
+        model) must see the per-lookup access pattern its accounting
+        was calibrated against."""
         #: Guards every piece of mutable metadata below.  Concurrent
         #: callers (the race-stress harness, any future multi-threaded
         #: front end) serialize on it; the single-threaded serving
@@ -403,6 +420,18 @@ class DedupEngine:
         #: shadow walk diverges from execution — a correctness canary.
         self.plan_fallback_compressions = 0  # guarded-by: self.lock
         self.plan_wasted_compressions = 0  # guarded-by: self.lock
+        #: Whether write_many resolves digests via table.lookup_many
+        #: (auto: only over a private in-memory bucket store).
+        self.batched_resolve = (
+            self.table.private_store if batched_resolve is None
+            else batched_resolve
+        )
+        #: Live only during a batched-resolve serial walk: digest →
+        #: current PBN (or None) for every fingerprint the walk has
+        #: mutated since the batch lookup, so later chunks in the batch
+        #: observe intra-batch inserts/retires exactly as per-chunk
+        #: lookups would.
+        self._batch_overrides: Optional[Dict[bytes, Optional[int]]] = None  # guarded-by: self.lock
         #: Pull-model publication: the registry holds this collector via
         #: WeakMethod, so a garbage-collected engine drops out on its own.
         self.registry = registry if registry is not None else get_registry()
@@ -460,6 +489,10 @@ class DedupEngine:
                 plan_fallback_compressions=self.plan_fallback_compressions,
                 plan_wasted_compressions=self.plan_wasted_compressions,
                 containers_sealed=self.containers.sealed_count,
+                index_filter_hits=self.table.filter_hits,
+                index_filter_misses=self.table.filter_misses,
+                index_saved_lookups=self.table.saved_batch_lookups,
+                index_probes=self.table.probe_count,
             )
 
     def _publish_metrics(self, registry: MetricsRegistry) -> None:
@@ -495,6 +528,12 @@ class DedupEngine:
             snap.plan_wasted_compressions
         )
         registry.gauge("engine.containers_sealed").set(snap.containers_sealed)
+        registry.gauge("index.filter.hits").set(snap.index_filter_hits)
+        registry.gauge("index.filter.misses").set(snap.index_filter_misses)
+        registry.gauge("index.batch.saved_lookups").set(
+            snap.index_saved_lookups
+        )
+        registry.gauge("index.probes").set(snap.index_probes)
         registry.gauge("engine.dedup_ratio").set(snap.dedup_ratio)
         registry.gauge("engine.compression_ratio").set(snap.compression_ratio)
         reduction = snap.reduction_factor
@@ -609,6 +648,19 @@ class DedupEngine:
                     f"got {len(digests)} digests for {len(flat)} chunks"
                 )
 
+        # Stage 1.5 (serial, batched-resolve mode): resolve the whole
+        # batch against the table in one home-sorted, digest-deduped
+        # probe pass.  The serial walk then consults the result plus an
+        # override map of its own intra-batch mutations instead of
+        # issuing one table lookup per chunk.
+        resolved: Optional[List[Optional[int]]] = None
+        if self.batched_resolve:
+            if clock is None:
+                resolved = self.table.lookup_many(digests)
+            else:
+                with clock.stage("lookup"):
+                    resolved = self.table.lookup_many(digests)
+
         # Stage 2 (serial): plan which chunks the serial walk will find
         # unique — a pure shadow simulation, no engine state is touched.
         # With a serial pool there is nothing to fan out, so the plan is
@@ -644,28 +696,38 @@ class DedupEngine:
         # deltas mirror what per-request write() calls would report.
         current = -1
         sealed_before = self.containers.sealed_count
-        for position, ((index, chunk), digest) in enumerate(zip(flat, digests)):
-            if index != current:
-                if current >= 0:
-                    reports[current].containers_sealed = (
-                        self.containers.sealed_count - sealed_before
-                    )
-                current = index
-                sealed_before = self.containers.sealed_count
-            precompressed = staged.pop(position, None)
-            outcome = self._write_chunk(
-                chunk, reports[index],
-                digest=digest, precompressed=precompressed,
-            )
-            reports[index].add(outcome)
-            if outcome.duplicate:
-                if precompressed is not None:
-                    self.plan_wasted_compressions += 1
-            elif precompressed is None and planned:
-                # Only a computed plan that *missed* a unique counts as
-                # a fallback; the serial fast path compresses inline by
-                # design.
-                self.plan_fallback_compressions += 1
+        if resolved is not None:
+            self._batch_overrides = {}
+        try:
+            for position, ((index, chunk), digest) in enumerate(
+                zip(flat, digests)
+            ):
+                if index != current:
+                    if current >= 0:
+                        reports[current].containers_sealed = (
+                            self.containers.sealed_count - sealed_before
+                        )
+                    current = index
+                    sealed_before = self.containers.sealed_count
+                precompressed = staged.pop(position, None)
+                outcome = self._write_chunk(
+                    chunk, reports[index],
+                    digest=digest, precompressed=precompressed,
+                    resolved=(
+                        resolved[position] if resolved is not None else _UNSET
+                    ),
+                )
+                reports[index].add(outcome)
+                if outcome.duplicate:
+                    if precompressed is not None:
+                        self.plan_wasted_compressions += 1
+                elif precompressed is None and planned:
+                    # Only a computed plan that *missed* a unique counts
+                    # as a fallback; the serial fast path compresses
+                    # inline by design.
+                    self.plan_fallback_compressions += 1
+        finally:
+            self._batch_overrides = None
         reports[current].containers_sealed = (
             self.containers.sealed_count - sealed_before
         )
@@ -744,11 +806,22 @@ class DedupEngine:
         report: WriteReport,
         digest: Optional[bytes] = None,
         precompressed: Optional[CompressedChunk] = None,
+        resolved: Optional[int] = _UNSET,
     ) -> ChunkOutcome:
         clock = self._active_clock()
         if digest is None:
             digest = self.fingerprinter.digest(chunk.data)
-        if clock is None:
+        if resolved is not _UNSET:
+            # Batched resolve: the batch lookup answered for table state
+            # at batch start; the override map carries every mutation
+            # the walk has made since, so the merged view is exactly
+            # what a per-chunk lookup would return now.
+            overrides = self._batch_overrides
+            if overrides is not None and digest in overrides:
+                existing_pbn = overrides[digest]
+            else:
+                existing_pbn = resolved
+        elif clock is None:
             existing_pbn = self.table.lookup(digest)
         else:
             with clock.stage("lookup"):
@@ -811,6 +884,8 @@ class DedupEngine:
             ),
         )
         self.table.insert(digest, pbn)
+        if self._batch_overrides is not None:
+            self._batch_overrides[digest] = pbn
         if self.observer is not None:
             self.observer.on_new_chunk(
                 pbn, digest, placement.container_id, placement.offset,
@@ -856,6 +931,8 @@ class DedupEngine:
             dead.container_id, dead.offset, dead.stored_size
         )
         self.table.remove(dead.fingerprint)
+        if self._batch_overrides is not None:
+            self._batch_overrides[dead.fingerprint] = None
         self.allocator.free(pbn)
         if self.observer is not None:
             self.observer.on_free(pbn)

@@ -11,23 +11,43 @@ host-memory cache over table SSDs exactly as the paper's architecture
 does.  Bucket overflow uses bucket-granular linear probing with a sticky
 per-bucket overflow bit, so lookups and deletes stay correct after any
 insertion history.
+
+Memory discipline (DESIGN.md §5.9): the hot path operates on **packed**
+4-KB pages in place.  :class:`PackedBucket` is a cursor over the raw
+page bytes — no per-entry tuples, no decode allocation — and is proven
+byte-identical to the legacy decoded :class:`Bucket` by the differential
+suite.  :class:`NegativeFilter` keeps a compact per-home-bucket multiset
+of 16-bit digest prefixes so lookups of absent fingerprints (the
+unique-heavy common case) skip bucket probing entirely, and
+:meth:`HashPbnTable.lookup_many` batches resolution: repeated digests
+within a batch resolve once and unique digests probe in home-bucket
+order so bucket loads (and table-cache lines) are touched once per
+batch.  Stores that *account* page traffic (the table cache under the
+calibrated device models) keep the exact legacy access pattern: the
+filter and batched resolve default on only over the private in-memory
+stores.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..errors import BucketFullError
 from .hashing import FINGERPRINT_SIZE, MAX_PBN, PBN_SIZE
 
 __all__ = [
     "ENTRY_SIZE",
     "BUCKET_SIZE",
     "BUCKET_CAPACITY",
+    "PREFIX_SIZE",
     "Bucket",
+    "PackedBucket",
+    "NegativeFilter",
     "BucketStore",
     "InMemoryBucketStore",
+    "ArenaBucketStore",
     "HashPbnTable",
     "table_bytes_for_capacity",
     "buckets_for_capacity",
@@ -45,10 +65,18 @@ _FLAG_OVERFLOWED = 0x01
 #: Entries that fit in one bucket after the 3-byte header (107).
 BUCKET_CAPACITY = (BUCKET_SIZE - _HEADER.size) // ENTRY_SIZE
 
+#: Digest-prefix width the negative filter keys on (first two bytes).
+PREFIX_SIZE = 2
+
 
 @dataclass
 class Bucket:
-    """An in-memory view of one 4-KB table bucket."""
+    """A decoded in-memory view of one 4-KB table bucket (legacy path).
+
+    Kept as the readable reference implementation and the differential
+    baseline for :class:`PackedBucket`; the table's default hot path no
+    longer decodes pages into this form.
+    """
 
     entries: List[Tuple[bytes, int]] = field(default_factory=list)
     #: Sticky bit: an insert once probed past this bucket because it was
@@ -63,7 +91,9 @@ class Bucket:
 
     def insert(self, digest: bytes, pbn: int) -> None:
         if self.is_full:
-            raise ValueError("bucket is full")
+            raise BucketFullError(
+                f"bucket already holds {BUCKET_CAPACITY} entries"
+            )
         self.entries.append((digest, pbn))
 
     def remove(self, digest: bytes) -> bool:
@@ -72,6 +102,18 @@ class Bucket:
                 del self.entries[position]
                 return True
         return False
+
+    def update(self, digest: bytes, pbn: int) -> bool:
+        """Repoint an existing entry at a new PBN; False if absent."""
+        for position, (key, _) in enumerate(self.entries):
+            if key == digest:
+                self.entries[position] = (digest, pbn)
+                return True
+        return False
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.entries)
 
     @property
     def is_full(self) -> bool:
@@ -107,17 +149,314 @@ class Bucket:
         return cls(entries=entries, overflowed=bool(flags & _FLAG_OVERFLOWED))
 
 
+class PackedBucket:
+    """A cursor over one packed 4-KB bucket page, operated on in place.
+
+    Holds a reference into a backing ``bytearray`` (either a private
+    page or a slice of an :class:`ArenaBucketStore` arena at ``base``)
+    and performs every operation directly on the page bytes: lookups
+    run a C-speed aligned ``find`` over the entry region, inserts write
+    the 38-byte entry into the next slot, removes shift the tail left
+    and zero the vacated slot.  The page therefore stays **byte
+    identical** to what the legacy :class:`Bucket` would serialize
+    after the same operation history — the property the differential
+    suite pins — while costing ~38 bytes per entry resident instead of
+    a tuple/bytes/int object graph.
+    """
+
+    __slots__ = ("buf", "base")
+
+    def __init__(self, buf: bytearray, base: int = 0) -> None:
+        self.buf = buf
+        self.base = base
+
+    @classmethod
+    def empty(cls) -> "PackedBucket":
+        return cls(bytearray(BUCKET_SIZE))
+
+    @classmethod
+    def from_page(
+        cls, raw: Union[bytes, bytearray, memoryview]
+    ) -> "PackedBucket":
+        """Wrap a copy of ``raw``; validates size and entry count."""
+        if len(raw) != BUCKET_SIZE:
+            raise ValueError(
+                f"bucket pages are {BUCKET_SIZE} bytes, got {len(raw)}"
+            )
+        page = bytearray(raw)  # repro-lint: copy-ok private mutable page
+        bucket = cls(page)
+        if bucket.entry_count > BUCKET_CAPACITY:
+            raise ValueError(f"corrupt bucket: {bucket.entry_count} entries")
+        return bucket
+
+    # -- header ------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        base = self.base
+        return (self.buf[base] << 8) | self.buf[base + 1]
+
+    def _set_count(self, count: int) -> None:
+        base = self.base
+        self.buf[base] = (count >> 8) & 0xFF
+        self.buf[base + 1] = count & 0xFF
+
+    @property
+    def overflowed(self) -> bool:
+        return bool(self.buf[self.base + 2] & _FLAG_OVERFLOWED)
+
+    @overflowed.setter
+    def overflowed(self, value: bool) -> None:
+        if value:
+            self.buf[self.base + 2] |= _FLAG_OVERFLOWED
+        else:
+            self.buf[self.base + 2] &= ~_FLAG_OVERFLOWED & 0xFF
+
+    @property
+    def is_full(self) -> bool:
+        return self.entry_count >= BUCKET_CAPACITY
+
+    # -- entry operations --------------------------------------------------
+    def _find(self, digest: bytes) -> int:
+        """Byte offset of ``digest``'s entry in ``buf``, or -1.
+
+        ``bytearray.find`` scans at memcpy speed; a hit is only real
+        when it lands on an entry boundary, so misaligned matches (the
+        needle straddling two entries) skip forward.
+        """
+        if len(digest) != FINGERPRINT_SIZE:
+            raise ValueError("fingerprints are 32 bytes")
+        lo = self.base + _HEADER.size
+        hi = lo + self.entry_count * ENTRY_SIZE
+        pos = self.buf.find(digest, lo, hi)
+        while pos >= 0:
+            if (pos - lo) % ENTRY_SIZE == 0:
+                return pos
+            pos = self.buf.find(digest, pos + 1, hi)
+        return -1
+
+    def lookup(self, digest: bytes) -> Optional[int]:
+        pos = self._find(digest)
+        if pos < 0:
+            return None
+        return int.from_bytes(
+            self.buf[pos + FINGERPRINT_SIZE : pos + ENTRY_SIZE], "big"
+        )
+
+    def insert(self, digest: bytes, pbn: int) -> None:
+        if len(digest) != FINGERPRINT_SIZE:
+            raise ValueError("fingerprints are 32 bytes")
+        count = self.entry_count
+        if count >= BUCKET_CAPACITY:
+            raise BucketFullError(
+                f"bucket already holds {BUCKET_CAPACITY} entries"
+            )
+        offset = self.base + _HEADER.size + count * ENTRY_SIZE
+        self.buf[offset : offset + FINGERPRINT_SIZE] = digest
+        self.buf[offset + FINGERPRINT_SIZE : offset + ENTRY_SIZE] = (
+            pbn.to_bytes(PBN_SIZE, "big")
+        )
+        self._set_count(count + 1)
+
+    def remove(self, digest: bytes) -> bool:
+        pos = self._find(digest)
+        if pos < 0:
+            return False
+        count = self.entry_count
+        end = self.base + _HEADER.size + count * ENTRY_SIZE
+        # Shift the tail left over the vacated slot (bytearray slice
+        # assignment copies the source first, so overlap is safe), then
+        # zero the freed last slot: the page must read back exactly as
+        # the legacy Bucket would re-serialize it.
+        self.buf[pos : end - ENTRY_SIZE] = self.buf[pos + ENTRY_SIZE : end]
+        self.buf[end - ENTRY_SIZE : end] = bytes(ENTRY_SIZE)
+        self._set_count(count - 1)
+        return True
+
+    def update(self, digest: bytes, pbn: int) -> bool:
+        """Repoint an existing entry at a new PBN; False if absent."""
+        pos = self._find(digest)
+        if pos < 0:
+            return False
+        self.buf[pos + FINGERPRINT_SIZE : pos + ENTRY_SIZE] = pbn.to_bytes(
+            PBN_SIZE, "big"
+        )
+        return True
+
+    # -- interop -----------------------------------------------------------
+    @property
+    def entries(self) -> List[Tuple[bytes, int]]:
+        """Decoded entry list (tests and tooling; not the hot path)."""
+        out: List[Tuple[bytes, int]] = []
+        offset = self.base + _HEADER.size
+        for _ in range(self.entry_count):
+            digest = bytes(self.buf[offset : offset + FINGERPRINT_SIZE])
+            pbn = int.from_bytes(
+                self.buf[offset + FINGERPRINT_SIZE : offset + ENTRY_SIZE],
+                "big",
+            )
+            out.append((digest, pbn))
+            offset += ENTRY_SIZE
+        return out
+
+    def to_bytes(self) -> bytes:
+        """Export the page (one 4-KB copy; the packed page itself stays
+        private to its store)."""
+        return bytes(self.buf[self.base : self.base + BUCKET_SIZE])  # repro-lint: copy-ok page export at the byte-store boundary
+
+
+#: Either bucket flavour; the table's probe loops are written against
+#: the duck-typed surface both implement.
+_AnyBucket = Union[Bucket, PackedBucket]
+
+
+class NegativeFilter:
+    """Compact per-home-bucket multiset of 16-bit digest prefixes.
+
+    Answers "might this digest be in the table?" without touching any
+    bucket page.  Every resident fingerprint contributes the 16-bit
+    prefix of its digest under its **home** bucket (where its probe
+    sequence starts — overflowed entries stay filed under their home),
+    so a lookup whose prefix is absent from the home's multiset can
+    return "unique" with zero bucket probes.  With ~100 entries per
+    bucket the false-maybe rate is ~100/65536 ≈ 0.2%, so unique-heavy
+    workloads skip essentially all probing.  False negatives are
+    structurally impossible: membership is checked before any add is
+    ever dropped (dense mode saturates a bucket *sticky* — it then
+    answers "maybe" forever).
+
+    Two storage modes share the API:
+
+    * sparse (default) — a lazy dict of per-home prefix blobs; pays
+      only for touched buckets, suits the default engine's mostly-empty
+      2^16-bucket table.
+    * ``dense=True`` — one flat preallocated slot array
+      (:data:`BUCKET_CAPACITY` prefixes + a 16-bit count per bucket,
+      ~2 bytes/entry); suits :class:`ArenaBucketStore` tables sized to
+      run full, where per-object overheads would dominate.
+    """
+
+    #: Dense-mode count sentinel: the home exceeded its slot capacity;
+    #: membership answers "maybe" forever (sticky, like overflow bits).
+    _SATURATED = 0xFFFF
+
+    def __init__(self, num_buckets: int, dense: bool = False) -> None:
+        if num_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.num_buckets = num_buckets
+        self.dense = dense
+        self._blobs: Dict[int, bytearray] = {}
+        #: Dense mode only (empty otherwise): flat slot arena plus a
+        #: 16-bit per-home occupancy count.
+        self._slots: bytearray = (
+            bytearray(num_buckets * BUCKET_CAPACITY * PREFIX_SIZE)
+            if dense else bytearray()
+        )
+        self._counts: bytearray = (
+            bytearray(num_buckets * 2) if dense else bytearray()
+        )
+
+    # -- dense helpers -----------------------------------------------------
+    def _dense_count(self, home: int) -> int:
+        counts = self._counts
+        return (counts[home * 2] << 8) | counts[home * 2 + 1]
+
+    def _set_dense_count(self, home: int, count: int) -> None:
+        counts = self._counts
+        counts[home * 2] = (count >> 8) & 0xFF
+        counts[home * 2 + 1] = count & 0xFF
+
+    @staticmethod
+    def _aligned_find(blob: Union[bytes, bytearray], prefix: bytes,
+                      lo: int, hi: int) -> int:
+        pos = blob.find(prefix, lo, hi)
+        while pos >= 0:
+            if (pos - lo) % PREFIX_SIZE == 0:
+                return pos
+            pos = blob.find(prefix, pos + 1, hi)
+        return -1
+
+    # -- operations --------------------------------------------------------
+    def might_contain(self, home: int, digest: bytes) -> bool:
+        prefix = digest[:PREFIX_SIZE]  # repro-lint: copy-ok 2-byte filter needle
+        if self.dense:
+            count = self._dense_count(home)
+            if count == self._SATURATED:
+                return True
+            lo = home * BUCKET_CAPACITY * PREFIX_SIZE
+            return self._aligned_find(
+                self._slots, prefix, lo, lo + count * PREFIX_SIZE
+            ) >= 0
+        blob = self._blobs.get(home)
+        if blob is None:
+            return False
+        return self._aligned_find(blob, prefix, 0, len(blob)) >= 0
+
+    def add(self, home: int, digest: bytes) -> None:
+        prefix = digest[:PREFIX_SIZE]  # repro-lint: copy-ok 2-byte filter needle
+        if self.dense:
+            count = self._dense_count(home)
+            if count == self._SATURATED:
+                return
+            if count >= BUCKET_CAPACITY:
+                # More same-home entries than slots (deep overflow
+                # chains): give up on this home, sticky.
+                self._set_dense_count(home, self._SATURATED)
+                return
+            slots = self._slots
+            offset = (home * BUCKET_CAPACITY + count) * PREFIX_SIZE
+            slots[offset : offset + PREFIX_SIZE] = prefix
+            self._set_dense_count(home, count + 1)
+            return
+        blob = self._blobs.get(home)
+        if blob is None:
+            blob = self._blobs[home] = bytearray()
+        blob.extend(prefix)
+
+    def discard(self, home: int, digest: bytes) -> None:
+        """Drop one occurrence of the digest's prefix under ``home``.
+
+        The filter is a multiset, so removing one of several equal
+        prefixes keeps the rest visible; order within a home does not
+        matter, so removal swaps the last prefix into the hole.
+        """
+        prefix = digest[:PREFIX_SIZE]  # repro-lint: copy-ok 2-byte filter needle
+        if self.dense:
+            count = self._dense_count(home)
+            if count == self._SATURATED or count == 0:
+                return
+            lo = home * BUCKET_CAPACITY * PREFIX_SIZE
+            hi = lo + count * PREFIX_SIZE
+            pos = self._aligned_find(self._slots, prefix, lo, hi)
+            if pos < 0:
+                return
+            slots = self._slots
+            slots[pos : pos + PREFIX_SIZE] = slots[hi - PREFIX_SIZE : hi]
+            slots[hi - PREFIX_SIZE : hi] = bytes(PREFIX_SIZE)
+            self._set_dense_count(home, count - 1)
+            return
+        blob = self._blobs.get(home)
+        if blob is None:
+            return
+        pos = self._aligned_find(blob, prefix, 0, len(blob))
+        if pos < 0:
+            return
+        blob[pos : pos + PREFIX_SIZE] = blob[-PREFIX_SIZE:]
+        del blob[-PREFIX_SIZE:]
+        if not blob:
+            del self._blobs[home]
+
+
 class BucketStore:
     """Backing store interface for table buckets (4-KB pages).
 
     The byte-page methods (:meth:`read_bucket`/:meth:`write_bucket`) are
     the canonical interface — caches and SSD adapters interpose on them
-    and account 4-KB page traffic.  The *decoded* methods are a hot-path
-    refinement (DESIGN.md §5.4): stores that natively hold decoded
-    :class:`Bucket` objects override them to skip the 4-KB
-    serialize/parse round-trip per table operation.  The defaults
-    delegate to the byte-page methods, so interposing stores keep exact
-    page accounting without any change.
+    and account 4-KB page traffic.  The *decoded* and *packed* methods
+    are hot-path refinements (DESIGN.md §5.4, §5.9): stores that
+    natively hold :class:`Bucket` or :class:`PackedBucket` objects
+    override them to skip the per-operation page round-trip.  The
+    defaults delegate to the byte-page methods, so interposing stores
+    keep exact page accounting without any change.
     """
 
     def read_bucket(self, index: int) -> bytes:
@@ -134,24 +473,35 @@ class BucketStore:
         """Decoded write; default encodes to a byte page."""
         self.write_bucket(index, bucket.to_bytes())
 
+    def load_packed(self, index: int) -> PackedBucket:
+        """Packed read; default wraps the byte page (one page copy,
+        no per-entry decode)."""
+        return PackedBucket.from_page(self.read_bucket(index))
+
+    def store_packed(self, index: int, bucket: PackedBucket) -> None:
+        """Packed write; default exports to a byte page."""
+        self.write_bucket(index, bucket.to_bytes())
+
 
 class InMemoryBucketStore(BucketStore):
     """Dict-backed store; unwritten buckets read back empty.
 
-    The store serves two page flavours through one dict: raw byte pages
-    (the generic 4-KB interface — :class:`~repro.datared.lba_store.PagedLbaStore`
-    stores LBA array pages here that are *not* bucket-encoded) and
-    decoded :class:`Bucket` objects (the table's hot path, which skips
-    the per-op 4-KB encode/decode).  A page converts lazily on the
-    first access in the other form, so mixed access per index stays
-    coherent.  The ``reads``/``writes`` counters count page accesses
-    identically in both forms.
+    The store serves three page flavours through one dict: raw byte
+    pages (the generic 4-KB interface —
+    :class:`~repro.datared.lba_store.PagedLbaStore` stores LBA array
+    pages here that are *not* bucket-encoded), decoded :class:`Bucket`
+    objects (the legacy table hot path), and :class:`PackedBucket`
+    pages (the default table hot path, which skips both the 4-KB
+    encode/decode and the per-entry object graph).  A page converts
+    lazily on the first access in another form, so mixed access per
+    index stays coherent.  The ``reads``/``writes`` counters count page
+    accesses identically in all forms.
     """
 
     _EMPTY = Bucket().to_bytes()
 
     def __init__(self) -> None:
-        self._pages: Dict[int, Union[bytes, Bucket]] = {}
+        self._pages: Dict[int, Union[bytes, Bucket, PackedBucket]] = {}
         self.reads = 0
         self.writes = 0
 
@@ -160,7 +510,7 @@ class InMemoryBucketStore(BucketStore):
         page = self._pages.get(index)
         if page is None:
             return self._EMPTY
-        if isinstance(page, Bucket):
+        if isinstance(page, (Bucket, PackedBucket)):
             return page.to_bytes()
         return page
 
@@ -176,7 +526,10 @@ class InMemoryBucketStore(BucketStore):
         if page is None:
             return Bucket()
         if not isinstance(page, Bucket):
-            page = Bucket.from_bytes(page)
+            if isinstance(page, PackedBucket):
+                page = Bucket.from_bytes(page.to_bytes())
+            else:
+                page = Bucket.from_bytes(page)
             self._pages[index] = page
         return page
 
@@ -184,23 +537,133 @@ class InMemoryBucketStore(BucketStore):
         self.writes += 1
         self._pages[index] = bucket
 
+    def load_packed(self, index: int) -> PackedBucket:  # repro-lint: hot-path
+        self.reads += 1
+        page = self._pages.get(index)
+        if page is None:
+            return PackedBucket.empty()
+        if not isinstance(page, PackedBucket):
+            if isinstance(page, Bucket):
+                page = PackedBucket.from_page(page.to_bytes())
+            else:
+                page = PackedBucket.from_page(page)
+            self._pages[index] = page
+        return page
+
+    def store_packed(self, index: int, bucket: PackedBucket) -> None:  # repro-lint: hot-path
+        self.writes += 1
+        self._pages[index] = bucket
+
+
+class ArenaBucketStore(BucketStore):
+    """All buckets in one preallocated flat arena (DESIGN.md §5.9).
+
+    The memory-dense configuration for tables sized to run near
+    capacity: pages live at fixed offsets of a single ``bytearray``, so
+    the resident cost is exactly :data:`BUCKET_SIZE` per bucket — no
+    dict entry, no per-page object header — and :meth:`load_packed`
+    hands out a zero-copy :class:`PackedBucket` cursor into the arena.
+    Allocation is eager (``num_buckets × 4 KB`` up front), which is why
+    this is not the default store for sparsely-filled tables.
+    """
+
+    def __init__(self, num_buckets: int) -> None:
+        if num_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.num_buckets = num_buckets
+        self._arena = bytearray(num_buckets * BUCKET_SIZE)
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_buckets:
+            raise IndexError(
+                f"bucket {index} outside arena of {self.num_buckets}"
+            )
+
+    def read_bucket(self, index: int) -> bytes:
+        self._check(index)
+        self.reads += 1
+        base = index * BUCKET_SIZE
+        return bytes(self._arena[base : base + BUCKET_SIZE])  # repro-lint: copy-ok page export at the byte-store boundary
+
+    def write_bucket(self, index: int, page: bytes) -> None:
+        self._check(index)
+        if len(page) != BUCKET_SIZE:
+            raise ValueError("bucket pages must be 4 KB")
+        self.writes += 1
+        base = index * BUCKET_SIZE
+        self._arena[base : base + BUCKET_SIZE] = page
+
+    def load_packed(self, index: int) -> PackedBucket:  # repro-lint: hot-path
+        self._check(index)
+        self.reads += 1
+        return PackedBucket(self._arena, index * BUCKET_SIZE)
+
+    def store_packed(self, index: int, bucket: PackedBucket) -> None:  # repro-lint: hot-path
+        self._check(index)
+        self.writes += 1
+        if bucket.buf is not self._arena or bucket.base != index * BUCKET_SIZE:
+            # A foreign page (built elsewhere): copy it into place.
+            base = index * BUCKET_SIZE
+            self._arena[base : base + BUCKET_SIZE] = bucket.to_bytes()
+        # Arena-resident cursors mutated in place; nothing to move.
+
 
 class HashPbnTable:
     """Fingerprint → PBN store over a bucket-granular backing store.
 
     All bucket IO flows through the injected :class:`BucketStore`; the
     table itself holds no pages, so a cached store sees every access.
+
+    ``packed`` selects the page representation the hot path uses:
+    packed (default) operates on raw 4-KB pages via
+    :class:`PackedBucket`, legacy decodes into :class:`Bucket` entry
+    lists.  Both produce byte-identical stored pages for any operation
+    history.  ``negative_filter`` arms the :class:`NegativeFilter`
+    probe-skip (``None`` = auto: on over the private in-memory stores,
+    off over interposing stores such as the table cache, whose page
+    accounting feeds the calibrated device models and must keep the
+    exact per-lookup access pattern).
     """
 
     def __init__(
-        self, num_buckets: int, store: Optional[BucketStore] = None
+        self,
+        num_buckets: int,
+        store: Optional[BucketStore] = None,
+        *,
+        packed: bool = True,
+        negative_filter: Optional[bool] = None,
     ) -> None:
         if num_buckets < 1:
             raise ValueError("need at least one bucket")
         self.num_buckets = num_buckets
         self.store = store if store is not None else InMemoryBucketStore()
+        self.packed = packed
+        #: True when no accounting store interposes on page traffic —
+        #: the condition under which probe-skipping/batching fast paths
+        #: cannot perturb a calibrated device model.
+        self.private_store = isinstance(
+            self.store, (InMemoryBucketStore, ArenaBucketStore)
+        )
+        if negative_filter is None:
+            negative_filter = self.private_store
+        self.filter: Optional[NegativeFilter] = (
+            NegativeFilter(
+                num_buckets, dense=isinstance(self.store, ArenaBucketStore)
+            )
+            if negative_filter
+            else None
+        )
         self.entry_count = 0
         self.probe_count = 0  # buckets touched, for locality analysis
+        #: Lookups the negative filter resolved with zero bucket probes.
+        self.filter_hits = 0
+        #: Lookups the filter passed through to the probe loop.
+        self.filter_misses = 0
+        #: Table probes :meth:`lookup_many` skipped because the digest
+        #: repeated within the batch (the intra-batch dedupe).
+        self.saved_batch_lookups = 0
 
     # -- helpers -------------------------------------------------------------
     def _home(self, digest: bytes) -> int:  # repro-lint: hot-path
@@ -209,17 +672,34 @@ class HashPbnTable:
         # 32-byte invariant holds structurally.
         return int.from_bytes(digest[-8:], "big") % self.num_buckets  # repro-lint: copy-ok 8-byte index slice
 
-    def _load(self, index: int) -> Bucket:  # repro-lint: hot-path
+    def _load(self, index: int) -> _AnyBucket:  # repro-lint: hot-path
         self.probe_count += 1
+        if self.packed:
+            return self.store.load_packed(index)
         return self.store.load_bucket(index)
 
-    def _save(self, index: int, bucket: Bucket) -> None:  # repro-lint: hot-path
-        self.store.store_bucket(index, bucket)
+    def _save(self, index: int, bucket: _AnyBucket) -> None:  # repro-lint: hot-path
+        if isinstance(bucket, PackedBucket):
+            self.store.store_packed(index, bucket)
+        else:
+            self.store.store_bucket(index, bucket)
+
+    def _filter_says_absent(self, home: int, digest: bytes) -> bool:  # repro-lint: hot-path
+        """Consult the negative filter; True means skip all probes."""
+        if self.filter is None:
+            return False
+        if self.filter.might_contain(home, digest):
+            self.filter_misses += 1
+            return False
+        self.filter_hits += 1
+        return True
 
     # -- operations ------------------------------------------------------------
     def lookup(self, digest: bytes) -> Optional[int]:
         """Return the PBN stored for ``digest``, or ``None`` if unique."""
         index = self._home(digest)
+        if self._filter_says_absent(index, digest):
+            return None
         for _ in range(self.num_buckets):
             bucket = self._load(index)
             pbn = bucket.lookup(digest)
@@ -230,6 +710,56 @@ class HashPbnTable:
             index = (index + 1) % self.num_buckets
         return None
 
+    def lookup_many(
+        self, digests: Sequence[bytes]
+    ) -> List[Optional[int]]:
+        """Resolve a batch of digests against the current table state.
+
+        Three batch effects the per-call :meth:`lookup` cannot get
+        (DESIGN.md §5.9): repeated digests resolve once (counted in
+        :attr:`saved_batch_lookups`), unique digests probe in home-
+        bucket order, and every bucket loaded during the call is reused
+        for the rest of it — so a batch touches each bucket once no
+        matter how many digests land in it.  Results are positionally
+        aligned with ``digests`` and identical to calling ``lookup``
+        per digest.  Read-only: callers interleaving mutations must
+        re-resolve affected digests themselves (the engine's batched
+        write path keeps an override map for exactly that).
+        """
+        unique_of: Dict[bytes, int] = {}
+        unique: List[bytes] = []
+        for digest in digests:
+            if digest not in unique_of:
+                unique_of[digest] = len(unique)
+                unique.append(digest)
+        self.saved_batch_lookups += len(digests) - len(unique)
+
+        homes = [self._home(digest) for digest in unique]
+        order = sorted(range(len(unique)), key=homes.__getitem__)
+        results: List[Optional[int]] = [None] * len(unique)
+        loaded: Dict[int, _AnyBucket] = {}
+        for position in order:
+            digest = unique[position]
+            home = homes[position]
+            if self._filter_says_absent(home, digest):
+                continue
+            index = home
+            for _ in range(self.num_buckets):
+                bucket = loaded.get(index)
+                if bucket is None:
+                    bucket = self._load(index)
+                    loaded[index] = bucket
+                else:
+                    self.probe_count += 1
+                pbn = bucket.lookup(digest)
+                if pbn is not None:
+                    results[position] = pbn
+                    break
+                if not bucket.overflowed:
+                    break
+                index = (index + 1) % self.num_buckets
+        return [results[unique_of[digest]] for digest in digests]
+
     def insert(self, digest: bytes, pbn: int) -> None:
         """Insert a new fingerprint.  The caller must have checked
         uniqueness via :meth:`lookup` (the dedup flow always does)."""
@@ -237,13 +767,16 @@ class HashPbnTable:
             raise ValueError(f"PBN {pbn} out of range")
         if len(digest) != FINGERPRINT_SIZE:
             raise ValueError("fingerprints are 32 bytes")
-        index = self._home(digest)
+        home = self._home(digest)
+        index = home
         for _ in range(self.num_buckets):
             bucket = self._load(index)
             if not bucket.is_full:
                 bucket.insert(digest, pbn)
                 self._save(index, bucket)
                 self.entry_count += 1
+                if self.filter is not None:
+                    self.filter.add(home, digest)
                 return
             if not bucket.overflowed:
                 bucket.overflowed = True
@@ -253,12 +786,17 @@ class HashPbnTable:
 
     def remove(self, digest: bytes) -> bool:
         """Remove a fingerprint (garbage collection of freed chunks)."""
-        index = self._home(digest)
+        home = self._home(digest)
+        if self._filter_says_absent(home, digest):
+            return False
+        index = home
         for _ in range(self.num_buckets):
             bucket = self._load(index)
             if bucket.remove(digest):
                 self._save(index, bucket)
                 self.entry_count -= 1
+                if self.filter is not None:
+                    self.filter.discard(home, digest)
                 return True
             if not bucket.overflowed:
                 return False
@@ -268,13 +806,13 @@ class HashPbnTable:
     def update(self, digest: bytes, pbn: int) -> bool:
         """Repoint an existing fingerprint at a new PBN (defragmentation)."""
         index = self._home(digest)
+        if self._filter_says_absent(index, digest):
+            return False
         for _ in range(self.num_buckets):
             bucket = self._load(index)
-            for position, (key, _) in enumerate(bucket.entries):
-                if key == digest:
-                    bucket.entries[position] = (digest, pbn)
-                    self._save(index, bucket)
-                    return True
+            if bucket.update(digest, pbn):
+                self._save(index, bucket)
+                return True
             if not bucket.overflowed:
                 return False
             index = (index + 1) % self.num_buckets

@@ -259,6 +259,12 @@ class ShardedDedupEngine:
             snap.plan_wasted_compressions
         )
         registry.gauge("engine.containers_sealed").set(snap.containers_sealed)
+        registry.gauge("index.filter.hits").set(snap.index_filter_hits)
+        registry.gauge("index.filter.misses").set(snap.index_filter_misses)
+        registry.gauge("index.batch.saved_lookups").set(
+            snap.index_saved_lookups
+        )
+        registry.gauge("index.probes").set(snap.index_probes)
         registry.gauge("engine.dedup_ratio").set(snap.dedup_ratio)
         registry.gauge("engine.compression_ratio").set(snap.compression_ratio)
         reduction = snap.reduction_factor
@@ -565,4 +571,8 @@ def _merge_snapshots(snaps: Sequence[EngineStats]) -> EngineStats:
             s.plan_wasted_compressions for s in snaps
         ),
         containers_sealed=sum(s.containers_sealed for s in snaps),
+        index_filter_hits=sum(s.index_filter_hits for s in snaps),
+        index_filter_misses=sum(s.index_filter_misses for s in snaps),
+        index_saved_lookups=sum(s.index_saved_lookups for s in snaps),
+        index_probes=sum(s.index_probes for s in snaps),
     )

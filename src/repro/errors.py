@@ -23,6 +23,7 @@ __all__ = [
     "ReproError",
     "ProtocolError",
     "AlignmentError",
+    "BucketFullError",
     "CapacityError",
     "MissingDependencyError",
     "ShardError",
@@ -48,6 +49,19 @@ class AlignmentError(ReproError, ValueError):
 
 class CapacityError(ReproError, ValueError):
     """A resource (cache, container, queue) cannot hold the request."""
+
+
+class BucketFullError(CapacityError):
+    """An insert hit a Hash-PBN bucket that already holds
+    :data:`~repro.datared.hash_pbn.BUCKET_CAPACITY` entries.
+
+    The table's overflow-probing insert never surfaces this (it probes
+    on to the next bucket); reaching a caller means a bucket was driven
+    directly — a bug or a deliberately bucket-level tool.  Subclasses
+    :class:`CapacityError`, so it maps to ``ErrorCode.CAPACITY`` on the
+    wire and stays catchable as ``ValueError`` like the pre-v2 bare
+    ``ValueError`` it replaces.
+    """
 
 
 class MissingDependencyError(ReproError, ValueError):

@@ -46,6 +46,12 @@ from typing import Any, Dict, List, Optional
 from .datared import codecs as _codecs
 from .datared import hashing as _hashing
 from .datared.dedup import DedupEngine
+from .datared.hash_pbn import (
+    BUCKET_CAPACITY,
+    ArenaBucketStore,
+    HashPbnTable,
+)
+from .datared.hashing import MAX_PBN
 from .datared.sharded import ShardedDedupEngine
 from .obs import trace as _trace
 from .obs.trace import TracedStages
@@ -54,6 +60,7 @@ from .parallel import StagePool
 __all__ = [
     "StageClock",
     "bench_meta",
+    "run_index_bench",
     "run_obs_overhead",
     "run_shard_bench",
     "run_stage_bench",
@@ -359,7 +366,10 @@ def _drive_sharded(
     is not thread-safe and shard tasks run concurrently — installing
     the router clock everywhere (what the ``stage_clock`` setter does,
     correct for the thread-safe ``TracedStages``) would corrupt its
-    counters here.
+    counters here.  Per-shard chunk counts come from the shard engines'
+    own ledgers, not from clock call counts: the batched resolve makes
+    one ``lookup`` span per sub-batch, so ``calls["lookup"]`` no longer
+    equals chunks.
     """
     with StagePool(parallelism, backend=executor) as pool:
         engine = ShardedDedupEngine(
@@ -385,9 +395,13 @@ def _drive_sharded(
                 engine.write_many(requests)
             engine.flush()
             total = time.perf_counter_ns() - start
+            shard_chunks = [
+                snap.unique_chunks + snap.duplicate_chunks
+                for snap in engine.shard_snapshots()
+            ]
         finally:
             engine.shutdown()
-        return total, router_clock, shard_clocks
+        return total, router_clock, shard_clocks, shard_chunks
 
 
 def run_shard_bench(
@@ -439,7 +453,7 @@ def run_shard_bench(
             if best is None or attempt[0] < best[0]:
                 best = attempt
         assert best is not None
-        total, router_clock, shard_clocks = best
+        total, router_clock, shard_clocks, shard_chunks = best
         mb_s = moved / 1e6 / (total / 1e9)
         per_shard: List[Dict[str, Any]] = []
         for index, clock in enumerate(shard_clocks):
@@ -448,7 +462,7 @@ def run_shard_bench(
             publish = clock.ns.get("publish", 0)
             per_shard.append({
                 "shard": index,
-                "chunks": clock.calls.get("lookup", 0),
+                "chunks": shard_chunks[index],
                 "lookup_ns": lookup,
                 "compress_ns": clock.ns.get("compress", 0),
                 "pack_ns": pack,
@@ -491,6 +505,179 @@ def run_shard_bench(
             "DedupEngine on the identical workload (min over rounds); "
             "per-shard ns come from private StageClocks on the shard "
             "threads of the best round"
+        ),
+    }
+
+
+def _index_memory(
+    num_buckets: int, seed: int, packed: bool, target: Optional[int] = None
+) -> Dict[str, Any]:
+    """Resident bytes/entry of one table configuration via tracemalloc.
+
+    Builds the table *inside* a tracing window, inserting random
+    fingerprints until the table is full (or ``target`` entries), and
+    reads the **current** traced size afterwards — i.e. what the table
+    retains, not what the build transiently allocated.  Digests and PBN
+    ints are minted per insert and dropped right after, so the legacy
+    table is charged for the tuple/bytes/int graph it keeps alive while
+    the packed arena (which copies bytes into the page) is not.
+    """
+    rng = random.Random(seed)
+    tracemalloc.start()
+    try:
+        before = tracemalloc.get_traced_memory()[0]
+        if packed:
+            table = HashPbnTable(
+                num_buckets, store=ArenaBucketStore(num_buckets)
+            )
+        else:
+            table = HashPbnTable(
+                num_buckets, packed=False, negative_filter=False
+            )
+        count = 0
+        pbn = MAX_PBN
+        while target is None or count < target:
+            try:
+                table.insert(rng.randbytes(32), pbn)
+            except RuntimeError:
+                break
+            pbn -= 1
+            count += 1
+        resident = tracemalloc.get_traced_memory()[0] - before
+    finally:
+        tracemalloc.stop()
+    return {
+        "entries": count,
+        "resident_bytes": resident,
+        "bytes_per_entry": round(resident / count, 2) if count else 0.0,
+    }
+
+
+def run_index_bench(
+    num_buckets: int = 1 << 10,
+    rounds: int = 3,
+    batch_size: int = 4096,
+    present_fraction: float = 0.1,
+    fill: float = 0.7,
+    seed: int = SEED,
+) -> Dict[str, Any]:
+    """Hash-PBN index microbench; returns the BENCH_index payload.
+
+    Two measurements against the legacy (decoded entry-list, no filter,
+    per-call lookup) configuration:
+
+    * ``memory`` — resident bytes per entry via :mod:`tracemalloc`, at
+      full table capacity (the memory-dense arena configuration's
+      operating point; the gated number) and at the default 0.7 fill.
+    * ``resolve`` — lookups/s on a unique-heavy batch
+      (``1 - present_fraction`` absent digests plus a sprinkle of
+      intra-batch repeats): legacy loops :meth:`HashPbnTable.lookup`
+      per digest, packed resolves the whole batch through
+      :meth:`HashPbnTable.lookup_many` over an arena store with the
+      dense negative filter armed.  Results are asserted identical.
+    """
+    if not 0 < fill <= 1:
+        raise ValueError(f"fill must be in (0, 1], got {fill}")
+    if not 0 <= present_fraction <= 1:
+        raise ValueError(
+            f"present_fraction must be in [0, 1], got {present_fraction}"
+        )
+    operating_target = int(BUCKET_CAPACITY * num_buckets * fill)
+    memory = {
+        "full": {
+            "legacy": _index_memory(num_buckets, seed, packed=False),
+            "packed": _index_memory(num_buckets, seed, packed=True),
+        },
+        "operating": {
+            "fill": fill,
+            "legacy": _index_memory(
+                num_buckets, seed, packed=False, target=operating_target
+            ),
+            "packed": _index_memory(
+                num_buckets, seed, packed=True, target=operating_target
+            ),
+        },
+    }
+    for point in memory.values():
+        legacy_bpe = point["legacy"]["bytes_per_entry"]
+        packed_bpe = point["packed"]["bytes_per_entry"]
+        point["ratio"] = (
+            round(legacy_bpe / packed_bpe, 2) if packed_bpe else 0.0
+        )
+
+    # -- resolve throughput: identical tables, identical batch -------------
+    rng = random.Random(seed ^ 0x1D8)
+    legacy = HashPbnTable(num_buckets, packed=False, negative_filter=False)
+    packed = HashPbnTable(num_buckets, store=ArenaBucketStore(num_buckets))
+    present: List[bytes] = []
+    for pbn in range(operating_target):
+        digest = rng.randbytes(32)
+        legacy.insert(digest, pbn)
+        packed.insert(digest, pbn)
+        present.append(digest)
+    batch: List[bytes] = []
+    for _ in range(batch_size):
+        if rng.random() < present_fraction:
+            batch.append(present[rng.randrange(len(present))])
+        else:
+            batch.append(rng.randbytes(32))
+    # A sprinkle of intra-batch repeats so the digest-dedupe path (and
+    # its saved-lookups counter) is exercised by the gated run.
+    for _ in range(batch_size // 16):
+        batch[rng.randrange(batch_size)] = batch[rng.randrange(batch_size)]
+
+    expected = [legacy.lookup(digest) for digest in batch]
+    assert packed.lookup_many(batch) == expected, (
+        "packed lookup_many diverged from legacy per-call lookups"
+    )
+
+    best_legacy: Optional[int] = None
+    best_packed: Optional[int] = None
+    for _ in range(rounds):
+        start = time.perf_counter_ns()
+        for digest in batch:
+            legacy.lookup(digest)
+        legacy_ns = time.perf_counter_ns() - start
+        start = time.perf_counter_ns()
+        packed.lookup_many(batch)
+        packed_ns = time.perf_counter_ns() - start
+        if best_legacy is None or legacy_ns < best_legacy:
+            best_legacy = legacy_ns
+        if best_packed is None or packed_ns < best_packed:
+            best_packed = packed_ns
+    assert best_legacy is not None and best_packed is not None
+    legacy_rate = batch_size / (best_legacy / 1e9)
+    packed_rate = batch_size / (best_packed / 1e9)
+
+    return {
+        "benchmark": "hash-pbn-index",
+        "meta": bench_meta(),
+        "num_buckets": num_buckets,
+        "bucket_capacity": BUCKET_CAPACITY,
+        "rounds": rounds,
+        "memory": memory,
+        "resolve": {
+            "batch_size": batch_size,
+            "present_fraction": present_fraction,
+            "fill": fill,
+            "table_entries": operating_target,
+            "legacy_ns": best_legacy,
+            "packed_ns": best_packed,
+            "legacy_lookups_per_s": round(legacy_rate, 1),
+            "packed_lookups_per_s": round(packed_rate, 1),
+            "speedup": round(packed_rate / legacy_rate, 2),
+            "filter_hits": packed.filter_hits,
+            "filter_misses": packed.filter_misses,
+            "saved_batch_lookups": packed.saved_batch_lookups,
+            "probes": packed.probe_count,
+        },
+        "note": (
+            "memory.full is the gated point (arena tables run at "
+            "capacity); bytes/entry are tracemalloc *current* deltas, "
+            "so only retained structures count.  resolve times are "
+            "min-over-rounds on the identical batch; legacy = decoded "
+            "buckets, per-call lookup, no filter; packed = arena store "
+            "+ dense negative filter + lookup_many"
         ),
     }
 
@@ -558,15 +745,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         "BENCH_shards.json",
     )
     parser.add_argument(
+        "--index", action="store_true",
+        help="run the Hash-PBN index microbench (packed vs legacy "
+        "memory + batched resolve throughput) instead of the stage "
+        "breakdown; emits BENCH_index.json",
+    )
+    parser.add_argument(
         "--out", type=Path, default=None,
-        help="output path (default ./BENCH_stages.json, or "
-        "./BENCH_shards.json with --shards)",
+        help="output path (default ./BENCH_stages.json; "
+        "./BENCH_shards.json with --shards; ./BENCH_index.json with "
+        "--index)",
     )
     args = parser.parse_args(argv)
+    if args.index and args.shards:
+        parser.error("--index and --shards are mutually exclusive")
     if args.out is None:
-        args.out = Path(
-            "BENCH_shards.json" if args.shards else "BENCH_stages.json"
-        )
+        if args.index:
+            args.out = Path("BENCH_index.json")
+        elif args.shards:
+            args.out = Path("BENCH_shards.json")
+        else:
+            args.out = Path("BENCH_stages.json")
     num_batches = args.batches
     if num_batches is None:
         num_batches = 6 if args.smoke else 48
@@ -584,6 +783,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"extras); available: "
             f"{', '.join(_hashing.available_fingerprinters())}"
         )
+
+    if args.index:
+        payload = run_index_bench(
+            num_buckets=(1 << 8) if args.smoke else (1 << 10),
+            rounds=args.rounds,
+        )
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        full = payload["memory"]["full"]
+        resolve = payload["resolve"]
+        print(
+            f"hash-pbn index microbench ({payload['num_buckets']} "
+            f"buckets, min of {args.rounds} rounds)"
+        )
+        print(
+            f"  memory (full table): legacy "
+            f"{full['legacy']['bytes_per_entry']} B/entry, packed "
+            f"{full['packed']['bytes_per_entry']} B/entry "
+            f"({full['ratio']}x smaller)"
+        )
+        print(
+            f"  resolve ({resolve['batch_size']} digests, "
+            f"{int((1 - resolve['present_fraction']) * 100)}% absent): "
+            f"legacy {resolve['legacy_lookups_per_s']:,.0f}/s, packed "
+            f"{resolve['packed_lookups_per_s']:,.0f}/s "
+            f"({resolve['speedup']}x); filter hits "
+            f"{resolve['filter_hits']}, saved batch lookups "
+            f"{resolve['saved_batch_lookups']}"
+        )
+        print(f"wrote {args.out}")
+        return 0
 
     if args.shards:
         payload = run_shard_bench(

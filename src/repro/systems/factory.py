@@ -62,7 +62,12 @@ def build_engine(
     fingerprinter = config.codec.build_fingerprinter()
     if config.shards == 1:
         return DedupEngine(
-            table=HashPbnTable(num_buckets, store=table_store),
+            table=HashPbnTable(
+                num_buckets,
+                store=table_store,
+                packed=config.index_packed,
+                negative_filter=config.index_filter,
+            ),
             compressor=resolved_compressor,
             containers=ContainerStore(on_seal=on_seal),
             chunk_size=config.chunk_size,
@@ -70,6 +75,7 @@ def build_engine(
             read_cache_chunks=config.read_cache_chunks,
             registry=registry,
             fingerprinter=fingerprinter,
+            batched_resolve=config.index_batched,
         )
 
     seal_hook = on_seal
@@ -92,7 +98,11 @@ def build_engine(
 
     def shard_factory(index: int) -> DedupEngine:
         return DedupEngine(
-            table=HashPbnTable(num_buckets),
+            table=HashPbnTable(
+                num_buckets,
+                packed=config.index_packed,
+                negative_filter=config.index_filter,
+            ),
             compressor=resolved_compressor,
             containers=ContainerStore(on_seal=seal_hook),
             chunk_size=config.chunk_size,
@@ -100,6 +110,7 @@ def build_engine(
             read_cache_chunks=config.read_cache_chunks,
             registry=MetricsRegistry(),
             fingerprinter=fingerprinter,
+            batched_resolve=config.index_batched,
         )
 
     return ShardedDedupEngine(

@@ -24,6 +24,7 @@ from repro.datared.dedup import (
     WriteOptions,
     WriteReport,
 )
+from repro.datared.hash_pbn import HashPbnTable
 from repro.datared.hashing import fingerprint, fingerprint_many
 from repro.parallel import StagePool
 
@@ -293,6 +294,34 @@ def test_write_many_is_indistinguishable_from_serial(
         batched.read(0, 24).data
         == b"".join(serial.read(i * BLOCKS).data for i in range(24))
     )
+
+    # PR-9 packed-vs-legacy differential on the same grid cell: an
+    # engine pinned to the pre-PR-9 index configuration (decoded
+    # buckets, no negative filter, per-chunk resolve) must be byte-
+    # and ledger-identical to the default packed+batched engine above
+    # — including every stored 4-KB table page.
+    legacy = DedupEngine(
+        table=HashPbnTable(512, packed=False, negative_filter=False),
+        compressor=ZlibCompressor(),
+        batched_resolve=False,
+    )
+    assert not legacy.batched_resolve
+    legacy_reports = []
+    for start in range(0, len(requests), batch_size):
+        legacy_reports.extend(
+            legacy.write_many(requests[start : start + batch_size])
+        )
+    for left, right in zip(batched_reports, legacy_reports):
+        assert reports_equal(left, right)
+    assert legacy.stats == batched.stats
+    assert legacy.table.entry_count == batched.table.entry_count
+    for index in range(512):
+        assert (
+            legacy.table.store.read_bucket(index)
+            == batched.table.store.read_bucket(index)
+        )
+    assert check_engine(legacy) == []
+    assert legacy.read(0, 24).data == batched.read(0, 24).data
 
 
 @pytest.mark.parametrize("zero_fill", [0, CHUNK - 64])
