@@ -4,76 +4,149 @@
 Combines three pieces a downstream adopter would compose:
 
 * the §6.2 storage protocol (clients speak framed write/read requests),
-* the FIDR reduction stack behind it,
-* the metadata journal — after a "crash" that destroys every in-memory
-  table, the journal and the surviving containers rebuild the engine and
-  clients keep reading their data.
+* the FIDR reduction stack behind it, built with a
+  :class:`~repro.systems.config.DurabilityPolicy` that arms the
+  group-commit metadata journal and periodic checkpoints,
+* crash recovery through the factory — after a "crash" that destroys
+  every in-memory table, ``build_engine(cfg, recover_from=...)`` rebuilds
+  the engine from the surviving containers + journal and clients keep
+  reading their data, including a pre-crash CoW snapshot.
 
 Run:  python examples/durable_protocol_server.py
 """
 
+import copy
 import random
 
-from repro.datared import MetadataJournal, ModeledCompressor, recover_engine
+from repro.datared.journal import RecoveryImage
 from repro.net import ProtocolClient, ProtocolServer
 from repro.systems import FidrSystem
+from repro.systems.config import DurabilityPolicy, SystemConfig
+from repro.systems.factory import build_engine
 from repro.systems.server import StorageServer
 
 CHUNK = 4096
 
-
-def build_journaled_server():
-    """A FIDR server whose engine journals every metadata mutation."""
-    journal = MetadataJournal()
-    system = FidrSystem(
-        num_buckets=4096, cache_lines=256, compressor=ModeledCompressor(0.5)
-    )
-    system.engine.observer = journal
-    return StorageServer(system), journal, system
+#: One config drives both lives of the server: the journaled first run
+#: and the post-crash rebuild (recovery through the factory guarantees
+#: the recovered engine gets identical codec/index/shard wiring).
+CONFIG = SystemConfig(
+    durability=DurabilityPolicy(journal=True, checkpoint_every_commits=8),
+)
 
 
 def main() -> None:
     rng = random.Random(11)
-    storage, journal, system = build_journaled_server()
-    endpoint = ProtocolServer(storage)
-    client = ProtocolClient(endpoint.handle_bytes)
-
-    # Clients write through the wire protocol; acks are immediate.
     dataset = {}
     pool = [rng.randbytes(CHUNK) for _ in range(24)]
-    for _ in range(500):
-        lba = rng.randrange(600)
-        data = pool[rng.randrange(len(pool))] if rng.random() < 0.6 else (
-            rng.randbytes(CHUNK)
-        )
-        client.write(lba, data)
-        dataset[lba] = data
-    storage.flush()
-    print(f"served {endpoint.requests_served} requests; journal holds "
-          f"{journal.records_written:,} records "
-          f"({journal.size_bytes / 1024:.1f} KiB)")
 
-    # --- crash: all metadata evaporates; containers + journal survive ---
-    containers = system.engine.containers
-    image = journal.to_bytes()
-    torn = image[: len(image) - 11]  # the tail record was mid-write
-    recovered, clean = recover_engine(
-        torn, containers, ModeledCompressor(0.5), num_buckets=4096
+    # First life: a journaled FIDR server behind the wire protocol.
+    # ``with`` is the lifecycle API — close() drains staged writes and
+    # fences the final group commit even on an exception path.
+    with StorageServer(
+        FidrSystem(config=CONFIG, num_buckets=4096, cache_lines=256)
+    ) as storage:
+        endpoint = ProtocolServer(storage)
+        client = ProtocolClient(endpoint.handle_bytes)
+
+        # What a crash leaves behind: the journal's ``on_durable`` hook
+        # fires at every group-commit fence, *before* the commit's
+        # deferred container frees apply — so image + containers here
+        # are byte-for-byte the surviving disk state at that instant.
+        engine = storage.system.engine
+        journal = engine.journal
+        crash_state = {}
+
+        def capture(image: bytes, stable: int) -> None:
+            crash_state["image"] = image
+            crash_state["containers"] = copy.deepcopy(engine.containers)
+
+        journal.on_durable = capture
+        for _ in range(300):
+            lba = rng.randrange(600)
+            data = pool[rng.randrange(len(pool))] if rng.random() < 0.6 else (
+                rng.randbytes(CHUNK)
+            )
+            client.write(lba, data)
+            dataset[lba] = data
+
+        # Pin the current state: an O(1) copy-on-write snapshot, taken
+        # over the wire (SNAP is a v2 op).
+        pinned = client.create_snapshot("pre-update")
+        frozen = dict(dataset)
+
+        # Keep writing after the snapshot; the pinned view must not move.
+        for _ in range(200):
+            lba = rng.randrange(600)
+            data = rng.randbytes(CHUNK)
+            client.write(lba, data)
+            dataset[lba] = data
+        storage.flush()  # group-commit fence: everything so far is durable
+        acked = dict(dataset)
+
+        # One more batch, whose fence the "crash" below will tear: these
+        # writes are in flight — a client was never acknowledged — so
+        # recovery may keep or discard them, but only as a whole batch.
+        tail = {}
+        for _ in range(12):
+            lba = rng.randrange(600)
+            data = rng.randbytes(CHUNK)
+            client.write(lba, data)
+            dataset[lba] = data
+            tail[lba] = data
+        storage.flush()
+
+        print(f"served {endpoint.requests_served} requests; journal holds "
+              f"{journal.records_written:,} records in {journal.commits} "
+              f"commits / {journal.checkpoints} checkpoints "
+              f"({journal.size_bytes / 1024:.1f} KiB); snapshot pinned "
+              f"{pinned} chunks")
+
+    # --- crash: every in-memory table evaporates; what survives is the
+    # hook-captured durable journal image and the container payloads ---
+    image = crash_state["image"]
+    torn = image[: len(image) - 11]  # the tail fence was mid-write
+    recovered = build_engine(
+        CONFIG,
+        num_buckets=4096,
+        recover_from=RecoveryImage(
+            journal=torn, containers=crash_state["containers"]
+        ),
     )
-    print(f"recovery from a torn journal: clean={clean} "
-          f"(tail record discarded, as designed)")
+    report = recovered.recovery
+    print(f"recovery from a torn journal: clean={report.clean}, "
+          f"replayed {report.records_replayed} records from "
+          f"checkpoint={report.from_checkpoint}, reclaimed "
+          f"{report.orphans_reclaimed} orphaned placements "
+          f"(unacked tail discarded, as designed)")
 
-    verified = 0
-    for lba, data in dataset.items():
-        pbn = recovered.lba_map.get(lba)
-        if pbn is None:
-            continue  # lost with the torn tail — but never corrupted
-        assert recovered.read(lba, 1).data == data, f"corruption at {lba}"
-        verified += 1
-    print(f"verified {verified}/{len(dataset)} LBAs byte-exact after "
-          f"recovery; dedup identity intact: rewriting old content "
-          f"deduplicates -> "
-          f"{recovered.write(4096, pool[0]).chunks[0].duplicate}")
+    with recovered:
+        verified = rolled_back = 0
+        for lba, data in dataset.items():
+            got = recovered.read(lba, 1).data
+            if lba not in tail:
+                # Acknowledged before the torn fence: must be byte-exact.
+                assert got == data, f"corruption at acknowledged LBA {lba}"
+                verified += 1
+                continue
+            # In the torn batch: whole-batch semantics — either the new
+            # value (the fence survived) or the pre-batch acknowledged
+            # state (rolled back), never a byte mash of the two.
+            old = acked.get(lba, bytes(CHUNK))  # unwritten reads as zeros
+            assert got in (data, old), f"mangled in-flight LBA {lba}"
+            if got != data:
+                rolled_back += 1
+        snap_ok = sum(
+            1 for lba, data in frozen.items()
+            if recovered.snapshot_contains("pre-update", lba)
+            and recovered.read_snapshot("pre-update", lba).data == data
+        )
+        print(f"verified {verified} acknowledged LBAs byte-exact after "
+              f"recovery ({rolled_back}/{len(tail)} in-flight writes "
+              f"rolled back whole); snapshot 'pre-update' still serves "
+              f"{snap_ok} pinned chunks; dedup identity intact: rewriting "
+              f"old content deduplicates -> "
+              f"{recovered.write(4096, pool[0]).chunks[0].duplicate}")
 
 
 if __name__ == "__main__":

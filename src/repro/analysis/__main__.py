@@ -2,7 +2,7 @@
 
 Tools:
 
-* ``lint`` — AST contract linter (rules R001-R011); also runnable
+* ``lint`` — AST contract linter (rules R001-R012); also runnable
   directly as ``python -m repro.analysis.lint``.
 * ``lockgraph`` — whole-program lock-order analysis: static call/lock
   graph over a source tree, merged with observed runtime lockdep edges
@@ -11,6 +11,11 @@ Tools:
 * ``invariants`` — run the ledger/index conservation checks against a
   freshly exercised engine (a self-test that the checker and the
   engine agree).
+* ``crash`` — kill-at-random-offset crash/recovery harness for the
+  durability tier: tears journal images at every framing-offset class
+  and asserts recovery restores exactly the acknowledged state
+  (``--smoke`` is the CI leg); also runnable directly as
+  ``python -m repro.analysis.crash``.
 * ``report`` — run lint + lockgraph + the invariants self-test and
   emit one strict-JSON summary on stdout with a single exit code, so
   CI runs one command instead of three.
@@ -120,11 +125,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return lockgraph_main(rest)
     if tool == "invariants":
         return _run_invariants_selftest()
+    if tool == "crash":
+        from .crash import main as crash_main
+
+        return crash_main(rest)
     if tool == "report":
         return _run_report(rest)
     print(
         f"unknown tool {tool!r}; expected 'lint', 'lockgraph', "
-        "'invariants', or 'report'"
+        "'invariants', 'crash', or 'report'"
     )
     return 2
 

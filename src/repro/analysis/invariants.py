@@ -119,26 +119,52 @@ def _engine_violations(engine: "DedupEngine") -> List[str]:
             violations.append(f"placement {placement} owned by multiple PBNs")
         seen_placements.add(placement)
 
-    # -- LBA map vs. reference counts -----------------------------------------
+    # -- LBA map + snapshot pins vs. reference counts -------------------------
+    # The refcount law (DESIGN.md §5.10): every reference on a live PBN
+    # is either a mapped LBA or a snapshot pin, and nothing else.
     refcount_total = 0
+    snapshot_pins = 0
     lba_refs: dict = {}
     for lba, pbn in engine.lba_map.items():
         if pbn not in engine.pbn_map:
             violations.append(f"LBA {lba} maps to dead PBN {pbn}")
             continue
         lba_refs[pbn] = lba_refs.get(pbn, 0) + 1
+    for name, pins in engine._snapshots.items():
+        snapshot_pins += len(pins)
+        for lba, pbn in pins.items():
+            if pbn not in engine.pbn_map:
+                violations.append(
+                    f"snapshot {name!r} pins dead PBN {pbn} (LBA {lba})"
+                )
+                continue
+            lba_refs[pbn] = lba_refs.get(pbn, 0) + 1
     for pbn, record in engine.pbn_map.records():
         refcount_total += record.refcount
         actual = lba_refs.get(pbn, 0)
         if record.refcount != actual:
             violations.append(
                 f"PBN {pbn} refcount {record.refcount} != {actual} "
-                "referencing LBAs"
+                "referencing LBAs + snapshot pins"
             )
-    if refcount_total != len(engine.lba_map):
+    if refcount_total != len(engine.lba_map) + snapshot_pins:
         violations.append(
             f"sum of refcounts {refcount_total} != mapped LBAs "
-            f"{len(engine.lba_map)}"
+            f"{len(engine.lba_map)} + snapshot pins {snapshot_pins}"
+        )
+
+    # -- durability tier at rest ----------------------------------------------
+    # Every public op ends with a commit barrier, so between ops no
+    # journal records may sit staged and no container frees deferred.
+    if engine._pending_releases or engine._pending_drops:
+        violations.append(
+            f"{len(engine._pending_releases)} deferred container frees / "
+            f"{len(engine._pending_drops)} deferred drops at rest"
+        )
+    if engine.journal is not None and engine.journal.staged_bytes:
+        violations.append(
+            f"journal holds {engine.journal.staged_bytes} staged bytes "
+            "at rest (missing commit barrier)"
         )
 
     # -- Hash-PBN table population --------------------------------------------
@@ -225,6 +251,40 @@ def _sharded_violations(engine: "ShardedDedupEngine") -> List[str]:
             f"summed shard stats live_stored_bytes {merged_live} != "
             f"summed PBN record sizes {total_record}"
         )
+
+    # -- durability cluster consistency (DESIGN.md §5.10) ----------------------
+    # Journaling is a cluster-uniform policy: either every shard carries
+    # a journal or none does, every durable per-shard image must decode
+    # cleanly, and snapshot names must exist on every shard (snapshot
+    # ops fan to all shards atomically under the router lock).
+    from ..datared.journal import MetadataJournal
+
+    journaled = [shard.journal is not None for shard in engine.shards]
+    if any(journaled) and not all(journaled):
+        violations.append(
+            f"only {sum(journaled)}/{len(journaled)} shards carry a "
+            "journal (cluster durability must be uniform)"
+        )
+    if all(journaled):
+        for index, shard in enumerate(engine.shards):
+            assert shard.journal is not None
+            _records, clean = MetadataJournal.decode(shard.journal.to_bytes())
+            if not clean:
+                violations.append(
+                    f"shard {index}: durable journal image does not "
+                    "decode cleanly"
+                )
+    names = None
+    for index, shard in enumerate(engine.shards):
+        with shard.lock:
+            shard_names = sorted(shard._snapshots)
+        if names is None:
+            names = shard_names
+        elif shard_names != names:
+            violations.append(
+                f"shard {index} snapshot names {shard_names} != shard 0's "
+                f"{names} (snapshot fan-out must be uniform)"
+            )
     return violations
 
 

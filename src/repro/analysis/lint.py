@@ -65,6 +65,15 @@ R011   Every ``DisciplinedLock`` carries a rank — from the declared
        keyword — and nested acquisition must follow strictly
        increasing ranks; an inversion is the static signature of a
        lock-order cycle (DESIGN.md §5.8).
+R012   Engine/system construction in ``repro.net``/``repro.systems``
+       must honour the lifecycle API (DESIGN.md §5.10): a local
+       variable bound to ``build_engine(…)``, ``StorageServer(…)``/
+       ``StorageServer.build(…)``, a ``ReductionSystem`` subclass or a
+       raw engine class must be closed in the same scope —
+       ``.close()``/``.shutdown()``, a ``with`` block, or ownership
+       transfer (returned, yielded, or stored on ``self``).  A leaked
+       engine never writes its final commit fence, so acked writes
+       can silently miss the journal.
 =====  ==============================================================
 
 Suppress a single line with ``# repro-lint: disable=R001`` (comma
@@ -116,6 +125,8 @@ RULES: Dict[str, str] = {
     "R010": "blocking wait while a DisciplinedLock is held",
     "R011": "lock acquisition violating the declared rank order, or an "
     "unranked DisciplinedLock",
+    "R012": "engine/system constructed in the serving layer but never "
+    "closed (lifecycle API)",
 }
 
 _DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
@@ -230,6 +241,27 @@ _R009_PACKAGES = ("repro.net", "repro.systems")
 
 #: The factory itself is where direct construction is the job.
 _R009_FACTORY_MODULES = ("repro.systems.factory",)
+
+#: Modules R012 covers (the serving/system layers own engine lifetimes;
+#: the factory constructs-and-returns by design).
+_R012_PACKAGES = ("repro.net", "repro.systems")
+
+#: Constructors whose result carries the engine lifecycle contract
+#: (matched on the last dotted component, plus ``StorageServer.build``).
+_R012_CTOR_NAMES = frozenset(
+    {
+        "DedupEngine",
+        "ShardedDedupEngine",
+        "build_engine",
+        "BaselineSystem",
+        "FidrSystem",
+        "ReductionSystem",
+        "StorageServer",
+    }
+)
+
+#: Method calls that discharge the R012 obligation.
+_R012_CLOSERS = frozenset({"close", "shutdown"})
 
 #: Engine constructors R009 flags (matched on the last dotted
 #: component, so ``dedup.DedupEngine(...)`` is caught too).
@@ -594,6 +626,18 @@ def _collect_locks(file: _File, registry: _Registry) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _scope_nodes(node: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        yield child
+        yield from _scope_nodes(child)
+
+
 def _dotted(node: ast.expr) -> Optional[str]:
     parts: List[str] = []
     while isinstance(node, ast.Attribute):
@@ -719,6 +763,11 @@ class _RuleWalker(ast.NodeVisitor):
         )
         self.check_lock_waits = "R010" in rules and module.startswith("repro")
         self.check_lock_ranks = "R011" in rules and module.startswith("repro")
+        self.check_lifecycle = (
+            "R012" in rules
+            and module.startswith(_R012_PACKAGES)
+            and module not in _R009_FACTORY_MODULES
+        )
         self.name_based_guards = module.startswith("repro")
         self.class_stack: List[str] = []
         #: (function name, held guards, body-is-directly-async)
@@ -795,6 +844,8 @@ class _RuleWalker(ast.NodeVisitor):
             _view_locals(node) if (hot and self.check_copies) else set()
         )
         self.lock_holds_stack.append(lock_holds)
+        if self.check_lifecycle:
+            self._check_engine_lifecycle(node)
         self.generic_visit(node)
         self.func_stack.pop()
         self.hot_stack.pop()
@@ -914,6 +965,78 @@ class _RuleWalker(ast.NodeVisitor):
                     hint in receiver for hint in receivers
                 )
         return False
+
+    # -- R012 -------------------------------------------------------------
+    @staticmethod
+    def _is_lifecycle_ctor(call: ast.Call) -> bool:
+        callee = _dotted(call.func)
+        if callee is None:
+            return False
+        return (
+            callee.rsplit(".", 1)[-1] in _R012_CTOR_NAMES
+            or callee.endswith("StorageServer.build")
+        )
+
+    def _check_engine_lifecycle(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        """Flag engines/systems constructed in this scope and leaked.
+
+        A local name bound to a lifecycle constructor must be closed
+        (``.close()``/``.shutdown()``), context-managed, or have its
+        ownership transferred (returned, yielded, or stored on an
+        object attribute) within the same function scope.  Nested
+        ``def``s are separate scopes and get their own walk.
+        """
+        created: Dict[str, ast.stmt] = {}
+        released: Set[str] = set()
+        for inner in _scope_nodes(node):
+            if isinstance(inner, ast.Assign):
+                if isinstance(inner.value, ast.Call) and self._is_lifecycle_ctor(
+                    inner.value
+                ):
+                    for target in inner.targets:
+                        if isinstance(target, ast.Name):
+                            created.setdefault(target.id, inner)
+                        elif isinstance(target, ast.Tuple):
+                            for element in target.elts:
+                                if isinstance(element, ast.Name):
+                                    created.setdefault(element.id, inner)
+                # Ownership transfer: the object now owns the value's
+                # lifetime (``self.engine = engine``).
+                if isinstance(inner.value, ast.Name) and any(
+                    isinstance(target, ast.Attribute)
+                    for target in inner.targets
+                ):
+                    released.add(inner.value.id)
+            elif isinstance(inner, ast.Call):
+                if (
+                    isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in _R012_CLOSERS
+                    and isinstance(inner.func.value, ast.Name)
+                ):
+                    released.add(inner.func.value.id)
+            elif isinstance(inner, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if inner.value is not None:
+                    for leaf in ast.walk(inner.value):
+                        if isinstance(leaf, ast.Name):
+                            released.add(leaf.id)
+            elif isinstance(inner, (ast.With, ast.AsyncWith)):
+                for item in inner.items:
+                    if isinstance(item.context_expr, ast.Name):
+                        released.add(item.context_expr.id)
+        for name, statement in created.items():
+            if name in released:
+                continue
+            self._emit(
+                "R012",
+                statement,
+                f"engine/system bound to '{name}' in '{node.name}' is "
+                "never closed; use 'with ...:' or call "
+                f"'{name}.close()' before the scope ends — a leaked "
+                "engine never writes its final commit fence "
+                "(DESIGN.md §5.10)",
+            )
 
     # -- R006 -------------------------------------------------------------
     def _in_hot_path(self) -> bool:
@@ -1315,7 +1438,7 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Concurrency/determinism contract linter (rules R001-R011).",
+        description="Concurrency/determinism contract linter (rules R001-R012).",
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(

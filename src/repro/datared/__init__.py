@@ -68,7 +68,19 @@ from .hash_pbn import (
     buckets_for_capacity,
     table_bytes_for_capacity,
 )
-from .journal import JournalRecord, MetadataJournal, RecordKind, recover_engine
+from .journal import (
+    CheckpointState,
+    JournalRecord,
+    MetadataJournal,
+    RecordKind,
+    RecoveryImage,
+    RecoveryReport,
+    reconcile_containers,
+    recover_engine,
+    recover_into,
+    replay_journal,
+    validate_placements,
+)
 from .lba_store import ENTRIES_PER_PAGE, PagedLbaStore
 from .sharded import ShardedDedupEngine, shard_for_digest
 from .hashing import (
@@ -126,11 +138,18 @@ __all__ = [
     "register_decoder",
     "register_fingerprinter",
     "GearChunker",
+    "CheckpointState",
     "JournalRecord",
     "MetadataJournal",
     "RecordKind",
+    "RecoveryImage",
+    "RecoveryReport",
     "StreamStats",
+    "reconcile_containers",
     "recover_engine",
+    "recover_into",
+    "replay_journal",
+    "validate_placements",
     "ENTRIES_PER_PAGE",
     "PagedLbaStore",
     "BUCKET_CAPACITY",

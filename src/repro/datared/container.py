@@ -16,6 +16,7 @@ reclaim space when overwrites drop the last reference to a chunk.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple, Union
 
 __all__ = [
@@ -72,6 +73,7 @@ class Container:
         self.sealed = False
         self._fill_granules = 0
         self._payloads: Dict[int, bytes] = {}
+        self._sizes: Dict[int, int] = {}
         self.live_bytes = 0
         self.total_bytes = 0
 
@@ -100,6 +102,7 @@ class Container:
         offset = self._fill_granules
         self._fill_granules += -(-stored_size // OFFSET_GRANULE)
         self._payloads[offset] = payload
+        self._sizes[offset] = stored_size
         self.live_bytes += stored_size
         self.total_bytes += stored_size
         return Placement(self.container_id, offset, stored_size)
@@ -117,6 +120,7 @@ class Container:
         if offset not in self._payloads:
             raise KeyError(f"no chunk at offset {offset}")
         del self._payloads[offset]
+        self._sizes.pop(offset, None)
         self.live_bytes -= stored_size
         if self.live_bytes < 0:
             raise ValueError("live bytes went negative; double free?")
@@ -139,6 +143,10 @@ class Container:
         """Live (offset, payload) pairs, for compaction."""
         return sorted(self._payloads.items())
 
+    def live_chunks(self) -> List[Tuple[int, int]]:
+        """Live (offset, stored_size) pairs, for recovery reconciliation."""
+        return sorted(self._sizes.items())
+
 
 class ContainerStore:
     """Manages the open container and all sealed ones.
@@ -159,6 +167,24 @@ class ContainerStore:
         self._next_id = 0
         self._open: Optional[Container] = None
         self.sealed_count = 0
+
+    def __deepcopy__(self, memo: Dict[int, object]) -> "ContainerStore":
+        """Deep-copy the payloads but *not* the ``on_seal`` callback.
+
+        A deep copy of a store is a crash/recovery image: the bytes
+        survive, the callback into the dead process's system (device
+        models, ledgers, locks) does not — and copying it would drag
+        that whole object graph along.  ``build_engine`` re-wires the
+        recovered store onto the new build's hook.
+        """
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        for key, value in self.__dict__.items():
+            if key == "on_seal":
+                clone.on_seal = None
+            else:
+                setattr(clone, key, copy.deepcopy(value, memo))
+        return clone
 
     def _new_container(self) -> Container:
         container = Container(self._next_id, self.container_size)
@@ -214,6 +240,18 @@ class ContainerStore:
         if container.live_bytes != 0:
             raise ValueError("container still holds live chunks")
         del self._containers[container_id]
+
+    def live_placements(self) -> List[Tuple[int, int, int]]:
+        """Every live placement as ``(container_id, offset, stored_size)``.
+
+        A snapshot list (recovery reconciliation marks placements dead
+        while walking it).
+        """
+        return [
+            (container.container_id, offset, stored_size)
+            for container in self._containers.values()
+            for offset, stored_size in container.live_chunks()
+        ]
 
     @property
     def live_bytes(self) -> int:

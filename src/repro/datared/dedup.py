@@ -20,6 +20,7 @@ import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     ContextManager,
@@ -36,6 +37,7 @@ from typing import (
     Union,
 )
 
+from ..errors import SnapshotError
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..parallel import StagePool
 from ..sync import DisciplinedLock
@@ -46,6 +48,9 @@ from .container import ContainerStore, Placement
 from .hash_pbn import HashPbnTable
 from .hashing import SHA256, Fingerprinter
 from .lba_map import LbaMap, PbnAllocator, PbnMap, PbnRecord
+
+if TYPE_CHECKING:
+    from .journal import MetadataJournal, RecoveryReport
 
 #: Distinguishes "LBA never consulted" from "LBA unmapped" in the
 #: batch planner's shadow map.
@@ -175,7 +180,12 @@ class MetadataObserver(Protocol):
     """Receiver of the engine's metadata-mutation callbacks.
 
     :class:`~repro.datared.journal.MetadataJournal` is the canonical
-    implementation; anything structurally compatible can plug in.
+    implementation; anything structurally compatible can plug in.  The
+    durability tier added *optional* extended callbacks —
+    ``on_unmap(lba)``, ``on_repoint(pbn, container_id, offset)``,
+    ``on_snapshot_create(name)`` and ``on_snapshot_delete(name)`` —
+    which the engine fires through ``getattr`` guards, so structural
+    observers implementing only the three required methods keep working.
     """
 
     def on_new_chunk(
@@ -345,6 +355,7 @@ class DedupEngine:
         registry: Optional[MetricsRegistry] = None,
         fingerprinter: Optional[Fingerprinter] = None,
         batched_resolve: Optional[bool] = None,
+        journal: Optional["MetadataJournal"] = None,
     ) -> None:
         """``observer`` receives metadata-mutation callbacks
         (``on_new_chunk``/``on_map``/``on_free``) — the hook
@@ -397,6 +408,32 @@ class DedupEngine:
         self.allocator = PbnAllocator()  # guarded-by: self.lock
         self.stats = ReductionStats()  # guarded-by: self.lock
         self.observer = observer
+        #: Group-commit journal (DESIGN.md §5.10).  Armed by the factory
+        #: from the config's DurabilityPolicy; when set it is also the
+        #: metadata observer, records stage per batch and the engine
+        #: fences them (one modeled fsync) at the end of every public
+        #: mutating op.  ``None`` costs one identity check per batch.
+        self.journal = journal
+        if journal is not None:
+            if observer is None:
+                self.observer = journal
+            elif observer is not journal:
+                raise ValueError(
+                    "pass either journal= or observer=, not two different "
+                    "sinks (an armed journal is the engine's observer)"
+                )
+        #: Named CoW snapshots: name -> {lba: pbn}, one pinned reference
+        #: per entry (see :meth:`create_snapshot`).
+        self._snapshots: Dict[str, Dict[int, int]] = {}  # guarded-by: self.lock
+        #: Container frees deferred until the journal commit that makes
+        #: their records durable lands: freeing physical bytes before
+        #: the fence would lose acknowledged data if the process died in
+        #: between.  Always empty at rest (and when journaling is off).
+        self._pending_releases: List[Tuple[int, int, int]] = []  # guarded-by: self.lock
+        self._pending_drops: List[int] = []  # guarded-by: self.lock
+        self._closed = False  # guarded-by: self.lock
+        #: Attached by recovery (:func:`repro.datared.journal.recover_into`).
+        self.recovery: Optional["RecoveryReport"] = None
         self.pool = pool if pool is not None else StagePool(1)
         if read_cache_chunks < 0:
             raise ValueError("read_cache_chunks must be >= 0")
@@ -574,6 +611,7 @@ class DedupEngine:
                 )
             if options.flush:
                 self.containers.seal_open()
+            self._commit_locked()
             return report
 
     def write_many(
@@ -610,6 +648,7 @@ class DedupEngine:
             )
             if options.flush:
                 self.containers.seal_open()
+            self._commit_locked()
             return reports
 
     def _write_many_locked(  # repro-lint: holds self.lock, hot-path
@@ -927,9 +966,18 @@ class DedupEngine:
         # cached decompressed bytes for it must go *now*.
         if self._read_cache is not None:
             self._read_cache.pop(pbn, None)
-        self.containers.mark_dead(
-            dead.container_id, dead.offset, dead.stored_size
-        )
+        if self.journal is not None:
+            # Defer the physical free to the commit barrier: the bytes
+            # may be the only copy of data whose release record is not
+            # durable yet (crash before the fence -> replay resurrects
+            # the old mapping and must still read these bytes).
+            self._pending_releases.append(
+                (dead.container_id, dead.offset, dead.stored_size)
+            )
+        else:
+            self.containers.mark_dead(
+                dead.container_id, dead.offset, dead.stored_size
+            )
         self.table.remove(dead.fingerprint)
         if self._batch_overrides is not None:
             self._batch_overrides[dead.fingerprint] = None
@@ -961,7 +1009,8 @@ class DedupEngine:
                 return self._read_locked(lba, num_chunks)
 
     def _read_locked(  # repro-lint: holds self.lock, hot-path
-        self, lba: int, num_chunks: int
+        self, lba: int, num_chunks: int,
+        mapping: Optional[Dict[int, int]] = None,
     ) -> ReadReport:
         report = ReadReport()
         step = self.chunker.blocks_per_chunk
@@ -975,7 +1024,10 @@ class DedupEngine:
         zero = b"\x00" * self.chunker.chunk_size
         for position in range(num_chunks):
             chunk_lba = lba + position * step
-            pbn = self.lba_map.get(chunk_lba)
+            pbn = (
+                self.lba_map.get(chunk_lba) if mapping is None
+                else mapping.get(chunk_lba)
+            )
             if pbn is None:
                 slots.append(zero)
                 report.unmapped_chunks += 1
@@ -1034,22 +1086,25 @@ class DedupEngine:
         and its fingerprint retired, exactly like an overwrite's
         release); trimming an unmapped LBA is a no-op.  The sharded
         engine and the scatter-gather router use this to evict an LBA's
-        stale mapping from a shard the LBA no longer lives on.  Note the
-        unmap itself is not journaled — the metadata journal records
-        map/free events, so a replay of a trimmed-then-idle LBA would
-        resurrect the mapping only if its chunk was never freed.
+        stale mapping from a shard the LBA no longer lives on.  With a
+        journal armed the unmap emits an ``UNMAP`` record and commits,
+        so replay drops the mapping exactly as the live engine did.
         """
         with self.lock:
             report = self._new_report()
             old_pbn = self.lba_map.unmap(lba)
             if old_pbn is not None:
+                self._fire_observer("on_unmap", lba)
                 self._release(old_pbn, report)
+            self._commit_locked()
             return report
 
     def flush(self) -> None:
-        """Seal the open container (batch boundary / shutdown)."""
+        """Seal the open container and commit the journal (batch
+        boundary / shutdown barrier)."""
         with self.lock:
             self.containers.seal_open()
+            self._commit_locked()
 
     def collect_garbage(self, threshold: float = 0.5) -> int:
         """Compact sealed containers above the garbage threshold.
@@ -1065,6 +1120,7 @@ class DedupEngine:
         with self.lock:
             reclaimed = 0
             victims = self.containers.garbage_victims(threshold)
+            journaled = self.journal is not None
             for victim in victims:
                 for offset, payload in victim.chunks():
                     pbn = self.pbn_map.pbn_at(victim.container_id, offset)
@@ -1075,9 +1131,21 @@ class DedupEngine:
                         )
                     record = self.pbn_map.get(pbn)
                     placement = self.containers.append(payload, record.stored_size)
-                    victim.mark_dead(offset, record.stored_size)
+                    if journaled:
+                        # The old placement stays readable until the
+                        # REPOINT record is fenced: a crash before the
+                        # commit replays the pre-GC placements.
+                        self._pending_releases.append(
+                            (victim.container_id, offset, record.stored_size)
+                        )
+                    else:
+                        victim.mark_dead(offset, record.stored_size)
                     self.pbn_map.repoint(
                         pbn, placement.container_id, placement.offset
+                    )
+                    self._fire_observer(
+                        "on_repoint", pbn, placement.container_id,
+                        placement.offset,
                     )
                     # Conservative read-LRU hygiene: the moved chunk's
                     # bytes are identical, but drop the entry anyway so
@@ -1085,7 +1153,161 @@ class DedupEngine:
                     if self._read_cache is not None:
                         self._read_cache.pop(pbn, None)
                     self.gc_bytes_moved += record.stored_size
-                self.containers.drop(victim.container_id)
+                if journaled:
+                    self._pending_drops.append(victim.container_id)
+                else:
+                    self.containers.drop(victim.container_id)
                 reclaimed += 1
             self.gc_containers_reclaimed += reclaimed
+            self._commit_locked()
             return reclaimed
+
+    # -- durability barrier (DESIGN.md §5.10) ----------------------------------
+    def _fire_observer(self, hook_name: str, *args: Any) -> None:
+        """Fire an *extended* observer callback through a getattr guard
+        (pre-durability structural observers only have the core three)."""
+        observer = self.observer
+        if observer is None:
+            return
+        hook = getattr(observer, hook_name, None)
+        if hook is not None:
+            hook(*args)
+
+    def _commit_locked(  # repro-lint: holds self.lock
+        self, checkpoint_if_due: bool = True
+    ) -> None:
+        """Group-commit barrier at the end of every public mutating op.
+
+        Fences the batch's staged journal records (one modeled fsync),
+        *then* applies the container frees those records acknowledge —
+        freeing first would lose committed data if the fence never
+        landed.  Runs the configured checkpoint cadence last.
+        """
+        journal = self.journal
+        if journal is None:
+            return
+        journal.commit()
+        if self._pending_releases:
+            for container_id, offset, stored_size in self._pending_releases:
+                self.containers.mark_dead(container_id, offset, stored_size)
+            self._pending_releases.clear()
+        if self._pending_drops:
+            for container_id in self._pending_drops:
+                self.containers.drop(container_id)
+            self._pending_drops.clear()
+        if checkpoint_if_due and journal.should_checkpoint():
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:  # repro-lint: holds self.lock
+        # Deferred import: repro.datared.journal imports this module.
+        from .journal import CheckpointState
+
+        journal = self.journal
+        assert journal is not None
+        journal.write_checkpoint(CheckpointState.capture(self))
+
+    def checkpoint(self) -> None:
+        """Commit, then write a compact durable image of all metadata.
+
+        Recovery afterwards replays checkpoint + tail instead of
+        history-since-birth; the journal truncates the superseded prefix
+        lazily on the next commit (see
+        :meth:`~repro.datared.journal.MetadataJournal.write_checkpoint`).
+        """
+        with self.lock:
+            if self.journal is None:
+                raise ValueError("engine has no journal to checkpoint")
+            self._commit_locked(checkpoint_if_due=False)
+            self._checkpoint_locked()
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Seal, commit, and retire the engine (idempotent).
+
+        The sanctioned shutdown barrier of the engine lifecycle API:
+        once ``close()`` returns, the open container is sealed and every
+        acknowledged write is fenced in the durable journal image.
+        Engines also work as context managers (``with build_engine(cfg)
+        as engine: ...``), which calls this on exit.
+        """
+        with self.lock:
+            if self._closed:
+                return
+            self.containers.seal_open()
+            self._commit_locked()
+            self._closed = True
+
+    def __enter__(self) -> "DedupEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- snapshots (DESIGN.md §5.10) -------------------------------------------
+    def create_snapshot(self, name: str) -> int:
+        """O(1)-in-data copy-on-write snapshot of the current LBA tree.
+
+        The snapshot is a named pointer table ``{lba: pbn}`` whose every
+        entry holds one extra reference on its chunk, so overwrites
+        copy-on-write naturally (the old chunk stays live for the
+        snapshot), GC may *move* but never reclaim pinned chunks, and
+        deleting the snapshot releases the pins like any overwrite
+        would.  No chunk data is copied.  Returns the number of pinned
+        chunks.
+        """
+        with self.lock:
+            if name in self._snapshots:
+                raise SnapshotError(f"snapshot {name!r} already exists")
+            pins = dict(self.lba_map.items())
+            for pbn in pins.values():
+                self.pbn_map.ref(pbn)
+            self._snapshots[name] = pins
+            self._fire_observer("on_snapshot_create", name)
+            self._commit_locked()
+            return len(pins)
+
+    def delete_snapshot(self, name: str) -> WriteReport:
+        """Drop a snapshot, releasing its pins.
+
+        The returned report's ``reclaimed_chunks`` counts chunks whose
+        last reference the snapshot held (their space is reclaimed).
+        """
+        with self.lock:
+            pins = self._snapshots.pop(name, None)
+            if pins is None:
+                raise SnapshotError(f"no snapshot named {name!r}")
+            # Journal the delete *before* the releases it implies, so
+            # replay (which performs the releases at SNAP_DELETE) sees
+            # the same order; the FREE records that follow are advisory.
+            self._fire_observer("on_snapshot_delete", name)
+            report = self._new_report()
+            for pbn in pins.values():
+                self._release(pbn, report)
+            self._commit_locked()
+            return report
+
+    def snapshots(self) -> List[str]:
+        """Names of the live snapshots, sorted."""
+        with self.lock:
+            return sorted(self._snapshots)
+
+    def snapshot_contains(self, name: str, lba: int) -> bool:
+        """Whether snapshot ``name`` pins a chunk at ``lba``."""
+        with self.lock:
+            pins = self._snapshots.get(name)
+            return pins is not None and lba in pins
+
+    def read_snapshot(
+        self, name: str, lba: int, num_chunks: int = 1
+    ) -> ReadReport:
+        """Read through a snapshot's pointer table instead of the live
+        map — the same zero-fill/cache/decode path as :meth:`read`."""
+        if num_chunks < 1:
+            raise ValueError("must read at least one chunk")
+        if lba % self.chunker.blocks_per_chunk != 0:
+            raise ValueError(f"LBA {lba} is not chunk-aligned")
+        with self.lock:
+            pins = self._snapshots.get(name)
+            if pins is None:
+                raise SnapshotError(f"no snapshot named {name!r}")
+            return self._read_locked(lba, num_chunks, mapping=pins)

@@ -1,4 +1,4 @@
-"""Metadata journaling and crash recovery.
+"""Metadata journaling, group commit, checkpoints and crash recovery.
 
 The paper assumes its metadata updates are durable (the prototype's
 tables live on table SSDs and writes are acknowledged from battery-backed
@@ -7,24 +7,46 @@ system that loses its Hash-PBN table or LBA map after a crash loses the
 *meaning* of every byte on the data SSDs, so this module supplies one:
 
 * :class:`MetadataJournal` — an append-only, CRC-guarded binary log of
-  metadata mutations (new chunk placements, LBA mappings, frees).  A
-  torn tail (the classic crash artifact) is detected and discarded.
-* :func:`recover_engine` — replays a journal against the surviving
-  container store and rebuilds a fully functional
-  :class:`~repro.datared.dedup.DedupEngine`: Hash-PBN entries, LBA→PBN
-  map, reference counts and the PBN allocator.
+  metadata mutations with **group commit**: records stage in memory and
+  become durable only when :meth:`MetadataJournal.commit` appends the
+  whole batch plus a ``COMMIT`` fence in one atomic append (the
+  in-memory analogue of a single ``fsync`` per ``write_many`` batch).
+  A torn tail (the classic crash artifact) is detected and discarded.
+* **Checkpoints** — :meth:`MetadataJournal.write_checkpoint` captures a
+  compact image of the whole metadata tier (Hash-PBN entries, LBA map,
+  refcounts, allocator cursor, snapshots, ledger stats) so recovery
+  replays checkpoint + tail instead of history-since-birth.  The
+  pre-checkpoint prefix is truncated *lazily* on the next commit: a
+  crash mid-checkpoint therefore tears only the appended tail and the
+  old log still recovers everything.
+* :func:`replay_journal` / :func:`recover_into` — replay an image
+  against a fresh engine and the surviving container store, rebuilding
+  Hash-PBN entries, the LBA→PBN map, reference counts, snapshots, the
+  PBN allocator and the byte ledgers.  Replay honours the fences: only
+  records up to the last durability marker (``COMMIT`` or
+  ``CHECKPOINT``) are applied; an un-fenced suffix was never
+  acknowledged and is discarded.  A *semantically impossible* committed
+  prefix (duplicate placements, references to chunks the journal never
+  placed) raises :class:`~repro.errors.JournalCorruptError` — recovery
+  never guesses.
 
 The engine emits journal records through its observer hook, so
-journaling is opt-in and costs nothing when unused.
+journaling is opt-in and costs nothing when unused.  Arm it through
+:class:`~repro.systems.config.DurabilityPolicy` and
+:func:`~repro.systems.factory.build_engine`.
 """
 
 from __future__ import annotations
 
 import struct
+import warnings
 import zlib
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..errors import JournalCorruptError
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry, get_registry
 from .compression import Compressor
 from .container import ContainerStore
 from .dedup import DedupEngine
@@ -34,7 +56,14 @@ from .lba_map import PbnRecord
 __all__ = [
     "RecordKind",
     "JournalRecord",
+    "CheckpointState",
     "MetadataJournal",
+    "RecoveryImage",
+    "RecoveryReport",
+    "replay_journal",
+    "reconcile_containers",
+    "validate_placements",
+    "recover_into",
     "recover_engine",
 ]
 
@@ -44,12 +73,31 @@ _CRC = struct.Struct(">I")
 _NEW_CHUNK = struct.Struct(">Q32sQHHI")  # pbn, digest, container, offset, stored, logical
 _MAP = struct.Struct(">QQ")  # lba, pbn
 _FREE = struct.Struct(">Q")  # pbn
+_UNMAP = struct.Struct(">Q")  # lba
+_REPOINT = struct.Struct(">QQH")  # pbn, container, offset
+_COMMIT = struct.Struct(">Q")  # commit sequence number
+
+_CKPT_HEAD = struct.Struct(">QIII6Q")  # next_pbn, n_pbn, n_lba, n_snap, stats
+_CKPT_PBN = struct.Struct(">Q32sQHHI")  # pbn, digest, container, offset, stored, refcount
+_CKPT_LBA = struct.Struct(">QQ")  # lba, pbn
+_CKPT_NAME = struct.Struct(">H")  # snapshot-name byte length
+_CKPT_COUNT = struct.Struct(">I")  # snapshot entry count
 
 
 class RecordKind:
     NEW_CHUNK = 1  #: a unique chunk was placed (pbn, digest, placement)
     MAP = 2  #: an LBA now points at a PBN
     FREE = 3  #: a PBN's last reference dropped (advisory; MAP implies it)
+    UNMAP = 4  #: an LBA mapping was dropped (TRIM/discard)
+    REPOINT = 5  #: GC moved a chunk to a new placement
+    SNAP_CREATE = 6  #: a named snapshot pinned the current LBA map
+    SNAP_DELETE = 7  #: a named snapshot released its pins
+    CHECKPOINT = 8  #: compact image of the whole metadata tier
+    COMMIT = 9  #: group-commit fence: everything before it is durable
+
+#: Kinds that mark a durable prefix: replay applies records up to the
+#: last marker and discards the (never acknowledged) rest.
+_DURABILITY_MARKERS = (RecordKind.COMMIT, RecordKind.CHECKPOINT)
 
 
 @dataclass(frozen=True)
@@ -64,34 +112,218 @@ class JournalRecord:
     offset: int = 0
     stored_size: int = 0
     logical_size: int = 0
+    name: str = ""  #: snapshot name (SNAP_CREATE / SNAP_DELETE)
+    blob: bytes = b""  #: raw checkpoint payload (CHECKPOINT)
+    seq: int = 0  #: commit sequence number (COMMIT)
+
+
+@dataclass
+class CheckpointState:
+    """A compact image of one engine's entire metadata tier.
+
+    Everything replay would otherwise reconstruct record-by-record:
+    Hash-PBN placements with refcounts, the LBA map, snapshot pin
+    tables, the allocator cursor, and the six conserved ledger
+    counters.  ``capture`` reads it off a live engine (under the
+    engine lock); ``encode``/``decode`` round-trip the wire payload.
+    """
+
+    next_pbn: int
+    #: (pbn, digest, container_id, offset, stored_size, refcount)
+    pbn_records: List[Tuple[int, bytes, int, int, int, int]]
+    lba_entries: List[Tuple[int, int]]
+    #: (name, [(lba, pbn), ...]) per snapshot
+    snapshots: List[Tuple[str, List[Tuple[int, int]]]]
+    #: (logical, unique_logical, stored, reclaimed, dup_chunks, unique_chunks)
+    stats: Tuple[int, int, int, int, int, int]
+
+    @classmethod
+    def capture(cls, engine: DedupEngine) -> "CheckpointState":
+        """Snapshot ``engine``'s metadata (caller holds the engine lock)."""
+        stats = engine.stats
+        return cls(
+            next_pbn=engine.allocator.next_pbn,
+            pbn_records=[
+                (
+                    pbn,
+                    record.fingerprint,
+                    record.container_id,
+                    record.offset,
+                    record.stored_size,
+                    record.refcount,
+                )
+                for pbn, record in engine.pbn_map.records()
+            ],
+            lba_entries=sorted(engine.lba_map.items()),
+            snapshots=[
+                (name, sorted(pins.items()))
+                for name, pins in sorted(engine._snapshots.items())
+            ],
+            stats=(
+                stats.logical_bytes,
+                stats.unique_logical_bytes,
+                stats.stored_bytes,
+                stats.reclaimed_stored_bytes,
+                stats.duplicate_chunks,
+                stats.unique_chunks,
+            ),
+        )
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        out += _CKPT_HEAD.pack(
+            self.next_pbn,
+            len(self.pbn_records),
+            len(self.lba_entries),
+            len(self.snapshots),
+            *self.stats,
+        )
+        for pbn, digest, container_id, offset, stored, refcount in self.pbn_records:
+            out += _CKPT_PBN.pack(pbn, digest, container_id, offset, stored, refcount)
+        for lba, pbn in self.lba_entries:
+            out += _CKPT_LBA.pack(lba, pbn)
+        for name, entries in self.snapshots:
+            encoded = name.encode("utf-8")
+            out += _CKPT_NAME.pack(len(encoded))
+            out += encoded
+            out += _CKPT_COUNT.pack(len(entries))
+            for lba, pbn in entries:
+                out += _CKPT_LBA.pack(lba, pbn)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "CheckpointState":
+        """Decode a checkpoint payload.
+
+        Raises :class:`~repro.errors.JournalCorruptError` on structural
+        failure: the record's CRC already passed, so a payload that does
+        not parse is an impossible committed prefix, not a torn tail.
+        """
+        try:
+            head = _CKPT_HEAD.unpack_from(payload, 0)
+            position = _CKPT_HEAD.size
+            next_pbn, n_pbn, n_lba, n_snap = head[0], head[1], head[2], head[3]
+            stats = (head[4], head[5], head[6], head[7], head[8], head[9])
+            pbn_records: List[Tuple[int, bytes, int, int, int, int]] = []
+            for _ in range(n_pbn):
+                pbn_records.append(
+                    _CKPT_PBN.unpack_from(payload, position)  # type: ignore[arg-type]
+                )
+                position += _CKPT_PBN.size
+            lba_entries: List[Tuple[int, int]] = []
+            for _ in range(n_lba):
+                lba, pbn = _CKPT_LBA.unpack_from(payload, position)
+                lba_entries.append((lba, pbn))
+                position += _CKPT_LBA.size
+            snapshots: List[Tuple[str, List[Tuple[int, int]]]] = []
+            for _ in range(n_snap):
+                (name_len,) = _CKPT_NAME.unpack_from(payload, position)
+                position += _CKPT_NAME.size
+                if position + name_len > len(payload):
+                    raise JournalCorruptError("checkpoint snapshot name overruns")
+                name = payload[position : position + name_len].decode("utf-8")
+                position += name_len
+                (count,) = _CKPT_COUNT.unpack_from(payload, position)
+                position += _CKPT_COUNT.size
+                entries: List[Tuple[int, int]] = []
+                for _ in range(count):
+                    lba, pbn = _CKPT_LBA.unpack_from(payload, position)
+                    entries.append((lba, pbn))
+                    position += _CKPT_LBA.size
+                snapshots.append((name, entries))
+            if position != len(payload):
+                raise JournalCorruptError(
+                    f"checkpoint payload has {len(payload) - position} "
+                    "trailing bytes"
+                )
+        except (struct.error, UnicodeDecodeError) as error:
+            raise JournalCorruptError(
+                f"checkpoint payload does not decode: {error}"
+            ) from error
+        return cls(
+            next_pbn=next_pbn,
+            pbn_records=pbn_records,
+            lba_entries=lba_entries,
+            snapshots=snapshots,
+            stats=stats,
+        )
 
 
 class MetadataJournal:
-    """Append-only metadata log with per-record CRC framing.
+    """Group-committed metadata log with per-record CRC framing.
 
     Implements the engine-observer protocol (``on_new_chunk``,
-    ``on_map``, ``on_free``), so an instance can be handed directly to
-    :class:`~repro.datared.dedup.DedupEngine` as its observer.
+    ``on_map``, ``on_free``, ``on_unmap``, ``on_repoint``,
+    ``on_snapshot_create``, ``on_snapshot_delete``), so an instance can
+    be handed directly to :class:`~repro.datared.dedup.DedupEngine` as
+    its observer — :func:`~repro.systems.factory.build_engine` does
+    exactly that when the config's
+    :class:`~repro.systems.config.DurabilityPolicy` arms journaling.
+
+    Records *stage* in memory; :meth:`commit` makes the whole staged
+    batch durable at once behind a ``COMMIT`` fence (one fsync per
+    batch, the group-commit discipline).  :meth:`to_bytes` exposes only
+    the durable image — exactly what a crash would leave behind.
+
+    ``on_durable`` (if given) fires after every durable mutation with
+    ``(image, stable_prefix)``: the new durable image and the byte
+    length that was already durable before the append.  The crash
+    harness hooks it to capture tear points.
     """
 
-    def __init__(self) -> None:
-        self._buffer = bytearray()
+    def __init__(
+        self,
+        *,
+        checkpoint_every_commits: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        on_durable: Optional[Callable[[bytes, int], None]] = None,
+    ) -> None:
+        if checkpoint_every_commits is not None and checkpoint_every_commits < 1:
+            raise ValueError("checkpoint_every_commits must be >= 1")
+        self._staged = bytearray()
+        self._durable = bytearray()
+        #: Durable-prefix length superseded by a checkpoint, cut on the
+        #: next commit (lazy truncation: the old log survives any crash
+        #: that tears the checkpoint record itself).
+        self._truncate_at: Optional[int] = None
         self.records_written = 0
+        self.commits = 0
+        self.checkpoints = 0
+        self.checkpoint_every_commits = checkpoint_every_commits
+        self._commits_since_checkpoint = 0
+        #: Monotonic sequence number stamped into each ``COMMIT`` fence.
+        #: Replay rejects a regression — a CRC-valid frame batch that was
+        #: duplicated or replayed out of order cannot slip past it.
+        self._next_commit_seq = 0
+        self.on_durable = on_durable
+        reg = registry if registry is not None else get_registry()
+        self._records_total = reg.counter("journal.records_total")
+        self._commits_total = reg.counter("journal.commits_total")
+        self._commit_bytes_total = reg.counter("journal.commit_bytes_total")
+        self._checkpoints_total = reg.counter("journal.checkpoints_total")
+        self._truncated_bytes_total = reg.counter("journal.truncated_bytes_total")
 
     # -- framing --------------------------------------------------------------
-    def _append(self, kind: int, payload: bytes) -> None:
-        crc = zlib.crc32(payload)
-        self._buffer += _HEADER.pack(kind, len(payload))
-        self._buffer += payload
-        self._buffer += _CRC.pack(crc)
-        self.records_written += 1
+    @staticmethod
+    def _frame(buffer: bytearray, kind: int, payload: bytes) -> None:
+        header = _HEADER.pack(kind, len(payload))
+        buffer += header
+        buffer += payload
+        # CRC covers header *and* payload: a flipped kind or length byte
+        # must not be able to alias one record into another.
+        buffer += _CRC.pack(zlib.crc32(payload, zlib.crc32(header)))
 
-    # -- observer protocol (called by the engine) ---------------------------------
+    def _stage(self, kind: int, payload: bytes) -> None:
+        self._frame(self._staged, kind, payload)
+        self.records_written += 1
+        self._records_total.inc()
+
+    # -- observer protocol (called by the engine) -----------------------------
     def on_new_chunk(
         self, pbn: int, digest: bytes, container_id: int, offset: int,
         stored_size: int, logical_size: int,
     ) -> None:
-        self._append(
+        self._stage(
             RecordKind.NEW_CHUNK,
             _NEW_CHUNK.pack(
                 pbn, digest, container_id, offset, stored_size, logical_size
@@ -99,19 +331,155 @@ class MetadataJournal:
         )
 
     def on_map(self, lba: int, pbn: int) -> None:
-        self._append(RecordKind.MAP, _MAP.pack(lba, pbn))
+        self._stage(RecordKind.MAP, _MAP.pack(lba, pbn))
 
     def on_free(self, pbn: int) -> None:
-        self._append(RecordKind.FREE, _FREE.pack(pbn))
+        self._stage(RecordKind.FREE, _FREE.pack(pbn))
 
-    # -- persistence -----------------------------------------------------------------
+    def on_unmap(self, lba: int) -> None:
+        self._stage(RecordKind.UNMAP, _UNMAP.pack(lba))
+
+    def on_repoint(self, pbn: int, container_id: int, offset: int) -> None:
+        self._stage(RecordKind.REPOINT, _REPOINT.pack(pbn, container_id, offset))
+
+    def on_snapshot_create(self, name: str) -> None:
+        self._stage(RecordKind.SNAP_CREATE, name.encode("utf-8"))
+
+    def on_snapshot_delete(self, name: str) -> None:
+        self._stage(RecordKind.SNAP_DELETE, name.encode("utf-8"))
+
+    # -- group commit ---------------------------------------------------------
+    def _apply_pending_truncation(self) -> None:
+        if self._truncate_at is None:
+            return
+        cut = self._truncate_at
+        self._truncate_at = None
+        del self._durable[:cut]
+        self._truncated_bytes_total.inc(cut)
+
+    def commit(self) -> int:
+        """Make every staged record durable behind a ``COMMIT`` fence.
+
+        The staged batch plus its fence lands in the durable image as
+        one atomic append — the in-memory model of a single write +
+        fsync.  Also applies any truncation a previous checkpoint left
+        pending (the model of the post-fsync rename).  Returns the
+        number of bytes appended (0 when nothing was staged).
+        """
+        if not self._staged and self._truncate_at is None:
+            return 0
+        with trace.span("journal.commit", staged=len(self._staged)):
+            self._apply_pending_truncation()
+            appended = 0
+            stable = len(self._durable)
+            if self._staged:
+                self._stage(RecordKind.COMMIT, _COMMIT.pack(self._next_commit_seq))
+                self._next_commit_seq += 1
+                appended = len(self._staged)
+                self._durable += self._staged
+                self._staged.clear()
+                self.commits += 1
+                self._commits_since_checkpoint += 1
+                self._commits_total.inc()
+                self._commit_bytes_total.inc(appended)
+            if self.on_durable is not None:
+                self.on_durable(bytes(self._durable), stable)
+        return appended
+
+    def should_checkpoint(self) -> bool:
+        """True when the configured commit cadence is due."""
+        return (
+            self.checkpoint_every_commits is not None
+            and self._commits_since_checkpoint >= self.checkpoint_every_commits
+        )
+
+    def write_checkpoint(self, state: CheckpointState) -> int:
+        """Append a durable ``CHECKPOINT`` record holding ``state``.
+
+        Requires an empty staged buffer (commit first): a checkpoint is
+        itself a durability marker, so un-fenced records must not
+        precede it.  The pre-checkpoint prefix is *not* cut here — it is
+        truncated lazily on the next commit, so a crash that tears the
+        checkpoint record leaves the old log intact ahead of it.
+        Returns the number of bytes appended.
+        """
+        if self._staged:
+            raise ValueError(
+                "checkpoint requires an empty staged buffer; commit first"
+            )
+        with trace.span("journal.checkpoint"):
+            payload = state.encode()
+            self._apply_pending_truncation()
+            stable = len(self._durable)
+            frame = bytearray()
+            self._frame(frame, RecordKind.CHECKPOINT, payload)
+            self.records_written += 1
+            self._records_total.inc()
+            self._durable += frame
+            self._truncate_at = stable
+            self.checkpoints += 1
+            self._commits_since_checkpoint = 0
+            self._checkpoints_total.inc()
+            if self.on_durable is not None:
+                self.on_durable(bytes(self._durable), stable)
+        return len(frame)
+
+    # -- persistence ----------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """The journal's on-disk image."""
-        return bytes(self._buffer)
+        """The durable on-disk image (staged records are *not* in it)."""
+        return bytes(self._durable)
+
+    def seed(self, image: bytes) -> None:
+        """Adopt a recovered durable image as this journal's history.
+
+        The commit-sequence cursor resumes past the image's highest
+        fence, so the recovered journal's next commit extends — rather
+        than collides with — the durable history.
+        """
+        if self._durable or self._staged:
+            raise ValueError("cannot seed a non-empty journal")
+        self._durable += image
+        scanned, _clean = _scan(image)
+        self._next_commit_seq = max(
+            (
+                record.seq
+                for record, _end in scanned
+                if record.kind == RecordKind.COMMIT
+            ),
+            default=-1,
+        ) + 1
 
     @property
     def size_bytes(self) -> int:
-        return len(self._buffer)
+        """Durable image size."""
+        return len(self._durable)
+
+    @property
+    def staged_bytes(self) -> int:
+        """Bytes staged but not yet committed (lost on crash)."""
+        return len(self._staged)
+
+    #: Framing sizes, exposed for the crash harness's tear-offset
+    #: classification (header = kind + payload length, trailer = CRC32).
+    HEADER_SIZE = _HEADER.size
+    CRC_SIZE = _CRC.size
+
+    # -- decoding -------------------------------------------------------------
+    @staticmethod
+    def frame_spans(raw: bytes) -> List[Tuple[int, int, int]]:
+        """``(kind, start, end)`` per well-framed record in ``raw``.
+
+        Stops at the first torn frame (same walk as :meth:`decode`); the
+        crash harness uses the spans to place tears mid-header,
+        mid-payload, mid-CRC and on record boundaries.
+        """
+        scanned, _clean = _scan(raw)
+        spans: List[Tuple[int, int, int]] = []
+        start = 0
+        for record, end in scanned:
+            spans.append((record.kind, start, end))
+            start = end
+        return spans
 
     @staticmethod
     def decode(raw: bytes) -> Tuple[List[JournalRecord], bool]:
@@ -120,25 +488,8 @@ class MetadataJournal:
         ``clean`` is False when the tail was torn or corrupt — the valid
         prefix is still returned, which is exactly the recovery contract.
         """
-        records: List[JournalRecord] = []
-        position = 0
-        while position < len(raw):
-            if position + _HEADER.size > len(raw):
-                return records, False
-            kind, length = _HEADER.unpack_from(raw, position)
-            end = position + _HEADER.size + length + _CRC.size
-            if end > len(raw):
-                return records, False
-            payload = raw[position + _HEADER.size : end - _CRC.size]
-            (crc,) = _CRC.unpack_from(raw, end - _CRC.size)
-            if zlib.crc32(payload) != crc:
-                return records, False
-            record = MetadataJournal._decode_payload(kind, payload)
-            if record is None:
-                return records, False
-            records.append(record)
-            position = end
-        return records, True
+        scanned, clean = _scan(raw)
+        return [record for record, _end in scanned], clean
 
     @staticmethod
     def _decode_payload(kind: int, payload: bytes) -> Optional[JournalRecord]:
@@ -157,34 +508,119 @@ class MetadataJournal:
             if kind == RecordKind.FREE:
                 (pbn,) = _FREE.unpack(payload)
                 return JournalRecord(kind=kind, pbn=pbn)
-        except struct.error:
+            if kind == RecordKind.UNMAP:
+                (lba,) = _UNMAP.unpack(payload)
+                return JournalRecord(kind=kind, lba=lba)
+            if kind == RecordKind.REPOINT:
+                pbn, container, offset = _REPOINT.unpack(payload)
+                return JournalRecord(
+                    kind=kind, pbn=pbn, container_id=container, offset=offset
+                )
+            if kind in (RecordKind.SNAP_CREATE, RecordKind.SNAP_DELETE):
+                return JournalRecord(kind=kind, name=payload.decode("utf-8"))
+            if kind == RecordKind.CHECKPOINT:
+                # Structural validation is deferred to replay, where a
+                # CRC-valid-but-unparseable payload raises the typed
+                # JournalCorruptError instead of masquerading as a tear.
+                return JournalRecord(kind=kind, blob=payload)
+            if kind == RecordKind.COMMIT:
+                (seq,) = _COMMIT.unpack(payload)
+                return JournalRecord(kind=kind, seq=seq)
+        except (struct.error, UnicodeDecodeError):
             return None
         return None
 
 
-def recover_engine(
-    journal_image: bytes,
-    containers: ContainerStore,
-    compressor: Optional[Compressor] = None,
-    num_buckets: int = 1 << 15,
-) -> Tuple[DedupEngine, bool]:
-    """Rebuild a dedup engine's metadata from a journal image.
+def _scan(raw: bytes) -> Tuple[List[Tuple[JournalRecord, int]], bool]:
+    """Frame-walk an image into ``(record, end_offset)`` pairs.
 
-    ``containers`` is the surviving data (the sealed/open containers on
-    the data SSDs).  Returns ``(engine, clean)`` where ``clean`` mirrors
-    :meth:`MetadataJournal.decode` — a torn tail recovers the valid
-    prefix.  Replay is idempotent over the prefix semantics: reference
-    counts, the Hash-PBN table and the allocator come out exactly as a
-    crash at that point would leave them.
+    Stops at the first torn or CRC-failing frame; ``clean`` is False in
+    that case.  ``end_offset`` is the byte position just past each
+    record — replay uses it to know how many bytes of the image the
+    effective (fenced) prefix covers.
     """
-    records, clean = MetadataJournal.decode(journal_image)
-    engine = DedupEngine(
-        table=HashPbnTable(num_buckets),
-        compressor=compressor,
-        containers=containers,
-    )
-    for record in records:
-        if record.kind == RecordKind.NEW_CHUNK:
+    scanned: List[Tuple[JournalRecord, int]] = []
+    position = 0
+    while position < len(raw):
+        if position + _HEADER.size > len(raw):
+            return scanned, False
+        kind, length = _HEADER.unpack_from(raw, position)
+        end = position + _HEADER.size + length + _CRC.size
+        if end > len(raw):
+            return scanned, False
+        payload = raw[position + _HEADER.size : end - _CRC.size]
+        (crc,) = _CRC.unpack_from(raw, end - _CRC.size)
+        if zlib.crc32(raw[position : end - _CRC.size]) != crc:
+            return scanned, False
+        record = MetadataJournal._decode_payload(kind, payload)
+        if record is None:
+            return scanned, False
+        scanned.append((record, end))
+        position = end
+    return scanned, True
+
+
+@dataclass
+class RecoveryImage:
+    """What survives a crash: the durable journal + the container store.
+
+    Feed one (or a per-shard sequence) to
+    :func:`~repro.systems.factory.build_engine` via ``recover_from=``.
+    """
+
+    journal: bytes
+    containers: ContainerStore
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did, attached to the engine as ``engine.recovery``."""
+
+    clean: bool
+    records_replayed: int = 0
+    records_discarded: int = 0
+    from_checkpoint: bool = False
+    #: Byte length of the effective (fenced) prefix that was applied.
+    durable_bytes: int = 0
+    #: Container placements that no replayed PBN owns, reclaimed by
+    #: :func:`reconcile_containers` (torn-batch appends + frees that
+    #: were deferred behind a commit that never landed).
+    orphans_reclaimed: int = 0
+
+
+class _Replayer:
+    """Applies one journal image's effective prefix to a fresh engine."""
+
+    def __init__(self, engine: DedupEngine) -> None:
+        self.engine = engine
+        #: PBNs placed by NEW_CHUNK whose own first MAP has not arrived
+        #: yet — distinguishes the unique-chunk MAP (no dup increment)
+        #: from a genuine duplicate hit during ledger reconstruction.
+        self.pending_first_map: set[int] = set()
+        #: Last COMMIT sequence number seen; fences must strictly
+        #: increase, or a duplicated/replayed frame batch is in play.
+        self.last_commit_seq = -1
+
+    def apply(self, index: int, record: JournalRecord) -> None:
+        try:
+            self._apply(record)
+        except JournalCorruptError:
+            raise
+        except (KeyError, ValueError) as error:
+            raise JournalCorruptError(
+                f"journal record {index} (kind {record.kind}) cannot be "
+                f"replayed: {error}"
+            ) from error
+
+    def _apply(self, record: JournalRecord) -> None:
+        engine = self.engine
+        kind = record.kind
+        if kind == RecordKind.NEW_CHUNK:
+            if engine.pbn_map.find_by_fingerprint(record.digest) is not None:
+                raise JournalCorruptError(
+                    f"duplicate NEW_CHUNK for a live fingerprint "
+                    f"(PBN {record.pbn})"
+                )
             engine.pbn_map.add(
                 record.pbn,
                 PbnRecord(
@@ -197,17 +633,241 @@ def recover_engine(
             )
             engine.table.insert(record.digest, record.pbn)
             engine.allocator.ensure_allocated(record.pbn)
-        elif record.kind == RecordKind.MAP:
+            self.pending_first_map.add(record.pbn)
+            engine.stats.unique_chunks += 1
+            engine.stats.unique_logical_bytes += record.logical_size
+            engine.stats.stored_bytes += record.stored_size
+        elif kind == RecordKind.MAP:
+            if record.pbn not in engine.pbn_map:
+                raise JournalCorruptError(
+                    f"MAP references PBN {record.pbn}, which the journal "
+                    "never placed"
+                )
             engine.pbn_map.ref(record.pbn)
             old = engine.lba_map.set(record.lba, record.pbn)
+            engine.stats.logical_bytes += engine.chunker.chunk_size
+            if record.pbn in self.pending_first_map:
+                self.pending_first_map.discard(record.pbn)
+            else:
+                engine.stats.duplicate_chunks += 1
             if old is not None:
-                dead = engine.pbn_map.unref(old)
-                if dead is not None:
-                    # Metadata-only release: the container store already
-                    # reflects the pre-crash space accounting.
-                    engine.table.remove(dead.fingerprint)
-                    engine.allocator.free(old)
-        elif record.kind == RecordKind.FREE:
-            # Advisory (MAP replay already performed the release).
-            continue
-    return engine, clean
+                self._release(old)
+        elif kind == RecordKind.UNMAP:
+            old = engine.lba_map.unmap(record.lba)
+            if old is not None:
+                self._release(old)
+        elif kind == RecordKind.REPOINT:
+            if record.pbn not in engine.pbn_map:
+                raise JournalCorruptError(
+                    f"REPOINT references PBN {record.pbn}, which the "
+                    "journal never placed"
+                )
+            engine.pbn_map.repoint(record.pbn, record.container_id, record.offset)
+        elif kind == RecordKind.SNAP_CREATE:
+            if record.name in engine._snapshots:
+                raise JournalCorruptError(
+                    f"SNAP_CREATE for existing snapshot {record.name!r}"
+                )
+            pins = dict(engine.lba_map.items())
+            for pbn in pins.values():
+                engine.pbn_map.ref(pbn)
+            engine._snapshots[record.name] = pins
+        elif kind == RecordKind.SNAP_DELETE:
+            if record.name not in engine._snapshots:
+                raise JournalCorruptError(
+                    f"SNAP_DELETE for unknown snapshot {record.name!r}"
+                )
+            pins = engine._snapshots.pop(record.name)
+            for pbn in pins.values():
+                self._release(pbn)
+        elif kind == RecordKind.FREE:
+            # Advisory (MAP/UNMAP replay already performed the release).
+            pass
+        elif kind == RecordKind.COMMIT:
+            if record.seq <= self.last_commit_seq:
+                raise JournalCorruptError(
+                    f"commit sequence regressed ({self.last_commit_seq} -> "
+                    f"{record.seq}): a committed batch was duplicated or "
+                    "replayed out of order"
+                )
+            self.last_commit_seq = record.seq
+        else:
+            raise JournalCorruptError(f"unknown record kind {kind}")
+
+    def _release(self, pbn: int) -> None:
+        """Metadata-only release: the surviving container store already
+        reflects (or :func:`reconcile_containers` will square) the
+        physical space accounting."""
+        dead = self.engine.pbn_map.unref(pbn)
+        if dead is not None:
+            self.engine.table.remove(dead.fingerprint)
+            self.engine.allocator.free(pbn)
+            self.engine.stats.reclaimed_stored_bytes += dead.stored_size
+
+    def restore_checkpoint(self, state: CheckpointState) -> None:
+        engine = self.engine
+        engine.allocator.reserve_through(state.next_pbn)
+        for pbn, digest, container_id, offset, stored, refcount in state.pbn_records:
+            engine.pbn_map.add(
+                pbn,
+                PbnRecord(
+                    container_id=container_id,
+                    offset=offset,
+                    stored_size=stored,
+                    fingerprint=digest,
+                    refcount=refcount,
+                ),
+            )
+            engine.table.insert(digest, pbn)
+            engine.allocator.ensure_allocated(pbn)
+        for lba, pbn in state.lba_entries:
+            engine.lba_map.set(lba, pbn)
+        for name, entries in state.snapshots:
+            engine._snapshots[name] = dict(entries)
+        (
+            engine.stats.logical_bytes,
+            engine.stats.unique_logical_bytes,
+            engine.stats.stored_bytes,
+            engine.stats.reclaimed_stored_bytes,
+            engine.stats.duplicate_chunks,
+            engine.stats.unique_chunks,
+        ) = state.stats
+
+
+def replay_journal(engine: DedupEngine, image: bytes) -> RecoveryReport:
+    """Replay ``image``'s effective (fenced) prefix into a *fresh* engine.
+
+    The effective prefix runs through the last durability marker
+    (``COMMIT`` fence or ``CHECKPOINT``); an un-fenced suffix was never
+    acknowledged to any client and is discarded — an image with records
+    but no marker at all (a crash inside the very first group commit)
+    therefore replays nothing.  When the prefix holds a checkpoint,
+    state restores from it and only the tail after it is replayed.
+
+    Raises :class:`~repro.errors.JournalCorruptError` when the committed
+    prefix is semantically impossible — never a silent wrong answer.
+    """
+    with trace.span("engine.recover", image_bytes=len(image)):
+        scanned, clean = _scan(image)
+        marker_indexes = [
+            i for i, (record, _end) in enumerate(scanned)
+            if record.kind in _DURABILITY_MARKERS
+        ]
+        keep = marker_indexes[-1] + 1 if marker_indexes else 0
+        if keep < len(scanned):
+            clean = False
+        durable_bytes = scanned[keep - 1][1] if keep else 0
+        checkpoint_index: Optional[int] = None
+        for i in range(keep - 1, -1, -1):
+            if scanned[i][0].kind == RecordKind.CHECKPOINT:
+                checkpoint_index = i
+                break
+        replayer = _Replayer(engine)
+        start = 0
+        if checkpoint_index is not None:
+            state = CheckpointState.decode(scanned[checkpoint_index][0].blob)
+            replayer.restore_checkpoint(state)
+            start = checkpoint_index + 1
+        replayed = keep - start + (1 if checkpoint_index is not None else 0)
+        for i in range(start, keep):
+            replayer.apply(i, scanned[i][0])
+        return RecoveryReport(
+            clean=clean,
+            records_replayed=replayed,
+            records_discarded=len(scanned) - keep,
+            from_checkpoint=checkpoint_index is not None,
+            durable_bytes=durable_bytes,
+        )
+
+
+def validate_placements(engine: DedupEngine) -> None:
+    """Check every replayed PBN owns a distinct live container placement.
+
+    The journal's committed prefix can be CRC-valid yet still lie about
+    the data SSDs — e.g. a duplicated ``NEW_CHUNK`` record re-placing a
+    chunk whose bytes a later free already reclaimed, or two PBNs
+    claiming the same placement.  Serving reads from such a mapping
+    would be a silent wrong answer, so recovery refuses with the typed
+    :class:`~repro.errors.JournalCorruptError` instead.
+    """
+    live = {
+        (container_id, offset)
+        for container_id, offset, _stored in engine.containers.live_placements()
+    }
+    owned: set[Tuple[int, int]] = set()
+    for pbn, record in engine.pbn_map.records():
+        key = (record.container_id, record.offset)
+        if key not in live:
+            raise JournalCorruptError(
+                f"PBN {pbn} points at container {record.container_id} "
+                f"offset {record.offset}, which holds no chunk"
+            )
+        if key in owned:
+            raise JournalCorruptError(
+                f"container {record.container_id} offset {record.offset} "
+                f"is claimed by two PBNs"
+            )
+        owned.add(key)
+
+
+def reconcile_containers(engine: DedupEngine) -> int:
+    """Mark dead every container placement no replayed PBN owns.
+
+    Two legitimate sources of such orphans after a crash: chunk payloads
+    appended by a batch whose commit fence never landed, and frees the
+    engine deferred behind a commit that never returned.  Either way the
+    bytes are garbage the moment the journal is the source of truth.
+    Returns the number of placements reclaimed.
+    """
+    reclaimed = 0
+    for container_id, offset, stored_size in engine.containers.live_placements():
+        if engine.pbn_map.pbn_at(container_id, offset) is None:
+            engine.containers.mark_dead(container_id, offset, stored_size)
+            reclaimed += 1
+    return reclaimed
+
+
+def recover_into(engine: DedupEngine, image: bytes) -> RecoveryReport:
+    """Full recovery of one engine: replay, reconcile, re-seed.
+
+    ``engine`` must be freshly built (empty metadata) over the surviving
+    container store.  After replay the engine's journal (if armed) is
+    seeded with the effective prefix so the durable history continues
+    seamlessly, and ``engine.recovery`` carries the report.
+    """
+    report = replay_journal(engine, image)
+    validate_placements(engine)
+    report.orphans_reclaimed = reconcile_containers(engine)
+    if engine.journal is not None:
+        engine.journal.seed(image[: report.durable_bytes])
+    engine.recovery = report
+    return report
+
+
+def recover_engine(
+    journal_image: bytes,
+    containers: ContainerStore,
+    compressor: Optional[Compressor] = None,
+    num_buckets: int = 1 << 15,
+) -> Tuple[DedupEngine, bool]:
+    """Deprecated: use ``build_engine(config, recover_from=RecoveryImage(...))``.
+
+    The factory path wires the recovered engine with the same codec,
+    fingerprint, index and shard policy as a fresh one; this shim
+    rebuilds a bare engine with defaults.  Returns ``(engine, clean)``.
+    """
+    warnings.warn(
+        "recover_engine is deprecated; use "
+        "repro.systems.factory.build_engine(config, "
+        "recover_from=RecoveryImage(journal, containers))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    engine = DedupEngine(
+        table=HashPbnTable(num_buckets),
+        compressor=compressor,
+        containers=containers,
+    )
+    recover_into(engine, journal_image)
+    assert engine.recovery is not None
+    return engine, engine.recovery.clean

@@ -151,6 +151,28 @@ class PbnAllocator:
         if pbn in self._free:
             self._free.remove(pbn)
 
+    def reserve_through(self, next_pbn: int) -> None:
+        """Advance the high-water mark to ``next_pbn``, freeing the gap.
+
+        Checkpoint restore calls this first (with the checkpointed
+        allocator cursor), then :meth:`ensure_allocated` per live PBN —
+        reproducing the pre-crash free list exactly, including PBNs that
+        were allocated and later freed.
+        """
+        if next_pbn < self._next:
+            raise ValueError(
+                f"cannot move the allocator cursor backwards "
+                f"({self._next} -> {next_pbn})"
+            )
+        while self._next < next_pbn:
+            self._free.append(self._next)
+            self._next += 1
+
+    @property
+    def next_pbn(self) -> int:
+        """The never-allocated cursor (checkpointed for exact restore)."""
+        return self._next
+
     @property
     def allocated(self) -> int:
         return self._next - len(self._free)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -44,7 +45,10 @@ from typing import (
     Union,
 )
 
-from ..errors import ShardError
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .journal import RecoveryReport
+
+from ..errors import ShardError, SnapshotError
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..parallel import StagePool
 from ..sync import DisciplinedLock
@@ -176,6 +180,17 @@ class ShardedDedupEngine:
             min_slice_items=1,
         )
         self._stage_clock: Optional[StageTimer] = None
+        self._closed = False  # guarded-by: self.lock
+        #: Per-shard :class:`~repro.datared.journal.RecoveryReport`\ s
+        #: when this cluster was rebuilt from crash images (set by the
+        #: systems factory), else ``None``.
+        self.recovery: Optional[List["RecoveryReport"]] = None
+        #: Cross-shard conflicts a mixed-fence recovery resolved: LBAs
+        #: that were mapped on two shards (a rewrite's cross-shard trim
+        #: was torn away) and snapshot names that did not reach every
+        #: shard's durable prefix (set by the systems factory).
+        self.recovery_lba_conflicts = 0
+        self.recovery_snapshots_dropped = 0
         self.registry = registry if registry is not None else get_registry()
         self.registry.register_collector(self._publish_metrics)
 
@@ -538,10 +553,108 @@ class ShardedDedupEngine:
                 shard.collect_garbage(threshold) for shard in self.shards
             )
 
-    def shutdown(self) -> None:
-        """Stop the scatter pool's workers (the shared pool is the
-        caller's to manage, as with the plain engine)."""
+    # -- snapshots ---------------------------------------------------------------
+    def create_snapshot(self, name: str) -> int:
+        """Pin the cluster's current LBA→PBN view under ``name``.
+
+        Fans out under the router lock: every shard pins its slice of
+        the directory (a shard owning none of the mapped LBAs pins an
+        empty view), so the name exists uniformly across shards — the
+        uniformity law :func:`~repro.analysis.invariants.check_sharded_engine`
+        verifies.  Returns the total number of pinned chunk mappings.
+        """
+        with self.lock:
+            if self.shards and name in self.shards[0].snapshots():
+                raise SnapshotError(f"snapshot {name!r} already exists")
+            return sum(
+                shard.create_snapshot(name) for shard in self.shards
+            )
+
+    def delete_snapshot(self, name: str) -> WriteReport:  # repro-lint: holds single-writer
+        """Drop ``name`` on every shard; merged reclaim report.
+
+        The merged :class:`WriteReport` is function-local until return,
+        so this thread is its single writer by construction.
+        """
+        with self.lock:
+            if self.shards and name not in self.shards[0].snapshots():
+                raise SnapshotError(f"unknown snapshot {name!r}")
+            merged = WriteReport()
+            for shard in self.shards:
+                sub_report = shard.delete_snapshot(name)
+                merged.reclaimed_chunks += sub_report.reclaimed_chunks
+                merged.containers_sealed += sub_report.containers_sealed
+            return merged
+
+    def snapshots(self) -> List[str]:
+        """Snapshot names (uniform across shards; read from shard 0)."""
+        with self.lock:
+            return self.shards[0].snapshots()
+
+    def read_snapshot(
+        self, name: str, lba: int, num_chunks: int = 1
+    ) -> ReadReport:
+        """Read from snapshot ``name`` as of its creation point.
+
+        Each chunk position resolves to the shard whose pinned view
+        maps it (pure content routing means at most one shard does);
+        positions no shard pinned read as the canonical zero-fill from
+        shard 0, mirroring :meth:`read`'s hole semantics.
+        """
+        if num_chunks < 1:
+            raise ValueError("must read at least one chunk")
+        step = self.chunker.blocks_per_chunk
+        if lba % step != 0:
+            raise ValueError(f"LBA {lba} is not chunk-aligned")
+        with self.lock:
+            if self.shards and name not in self.shards[0].snapshots():
+                raise SnapshotError(f"unknown snapshot {name!r}")
+            merged = ReadReport()
+            pieces: List[bytes] = []
+            for position in range(num_chunks):
+                chunk_lba = lba + position * step
+                owner = 0
+                for shard_index, shard in enumerate(self.shards):
+                    if shard.snapshot_contains(name, chunk_lba):
+                        owner = shard_index
+                        break
+                sub_report = self.shards[owner].read_snapshot(
+                    name, chunk_lba, 1
+                )
+                pieces.append(sub_report.data)
+                merged.chunks_read += sub_report.chunks_read
+                merged.stored_bytes_read += sub_report.stored_bytes_read
+                merged.unmapped_chunks += sub_report.unmapped_chunks
+                merged.cache_hits += sub_report.cache_hits
+            merged.data = pieces[0] if len(pieces) == 1 else b"".join(pieces)
+            return merged
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Flush + commit every shard, then stop the scatter pool.
+
+        The uniform end of the engine lifecycle API (DESIGN.md §5.10):
+        seals open containers, fences each shard's journal (when armed)
+        and releases the fan-out workers.  Idempotent; the shared
+        hash/compress pool is still the caller's to manage.
+        """
+        with self.lock:
+            if self._closed:
+                return
+            for shard in self.shards:
+                shard.close()
+            self._closed = True
         self._fanout.shutdown()
+
+    def shutdown(self) -> None:
+        """Deprecated alias for :meth:`close` (kept for old callers)."""
+        self.close()
+
+    def __enter__(self) -> "ShardedDedupEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def _merge_snapshots(snaps: Sequence[EngineStats]) -> EngineStats:

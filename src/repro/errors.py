@@ -25,8 +25,10 @@ __all__ = [
     "AlignmentError",
     "BucketFullError",
     "CapacityError",
+    "JournalCorruptError",
     "MissingDependencyError",
     "ShardError",
+    "SnapshotError",
     "ErrorCode",
     "error_code_for",
     "exception_for_code",
@@ -75,6 +77,23 @@ class MissingDependencyError(ReproError, ValueError):
     """
 
 
+class JournalCorruptError(ReproError, ValueError):
+    """A journal image is semantically inconsistent and cannot be replayed.
+
+    A torn *tail* is not corruption — recovery silently discards it and
+    restores the acknowledged prefix.  This error is reserved for images
+    whose *committed* prefix tells an impossible story: a duplicate
+    NEW_CHUNK for a live PBN, a MAP to a PBN the journal never placed, a
+    checkpoint whose encoded sections fail to decode.  Recovery never
+    guesses past such a record — a typed failure always beats a silently
+    wrong metadata image.
+    """
+
+
+class SnapshotError(ReproError, ValueError):
+    """A snapshot operation named an unknown or conflicting snapshot."""
+
+
 class ShardError(ReproError, ValueError):
     """A shard of a sharded engine (or cluster backend) failed.
 
@@ -108,6 +127,7 @@ _CODE_FOR_EXCEPTION = (
     (AlignmentError, ErrorCode.ALIGNMENT),
     (CapacityError, ErrorCode.CAPACITY),
     (ShardError, ErrorCode.SHARD_FAILED),
+    (SnapshotError, ErrorCode.BAD_REQUEST),
     (ProtocolError, ErrorCode.BAD_REQUEST),
     (ReproError, ErrorCode.INTERNAL),
 )

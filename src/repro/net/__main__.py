@@ -33,7 +33,7 @@ from ..datared import codecs as _codecs
 from ..datared import hashing as _hashing
 from ..obs import trace as _trace
 from ..obs.metrics import MetricsRegistry, get_registry, set_registry
-from ..systems.config import CodecPolicy, SystemConfig
+from ..systems.config import CodecPolicy, DurabilityPolicy, SystemConfig
 from ..systems.server import StorageServer, SystemKind
 from .aserver import AsyncProtocolServer
 from .router import ShardRouter
@@ -45,6 +45,7 @@ def _build_storage(args: argparse.Namespace) -> StorageServer:
     # CLI mode degrades gracefully: a requested codec whose optional
     # library is missing falls back to zlib/sha256 with a warning
     # instead of refusing to start.
+    checkpoint_every = getattr(args, "checkpoint_every", None)
     config = SystemConfig(
         parallelism=args.parallelism,
         executor=args.executor,
@@ -53,6 +54,11 @@ def _build_storage(args: argparse.Namespace) -> StorageServer:
             codec=args.codec,
             fingerprint=args.fingerprint,
             on_missing="fallback",
+        ),
+        durability=DurabilityPolicy(
+            journal=bool(getattr(args, "journal", False))
+            or checkpoint_every is not None,
+            checkpoint_every_commits=checkpoint_every,
         ),
     )
     return StorageServer.build(SystemKind(args.system), config=config)
@@ -126,6 +132,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="split offloaded writes larger than this many chunks so "
         "queued small requests can interleave",
     )
+    parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="arm the group-commit metadata journal (crash-consistent "
+        "durability tier; see DESIGN.md §5.10)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with the journal armed, checkpoint + truncate every N "
+        "group commits (implies --journal)",
+    )
 
 
 async def _serve(args: argparse.Namespace) -> int:
@@ -133,7 +153,16 @@ async def _serve(args: argparse.Namespace) -> int:
     # spans are what `python -m repro.obs top` renders, and the overhead
     # is bounded by the perf harness's obs_overhead gate.
     _trace.set_enabled(not args.no_trace)
-    storage = _build_storage(args)
+    # The lifecycle contract (rule R012): the storage stack is closed on
+    # every exit path — the async-with stop() is the last commit fence,
+    # close() then releases the stage pool and journal.
+    with _build_storage(args) as storage:
+        return await _serve_storage(args, storage)
+
+
+async def _serve_storage(
+    args: argparse.Namespace, storage: StorageServer
+) -> int:
     async with AsyncProtocolServer(
         storage,
         host=args.host,
@@ -232,6 +261,7 @@ async def _route(args: argparse.Namespace) -> int:
     finally:
         for server in spawned:
             await server.stop()
+            server.storage.close()
     return 0
 
 
@@ -239,22 +269,22 @@ def _bench(args: argparse.Namespace) -> int:
     # Imported here so `serve` works even if workloads grows heavier deps.
     from ..workloads.loadgen import LoadGenConfig, run_against
 
-    storage = _build_storage(args)
-    config = LoadGenConfig(
-        clients=args.clients,
-        ops_per_client=args.ops,
-        read_fraction=args.read_fraction,
-        seed=args.seed,
-    )
-    result = run_against(
-        storage,
-        config,
-        queue_depth=args.queue_depth,
-        workers=args.workers,
-        offload=not args.no_offload,
-        write_split_chunks=args.write_split_chunks,
-    )
-    print(result.render())
+    with _build_storage(args) as storage:
+        config = LoadGenConfig(
+            clients=args.clients,
+            ops_per_client=args.ops,
+            read_fraction=args.read_fraction,
+            seed=args.seed,
+        )
+        result = run_against(
+            storage,
+            config,
+            queue_depth=args.queue_depth,
+            workers=args.workers,
+            offload=not args.no_offload,
+            write_split_chunks=args.write_split_chunks,
+        )
+        print(result.render())
     # Server-side numbers come from the scraped STATS snapshot — the
     # same repro.stats/v1 shape every consumer sees — with the local
     # storage object only as a fallback when the scrape failed.

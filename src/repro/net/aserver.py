@@ -45,7 +45,7 @@ import asyncio
 import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..datared.chunking import BLOCK_SIZE
 from ..obs import trace as _trace
@@ -231,6 +231,9 @@ class AsyncProtocolServer:
         if self._backend is not None:
             self._backend.shutdown(wait=True)
             self._backend = None
+        # The server-batch commit boundary: drains staged writes, seals
+        # the open container and — when a journal is armed — fences the
+        # final group commit, so every acked request is recoverable.
         self.storage.flush()
 
     async def __aenter__(self) -> "AsyncProtocolServer":
@@ -562,6 +565,45 @@ class AsyncProtocolClient:
         response = await self._request(Op.TRIM, lba, count=num_chunks)
         if response.op != Op.TRIM_ACK:
             raise_for_error_payload(response.payload, "trim failed")
+
+    async def _snap(
+        self, body: Dict[str, Any], lba: int = 0, count: int = 0
+    ) -> Frame:
+        if self.version < 2:
+            raise ProtocolError("SNAP requires protocol version 2")
+        payload = json.dumps(
+            body, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+        response = await self._request(Op.SNAP, lba, payload, count=count)
+        if response.op != Op.SNAP_ACK:
+            raise_for_error_payload(response.payload, "snap failed")
+        return response
+
+    async def create_snapshot(self, name: str) -> int:
+        """Pin the server's acked state under ``name`` (v2-only);
+        returns the number of pinned chunk mappings."""
+        response = await self._snap({"action": "create", "name": name})
+        return int(json.loads(response.payload.decode("utf-8"))["pinned"])
+
+    async def delete_snapshot(self, name: str) -> int:
+        """Drop snapshot ``name``; returns chunks reclaimed (v2-only)."""
+        response = await self._snap({"action": "delete", "name": name})
+        return int(json.loads(response.payload.decode("utf-8"))["reclaimed"])
+
+    async def snapshots(self) -> List[str]:
+        """List the server's snapshot names (v2-only)."""
+        response = await self._snap({"action": "list"})
+        names = json.loads(response.payload.decode("utf-8"))["snapshots"]
+        return [str(name) for name in names]
+
+    async def read_snapshot(
+        self, name: str, lba: int, num_chunks: int = 1
+    ) -> bytes:
+        """Read chunks at ``lba`` as of snapshot ``name`` (v2-only)."""
+        response = await self._snap(
+            {"action": "read", "name": name}, lba=lba, count=num_chunks
+        )
+        return response.payload
 
     async def stats(self) -> Dict[str, Any]:
         """Scrape the server's live ``repro.stats/v1`` snapshot (v2-only;

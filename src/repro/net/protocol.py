@@ -91,11 +91,20 @@ class Op:
     #: TRIM gets the same structured ``UNSUPPORTED_OP`` as STATS.
     TRIM = 8
     TRIM_ACK = 9
+    #: v2-only: snapshot management.  The request payload is JSON —
+    #: ``{"action": "create" | "delete" | "list" | "read", "name": ...}``
+    #: — with ``read`` additionally using the header's ``lba``/``count``
+    #: fields.  The ack payload is JSON for the management actions
+    #: (pinned/reclaimed chunk count, name list) and raw chunk bytes for
+    #: ``read``.  A v1 SNAP gets the same structured ``UNSUPPORTED_OP``
+    #: as STATS/TRIM.
+    SNAP = 10
+    SNAP_ACK = 11
 
 
 _KNOWN_OPS = (
     Op.WRITE, Op.READ, Op.WRITE_ACK, Op.READ_ACK, Op.ERROR,
-    Op.STATS, Op.STATS_ACK, Op.TRIM, Op.TRIM_ACK,
+    Op.STATS, Op.STATS_ACK, Op.TRIM, Op.TRIM_ACK, Op.SNAP, Op.SNAP_ACK,
 )
 
 
@@ -365,12 +374,54 @@ class ProtocolServer:
                     )
                 self.server.trim(frame.lba, frame.read_count)
                 return encode_reply(frame, Op.TRIM_ACK, frame.lba)
+            if frame.op == Op.SNAP:
+                if frame.version < 2:
+                    return encode_reply(
+                        frame, Op.ERROR, frame.lba,
+                        encode_error_payload(
+                            ErrorCode.UNSUPPORTED_OP,
+                            "SNAP requires protocol v2",
+                        ),
+                    )
+                return self._handle_snap(frame)
             raise ProtocolError(f"unexpected op {frame.op}")
         except (ReproError, ValueError) as error:
             return encode_reply(
                 frame, Op.ERROR, frame.lba,
                 encode_error_payload(error_code_for(error), str(error)),
             )
+
+    def _handle_snap(self, frame: Frame) -> bytes:
+        """Dispatch one SNAP management request (v2 was checked)."""
+        try:
+            request = json.loads(frame.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"malformed SNAP payload: {error}") from None
+        if not isinstance(request, dict):
+            raise ProtocolError("SNAP payload must be a JSON object")
+        action = request.get("action")
+        name = request.get("name")
+
+        def reply_json(body: Dict[str, Any]) -> bytes:
+            payload = json.dumps(
+                body, separators=(",", ":"), allow_nan=False
+            ).encode("utf-8")
+            return encode_reply(frame, Op.SNAP_ACK, frame.lba, payload)
+
+        if action == "list":
+            return reply_json({"snapshots": self.server.snapshots()})
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("SNAP action needs a non-empty string name")
+        if action == "create":
+            return reply_json({"pinned": self.server.create_snapshot(name)})
+        if action == "delete":
+            return reply_json({"reclaimed": self.server.delete_snapshot(name)})
+        if action == "read":
+            data = self.server.read_snapshot(
+                name, frame.lba, frame.read_count
+            )
+            return encode_reply(frame, Op.SNAP_ACK, frame.lba, data)
+        raise ProtocolError(f"unknown SNAP action {action!r}")
 
 
 class ProtocolClient:
@@ -433,6 +484,46 @@ class ProtocolClient:
         )
         if response.op != Op.TRIM_ACK:
             raise_for_error_payload(response.payload, "trim failed")
+
+    def _snap_roundtrip(
+        self, body: Dict[str, Any], lba: int = 0, count: int = 0
+    ) -> Frame:
+        if self.version < 2:
+            raise ProtocolError("SNAP requires protocol version 2")
+        payload = json.dumps(
+            body, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+        response = self._roundtrip(
+            self._encode_request(Op.SNAP, lba, payload, count=count)
+        )
+        if response.op != Op.SNAP_ACK:
+            raise_for_error_payload(response.payload, "snap failed")
+        return response
+
+    def create_snapshot(self, name: str) -> int:
+        """Pin the server's current acked state under ``name`` (v2-only).
+
+        Returns the number of pinned chunk mappings."""
+        response = self._snap_roundtrip({"action": "create", "name": name})
+        return int(json.loads(response.payload.decode("utf-8"))["pinned"])
+
+    def delete_snapshot(self, name: str) -> int:
+        """Drop snapshot ``name``; returns chunks reclaimed (v2-only)."""
+        response = self._snap_roundtrip({"action": "delete", "name": name})
+        return int(json.loads(response.payload.decode("utf-8"))["reclaimed"])
+
+    def snapshots(self) -> List[str]:
+        """List the server's snapshot names (v2-only)."""
+        response = self._snap_roundtrip({"action": "list"})
+        names = json.loads(response.payload.decode("utf-8"))["snapshots"]
+        return [str(name) for name in names]
+
+    def read_snapshot(self, name: str, lba: int, num_chunks: int = 1) -> bytes:
+        """Read chunks at ``lba`` as of snapshot ``name`` (v2-only)."""
+        response = self._snap_roundtrip(
+            {"action": "read", "name": name}, lba=lba, count=num_chunks
+        )
+        return response.payload
 
     def stats(self) -> Dict[str, Any]:
         """Scrape the server's live ``repro.stats/v1`` snapshot.

@@ -18,13 +18,11 @@ from their staging buffer).
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 from ..cache.table_cache import CacheIndex, TableCache
 from ..errors import AlignmentError
-from ..datared import codecs as _codecs
 from ..datared.chunking import Chunk
 from ..datared.compression import Compressor
 from ..datared.container import Container
@@ -76,23 +74,21 @@ class ReductionSystem:
         config: Optional[SystemConfig] = None,
         num_buckets: int = 1 << 15,
         cache_lines: int = 1024,
-        compressor: Optional[Union[Compressor, str]] = None,
+        compressor: Optional[Compressor] = None,
     ):
         """``compressor`` overrides the config's codec policy with a
         ready-built :class:`~repro.datared.compression.Compressor`
-        instance.  Passing a codec *name* string here is deprecated —
-        set ``SystemConfig(codec=CodecPolicy(codec=...))`` instead."""
+        instance.  (The codec-name *string* form deprecated since the
+        codec-policy release is gone — set
+        ``SystemConfig(codec=CodecPolicy(codec=...))`` instead.)"""
         self.server = server if server is not None else PROTOTYPE_SERVER
         self.config = config if config is not None else SystemConfig()
         if isinstance(compressor, str):
-            warnings.warn(
-                "passing a codec name string as ReductionSystem's "
-                "compressor= is deprecated; use "
-                "SystemConfig(codec=CodecPolicy(codec=...)) instead",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                "codec name strings are no longer accepted as "
+                "ReductionSystem's compressor=; use "
+                "SystemConfig(codec=CodecPolicy(codec=...))"
             )
-            compressor = _codecs.create_codec(compressor)
 
         # Device ledgers.  Charged only while the engine lock is held
         # (every client entry point below takes it), so byte/cycle
@@ -146,6 +142,7 @@ class ReductionSystem:
         self.logical_write_bytes = 0.0  # guarded-by: self.lock
         self.logical_read_bytes = 0.0  # guarded-by: self.lock
         self._pending: List[Chunk] = []  # guarded-by: self.lock
+        self._closed = False  # guarded-by: self.lock
         if os.environ.get("REPRO_RACE_DETECT"):
             # The engine wrapped its own metadata already (it saw the
             # same environment variable); add the device ledgers.
@@ -242,6 +239,73 @@ class ReductionSystem:
                 self.logical_read_bytes += len(piece)
                 pieces.append(piece)
         return b"".join(pieces)
+
+    # -- snapshots ---------------------------------------------------------------------
+    def create_snapshot(self, name: str) -> int:
+        """Pin the current acked state under ``name`` (O(1) CoW).
+
+        Staged writes drain first: a client acked before its batch
+        processed must be inside the snapshot, the same drain-first rule
+        :meth:`trim` follows.  Returns the number of pinned chunks.
+        """
+        with self.lock:
+            if self._pending:
+                batch, self._pending = self._pending, []
+                with _trace.span("system.batch", chunks=len(batch)):
+                    self._process_batch(batch)
+            return self.engine.create_snapshot(name)
+
+    def delete_snapshot(self, name: str) -> int:
+        """Drop snapshot ``name``; returns chunks reclaimed by unpinning."""
+        with self.lock:
+            return self.engine.delete_snapshot(name).reclaimed_chunks
+
+    def snapshots(self) -> List[str]:
+        """Names of the live snapshots."""
+        with self.lock:
+            return self.engine.snapshots()
+
+    def read_snapshot(self, name: str, lba: int, num_chunks: int = 1) -> bytes:
+        """Read ``num_chunks`` chunks at ``lba`` as of snapshot ``name``.
+
+        Served straight from the pinned metadata tree — a management
+        read outside the modeled client data path, so no device ledger
+        charges (the functional bytes are still exact).
+        """
+        if num_chunks < 1:
+            raise AlignmentError("must read at least one chunk")
+        step = self.engine.chunker.blocks_per_chunk
+        if lba % step != 0:
+            raise AlignmentError(f"LBA {lba} is not chunk-aligned")
+        with self.lock:
+            return self.engine.read_snapshot(name, lba, num_chunks).data
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain, seal, fence and release: the end of the lifecycle API.
+
+        Flushes staged writes (their clients were already acked), closes
+        the engine — which seals the open container and, when a journal
+        is armed, writes the final commit fence — and stops the shared
+        stage pool.  Idempotent, so ``with system: ...`` plus an
+        explicit late ``close()`` is safe.
+        """
+        with self.lock:
+            if self._closed:
+                return
+            if self._pending:
+                batch, self._pending = self._pending, []
+                with _trace.span("system.batch", chunks=len(batch)):
+                    self._process_batch(batch)
+            self.engine.close()
+            self._closed = True
+        self.pool.shutdown()
+
+    def __enter__(self) -> "ReductionSystem":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- delta capture -----------------------------------------------------------------
     def _snapshot(self) -> Tuple:

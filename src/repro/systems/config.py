@@ -27,7 +27,39 @@ from ..datared import hashing as _hashing
 from ..datared.compression import Compressor
 from ..datared.hashing import Fingerprinter
 
-__all__ = ["CodecPolicy", "CpuCosts", "SystemConfig"]
+__all__ = ["CodecPolicy", "CpuCosts", "DurabilityPolicy", "SystemConfig"]
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """Crash-consistency policy for the engines a config builds.
+
+    ``journal=True`` arms a group-commit
+    :class:`~repro.datared.journal.MetadataJournal` on the engine (one
+    per shard for sharded configs): metadata records stage per batch and
+    are fenced — one modeled fsync — at the end of every public mutating
+    op, so every acknowledged write survives
+    ``build_engine(cfg, recover_from=...)`` replay (DESIGN.md §5.10).
+
+    ``checkpoint_every_commits`` additionally writes a compact
+    checkpoint image every N commits and truncates the replay-dead
+    prefix, bounding recovery time; ``None`` journals forever (explicit
+    :meth:`~repro.datared.dedup.DedupEngine.checkpoint` calls still
+    work).  The default policy is journal-off: the pre-durability
+    engines, byte-for-byte.
+    """
+
+    journal: bool = False
+    checkpoint_every_commits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every_commits is not None:
+            if not self.journal:
+                raise ValueError(
+                    "checkpoint_every_commits requires journal=True"
+                )
+            if self.checkpoint_every_commits < 1:
+                raise ValueError("checkpoint_every_commits must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -244,4 +276,8 @@ class SystemConfig:
     #: :class:`CodecPolicy`).  The default policy is the byte-stable
     #: ``zlib`` + ``sha256`` pair.
     codec: CodecPolicy = field(default_factory=CodecPolicy)
+    #: Crash-consistency policy (see :class:`DurabilityPolicy`).  The
+    #: default keeps journaling off — no durability cost on the modeled
+    #: data path unless a deployment opts in.
+    durability: DurabilityPolicy = field(default_factory=DurabilityPolicy)
     cpu: CpuCosts = field(default_factory=CpuCosts)

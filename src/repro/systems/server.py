@@ -11,7 +11,7 @@ direct helpers.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from .. import obs as _obs
 from ..datared.dedup import EngineStats, ReductionStats
@@ -80,6 +80,27 @@ class StorageServer:
         """
         self.system.trim(lba, num_chunks)
 
+    # -- snapshots -----------------------------------------------------------------
+    def create_snapshot(self, name: str) -> int:
+        """Pin the current acked state under ``name`` (O(1) CoW).
+
+        Returns the number of pinned chunk mappings.  The protocol's
+        ``SNAP`` op (v2) dispatches here.
+        """
+        return self.system.create_snapshot(name)
+
+    def delete_snapshot(self, name: str) -> int:
+        """Drop snapshot ``name``; returns chunks reclaimed."""
+        return self.system.delete_snapshot(name)
+
+    def snapshots(self) -> List[str]:
+        """Names of the live snapshots."""
+        return self.system.snapshots()
+
+    def read_snapshot(self, name: str, lba: int, num_chunks: int = 1) -> bytes:
+        """Read chunk-aligned data as of snapshot ``name``."""
+        return self.system.read_snapshot(name, lba, num_chunks)
+
     # -- introspection -------------------------------------------------------------
     @property
     def reduction_stats(self) -> ReductionStats:
@@ -105,8 +126,19 @@ class StorageServer:
         """Full device-accounting report for the processed workload."""
         return self.system.report()
 
+    # -- lifecycle -----------------------------------------------------------------
+    def close(self) -> None:
+        """Drain, fence the journal (when armed) and release workers.
+
+        Delegates to :meth:`ReductionSystem.close`; idempotent.  This is
+        the uniform end of the engine lifecycle API — CLIs and examples
+        use ``with StorageServer.build(...) as server: ...`` instead of
+        ad-hoc flush-on-the-way-out teardown.
+        """
+        self.system.close()
+
     def __enter__(self) -> "StorageServer":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.flush()
+        self.close()

@@ -917,6 +917,89 @@ class TestR011LockRanks:
         assert "R011" not in rules_of(findings)
 
 
+# -- R012: engine lifecycle in the serving layer ------------------------------
+
+
+class TestR012Lifecycle:
+    FIXTURE = src(
+        """
+        from repro.systems.factory import build_engine
+
+        def serve(config):
+            engine = build_engine(config)
+            engine.write(0, b"x")
+        """
+    )
+
+    def test_detects_leaked_engine(self):
+        findings = lint_source(self.FIXTURE, module="repro.net.fixture")
+        assert rules_of(findings) == ["R012"]
+        assert lines_of(findings, "R012") == [5]
+
+    def test_detects_leaked_server_and_system(self):
+        fixture = src(
+            """
+            def boot(system_cls, storage_cls):
+                system = FidrSystem(config=None)
+                server = StorageServer(system)
+                server.handle(b"frame")
+            """
+        )
+        findings = lint_source(fixture, module="repro.systems.fixture")
+        assert rules_of(findings) == ["R012", "R012"]
+
+    def test_with_block_discharges(self):
+        clean = src(
+            """
+            def serve(config):
+                engine = build_engine(config)
+                with engine:
+                    engine.write(0, b"x")
+            """
+        )
+        assert lint_source(clean, module="repro.net.fixture") == []
+
+    def test_close_call_discharges(self):
+        clean = src(
+            """
+            def serve(config):
+                engine = build_engine(config)
+                try:
+                    engine.write(0, b"x")
+                finally:
+                    engine.close()
+            """
+        )
+        assert lint_source(clean, module="repro.net.fixture") == []
+
+    def test_ownership_transfer_discharges(self):
+        clean = src(
+            """
+            class Host:
+                def __init__(self, config):
+                    engine = build_engine(config)
+                    self.engine = engine
+
+            def make(config):
+                engine = build_engine(config)
+                return engine
+            """
+        )
+        assert lint_source(clean, module="repro.systems.fixture") == []
+
+    def test_rule_scoped_to_serving_layer(self):
+        # The factory and tests construct-and-return by design.
+        assert lint_source(self.FIXTURE, module="repro.datared.fixture") == []
+        assert lint_source(self.FIXTURE, module="tests.net.fixture") == []
+
+    def test_suppression(self):
+        suppressed = self.FIXTURE.replace(
+            "engine = build_engine(config)",
+            "engine = build_engine(config)  # repro-lint: disable=R012",
+        )
+        assert lint_source(suppressed, module="repro.net.fixture") == []
+
+
 # -- the acceptance bar: the real tree is lint-clean --------------------------
 
 

@@ -1,0 +1,134 @@
+"""Tests for the SNAP/SNAP_ACK v2 wire op: CoW snapshot management.
+
+Covers the JSON action dispatch (create/delete/list/read), the v1
+rejection path, typed snapshot errors crossing the wire, and the async
+client's coroutine variants over a real socket.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.datared.compression import ModeledCompressor
+from repro.errors import ErrorCode, ProtocolError, decode_error_payload
+from repro.net.aserver import AsyncProtocolClient, AsyncProtocolServer
+from repro.net.protocol import (
+    FrameDecoder,
+    Op,
+    ProtocolClient,
+    ProtocolServer,
+    encode_frame,
+)
+from repro.systems.server import StorageServer, SystemKind
+
+CHUNK = 4096
+
+
+def make_stack(version=2):
+    storage = StorageServer.build(
+        SystemKind.FIDR, num_buckets=1024, cache_lines=64,
+        compressor=ModeledCompressor(0.5),
+    )
+    endpoint = ProtocolServer(storage)
+    client = ProtocolClient(endpoint.handle_bytes, version=version)
+    return storage, endpoint, client
+
+
+class TestSnapActions:
+    def test_create_list_delete_roundtrip(self, rng):
+        _storage, _endpoint, client = make_stack()
+        client.write(0, rng.randbytes(CHUNK))
+        client.write(1, rng.randbytes(CHUNK))
+        pinned = client.create_snapshot("alpha")
+        assert pinned == 2
+        assert client.snapshots() == ["alpha"]
+        reclaimed = client.delete_snapshot("alpha")
+        assert reclaimed >= 0
+        assert client.snapshots() == []
+
+    def test_snapshot_read_is_pinned_against_overwrites(self, rng):
+        _storage, _endpoint, client = make_stack()
+        old = rng.randbytes(CHUNK)
+        client.write(0, old)
+        client.create_snapshot("pin")
+        client.write(0, rng.randbytes(CHUNK))
+        assert client.read_snapshot("pin", 0) == old
+        assert client.read(0) != old
+
+    def test_duplicate_create_is_typed_bad_request(self, rng):
+        _storage, _endpoint, client = make_stack()
+        client.write(0, rng.randbytes(CHUNK))
+        client.create_snapshot("once")
+        with pytest.raises(Exception) as excinfo:
+            client.create_snapshot("once")
+        assert "once" in str(excinfo.value)
+
+    def test_delete_unknown_is_error(self):
+        _storage, _endpoint, client = make_stack()
+        with pytest.raises(Exception):
+            client.delete_snapshot("ghost")
+
+    def test_malformed_payload_is_protocol_error(self):
+        _storage, endpoint, _client = make_stack()
+        raw = endpoint.handle_bytes(
+            ProtocolClient(endpoint.handle_bytes)._encode_request(
+                Op.SNAP, 0, b"\xff\xfe not json"
+            )
+        )
+        (frame,) = FrameDecoder().feed(raw)
+        assert frame.op == Op.ERROR
+        code, _message = decode_error_payload(frame.payload)
+        assert code == ErrorCode.BAD_REQUEST
+
+    def test_unknown_action_is_protocol_error(self):
+        _storage, endpoint, _client = make_stack()
+        raw = endpoint.handle_bytes(
+            ProtocolClient(endpoint.handle_bytes)._encode_request(
+                Op.SNAP, 0, b'{"action":"clone","name":"x"}'
+            )
+        )
+        (frame,) = FrameDecoder().feed(raw)
+        assert frame.op == Op.ERROR
+        code, message = decode_error_payload(frame.payload)
+        assert code == ErrorCode.BAD_REQUEST
+        assert "clone" in message
+
+
+class TestVersionGate:
+    def test_v1_client_refuses_locally(self):
+        _storage, _endpoint, client = make_stack(version=1)
+        with pytest.raises(ProtocolError, match="version 2"):
+            client.create_snapshot("nope")
+
+    def test_raw_v1_snap_frame_gets_unsupported_op(self):
+        _storage, endpoint, _client = make_stack()
+        raw = endpoint.handle_bytes(encode_frame(Op.SNAP, 0, b"{}"))
+        (frame,) = FrameDecoder().feed(raw)
+        assert frame.op == Op.ERROR
+        code, message = decode_error_payload(frame.payload)
+        assert code == ErrorCode.UNSUPPORTED_OP
+        assert "v2" in message
+
+
+class TestAsyncSnap:
+    def test_async_snapshot_lifecycle(self, rng):
+        storage = StorageServer.build(
+            SystemKind.FIDR, num_buckets=1024, cache_lines=64,
+            compressor=ModeledCompressor(0.5),
+        )
+        old = rng.randbytes(CHUNK)
+
+        async def body():
+            async with AsyncProtocolServer(storage) as server:
+                async with await AsyncProtocolClient.connect(
+                    server.host, server.port
+                ) as client:
+                    await client.write(0, old)
+                    pinned = await client.create_snapshot("wire")
+                    assert pinned == 1
+                    await client.write(0, rng.randbytes(CHUNK))
+                    assert await client.read_snapshot("wire", 0) == old
+                    assert await client.snapshots() == ["wire"]
+                    assert await client.delete_snapshot("wire") >= 0
+
+        asyncio.run(body())

@@ -93,10 +93,10 @@ class TestSystemWiring:
         system.write(0, data)
         assert system.read(0, 1) == data
 
-    def test_string_compressor_is_deprecated_but_works(self):
-        with pytest.warns(DeprecationWarning, match="CodecPolicy"):
-            system = BaselineSystem(compressor="modeled")
-        assert isinstance(system.engine.compressor, ModeledCompressor)
+    def test_string_compressor_is_removed(self):
+        # The PR-6 deprecation period is over: names now raise.
+        with pytest.raises(TypeError, match="CodecPolicy"):
+            BaselineSystem(compressor="modeled")
 
     def test_systems_agree_under_a_shared_policy(self, rng):
         config = SystemConfig(codec=CodecPolicy(codec="adaptive"))
